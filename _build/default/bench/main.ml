@@ -1,0 +1,479 @@
+(* Benchmark harness: regenerates every figure of the paper's
+   evaluation (Figure 6 a/b/c), plus ablations over the execution
+   model's design choices and bechamel microbenches of the core
+   engine operations.
+
+   Times are simulated seconds (see DESIGN.md §2.3): the shapes — who
+   wins, scaling trends, crossovers — are the reproduction target, not
+   absolute numbers.
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- fig6a         # one experiment
+     BENCH_TXNS=10000 dune exec bench/main.exe # paper-scale run *)
+
+open Ent_core
+open Ent_workload
+
+let txns_total =
+  match Sys.getenv_opt "BENCH_TXNS" with
+  | Some s -> (try int_of_string s with _ -> 2000)
+  | None -> 2000
+
+let world_users = 500
+let world_cities = 12
+
+let heading title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+(* --- Figure 6(a): time vs concurrent connections, six workloads --- *)
+
+let run_workload ~connections ~frequency ~transactional kind ~n =
+  let config =
+    {
+      Scheduler.default_config with
+      connections;
+      trigger = Scheduler.Every_arrivals frequency;
+    }
+  in
+  let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let programs = Gen.batch world ~transactional kind ~n ~tag_base:0 in
+  let ids = List.map (Manager.submit world.manager) programs in
+  Manager.drain world.manager;
+  let committed =
+    List.length
+      (List.filter
+         (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+         ids)
+  in
+  if committed <> n then
+    Printf.eprintf "WARNING: %d/%d committed (%s)\n%!" committed n
+      (match kind with
+      | Gen.No_social -> "nosocial"
+      | Gen.Social -> "social"
+      | Gen.Entangled -> "entangled");
+  Manager.now world.manager
+
+let fig6a () =
+  heading
+    (Printf.sprintf
+       "Figure 6(a): total time (simulated s) vs concurrent connections\n\
+        %d transactions per cell, run frequency 100" txns_total);
+  Printf.printf "%8s %12s %12s %12s %12s %12s %12s\n" "conns" "NoSocial-T"
+    "Social-T" "Entangled-T" "NoSocial-Q" "Social-Q" "Entangled-Q";
+  List.iter
+    (fun connections ->
+      let cell transactional kind =
+        run_workload ~connections ~frequency:100 ~transactional kind ~n:txns_total
+      in
+      Printf.printf "%8d %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n%!"
+        connections
+        (cell true Gen.No_social) (cell true Gen.Social)
+        (cell true Gen.Entangled)
+        (cell false Gen.No_social) (cell false Gen.Social)
+        (cell false Gen.Entangled))
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+(* --- Figure 6(b): time vs pending transactions, per run frequency --- *)
+
+let run_pending ~p ~frequency ~n =
+  let config =
+    {
+      Scheduler.default_config with
+      connections = 100;
+      trigger = Scheduler.Every_arrivals frequency;
+    }
+  in
+  let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  (* p transactions whose partners never arrive sit in the pool and are
+     re-attempted at the start of every subsequent run *)
+  let lonely_ids =
+    List.map (Manager.submit world.manager) (Gen.lonely world ~n:p ~tag_base:1_000_000)
+  in
+  let ids =
+    List.map (Manager.submit world.manager)
+      (Gen.batch world ~transactional:true Gen.Entangled ~n ~tag_base:0)
+  in
+  Manager.drain world.manager;
+  let committed =
+    List.length
+      (List.filter
+         (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+         ids)
+  in
+  if committed <> n then Printf.eprintf "WARNING: %d/%d committed (p=%d)\n%!" committed n p;
+  ignore lonely_ids;
+  Manager.now world.manager
+
+let fig6b () =
+  let n = txns_total in
+  heading
+    (Printf.sprintf
+       "Figure 6(b): total time (simulated s) vs pending transactions p\n\
+        %d entangled transactions per cell" n);
+  Printf.printf "%8s %12s %12s %12s\n" "p" "f=1" "f=10" "f=50";
+  List.iter
+    (fun p ->
+      let cell frequency = run_pending ~p ~frequency ~n in
+      Printf.printf "%8d %12.2f %12.2f %12.2f\n%!" p (cell 1) (cell 10) (cell 50))
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+(* --- Figure 6(c): time vs coordinating-set size, per structure --- *)
+
+let run_structured ~structure ~set_size ~frequency ~total_txns =
+  let config =
+    {
+      Scheduler.default_config with
+      connections = 100;
+      trigger = Scheduler.Every_arrivals frequency;
+    }
+  in
+  let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let n_structures = max 1 (total_txns / set_size) in
+  let all_ids = ref [] in
+  for k = 0 to n_structures - 1 do
+    let programs =
+      match structure with
+      | `Spoke_hub -> Gen.spoke_hub world ~set_size ~tag_base:(k * 100)
+      | `Cycle -> Gen.cycle world ~set_size ~tag_base:(k * 100)
+    in
+    List.iter
+      (fun p -> all_ids := Manager.submit world.manager p :: !all_ids)
+      programs
+  done;
+  Manager.drain world.manager;
+  let committed =
+    List.length
+      (List.filter
+         (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+         !all_ids)
+  in
+  let expected = List.length !all_ids in
+  if committed <> expected then
+    Printf.eprintf "WARNING: %d/%d committed (%s size %d f %d)\n%!" committed
+      expected
+      (match structure with
+      | `Spoke_hub -> "spoke-hub"
+      | `Cycle -> "cycle")
+      set_size frequency;
+  Manager.now world.manager
+
+let fig6c () =
+  let total = max 200 (txns_total / 5) in
+  heading
+    (Printf.sprintf
+       "Figure 6(c): total time (simulated s) vs size of coordinating set\n\
+        ~%d transactions per cell" total);
+  Printf.printf "%8s %16s %16s %16s %16s\n" "size" "Spoke-hub f=10"
+    "Spoke-hub f=50" "Cycle f=10" "Cycle f=50";
+  List.iter
+    (fun set_size ->
+      let cell structure frequency =
+        run_structured ~structure ~set_size ~frequency ~total_txns:total
+      in
+      Printf.printf "%8d %16.2f %16.2f %16.2f %16.2f\n%!" set_size
+        (cell `Spoke_hub 10) (cell `Spoke_hub 50)
+        (cell `Cycle 10) (cell `Cycle 50))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+(* --- Ablations over the design choices of §4 --- *)
+
+let ablation_isolation () =
+  heading
+    "Ablation: isolation mechanisms (entangled workload, 100 connections)\n\
+     time + anomaly exposure per isolation level; one partner in twenty\n\
+     rolls back after coordinating";
+  let n = max 200 (txns_total / 5) in
+  Printf.printf "%22s %12s %10s   %s\n" "isolation" "time (s)" "commits" "anomalies observed";
+  List.iter
+    (fun (name, isolation) ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections = 100;
+          isolation;
+          trigger = Scheduler.Every_arrivals 20;
+        }
+      in
+      let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+      let recorder = Ent_schedule.Recorder.create () in
+      Ent_txn.Engine.set_on_event (Manager.engine world.manager)
+        (Some (Ent_schedule.Recorder.on_engine_event recorder));
+      Scheduler.set_on_entangle (Manager.scheduler world.manager)
+        (Some
+           (fun ~event participants ->
+             Ent_schedule.Recorder.on_entangle recorder ~event participants));
+      let programs = Gen.batch world ~transactional:true Gen.Entangled ~n ~tag_base:0 in
+      let programs =
+        List.mapi
+          (fun i (p : Program.t) ->
+            if i mod 20 = 1 then
+              (* partner variant that rolls back after coordinating *)
+              let ast : Ent_sql.Ast.program =
+                { p.ast with
+                  body =
+                    List.filteri (fun j _ -> j < 2) p.ast.body
+                    @ [ Ent_sql.Ast.Rollback ] }
+              in
+              Program.make ~label:(p.label ^ "-abort") ast
+            else p)
+          programs
+      in
+      let ids = List.map (Manager.submit world.manager) programs in
+      Manager.drain world.manager;
+      let commits =
+        List.length
+          (List.filter
+             (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+             ids)
+      in
+      let history = Ent_schedule.Recorder.completed_history recorder in
+      let anomalies =
+        Format.asprintf "%a" Ent_schedule.Anomaly.pp_report
+          (Ent_schedule.Anomaly.report history)
+      in
+      Printf.printf "%22s %12.2f %10d   %s\n%!" name
+        (Manager.now world.manager) commits anomalies)
+    [ ("full", Isolation.full);
+      ("no-group-commit", Isolation.no_group_commit);
+      ("no-grounding-locks", Isolation.no_grounding_locks);
+      ("read-uncommitted", Isolation.read_uncommitted) ]
+
+let ablation_run_frequency () =
+  heading
+    "Ablation: run frequency on a fully-paired entangled workload\n\
+     (complements Figure 6(b): without pending transactions, higher\n\
+     frequency costs little)";
+  let n = max 200 (txns_total / 5) in
+  Printf.printf "%8s %12s %8s\n" "f" "time (s)" "runs";
+  List.iter
+    (fun frequency ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections = 100;
+          trigger = Scheduler.Every_arrivals frequency;
+        }
+      in
+      let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+      let ids =
+        List.map (Manager.submit world.manager)
+          (Gen.batch world ~transactional:true Gen.Entangled ~n ~tag_base:0)
+      in
+      Manager.drain world.manager;
+      ignore ids;
+      let s = Manager.stats world.manager in
+      Printf.printf "%8d %12.2f %8d\n%!" frequency
+        (Manager.now world.manager) s.runs)
+    [ 1; 2; 5; 10; 20; 50 ]
+
+let ablation_coordination_search () =
+  heading
+    "Ablation: coordination search cost vs number of concurrent pairs\n\
+     (wall-clock microseconds per Coordinate.evaluate call)";
+  let cat = Ent_storage.Catalog.create () in
+  let flights =
+    Ent_storage.Catalog.create_table cat "Flights"
+      (Ent_storage.Schema.make
+         [ { name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ])
+  in
+  for i = 1 to 10 do
+    ignore
+      (Ent_storage.Table.insert flights
+         [| Ent_storage.Value.Int i; Ent_storage.Value.Str "LA" |])
+  done;
+  let access = Ent_sql.Eval.direct_access cat in
+  let env = Ent_sql.Eval.fresh_env () in
+  let query me partner =
+    let src =
+      Printf.sprintf
+        "SELECT '%s', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+         Flights WHERE dest='LA') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+        me partner
+    in
+    match Ent_sql.Parser.parse_stmt src with
+    | Ent_sql.Ast.Entangled e -> Ent_entangle.Translate.of_ast ~env e
+    | _ -> assert false
+  in
+  Printf.printf "%8s %16s\n" "pairs" "us per call";
+  List.iter
+    (fun pairs ->
+      let entries =
+        List.concat
+          (List.init pairs (fun k ->
+               let a = Printf.sprintf "u%da" k and b = Printf.sprintf "u%db" k in
+               let qa = query a b and qb = query b a in
+               [ (2 * k, qa, Ent_entangle.Ground.compute ~access ~env qa);
+                 ((2 * k) + 1, qb, Ent_entangle.Ground.compute ~access ~env qb) ]))
+      in
+      let t0 = Unix.gettimeofday () in
+      let iters = 50 in
+      for _ = 1 to iters do
+        ignore (Ent_entangle.Coordinate.evaluate entries)
+      done;
+      let t1 = Unix.gettimeofday () in
+      Printf.printf "%8d %16.1f\n%!" pairs
+        (1e6 *. (t1 -. t0) /. float_of_int iters))
+    [ 1; 5; 10; 25; 50; 100 ]
+
+let ablation_evaluation_strategy () =
+  heading
+    "Ablation: entangled query evaluation strategy\n\
+     goal-driven search (Coordinate) vs combined-query compilation [6]\n\
+     (same declarative semantics; wall-clock differs)";
+  let n = max 200 (txns_total / 5) in
+  Printf.printf "%12s %14s %14s %10s\n" "strategy" "sim time (s)"
+    "wall clock (s)" "commits";
+  List.iter
+    (fun (name, evaluation) ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections = 100;
+          trigger = Scheduler.Every_arrivals 20;
+          evaluation;
+        }
+      in
+      let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+      let t0 = Unix.gettimeofday () in
+      let ids =
+        List.map (Manager.submit world.manager)
+          (Gen.batch world ~transactional:true Gen.Entangled ~n ~tag_base:0)
+      in
+      Manager.drain world.manager;
+      let wall = Unix.gettimeofday () -. t0 in
+      let commits =
+        List.length
+          (List.filter
+             (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+             ids)
+      in
+      Printf.printf "%12s %14.2f %14.3f %10d\n%!" name
+        (Manager.now world.manager) wall commits)
+    [ ("search", Scheduler.Search); ("combined", Scheduler.Combined) ]
+
+(* --- bechamel microbenches --- *)
+
+let microbenches () =
+  heading "Microbenches (bechamel, wall-clock per operation)";
+  let open Bechamel in
+  let open Toolkit in
+  let mickey_src =
+    "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+     SELECT 'Mickey', fno AS @fno INTO ANSWER R\n\
+     WHERE (fno) IN (SELECT fno FROM Flights WHERE dest='LA')\n\
+     AND ('Minnie', fno) IN ANSWER R CHOOSE 1;\n\
+     INSERT INTO Bookings VALUES ('Mickey', @fno);\n\
+     COMMIT;"
+  in
+  let ground_fixture () =
+    let cat = Ent_storage.Catalog.create () in
+    let flights =
+      Ent_storage.Catalog.create_table cat "Flights"
+        (Ent_storage.Schema.make
+           [ { name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ])
+    in
+    for i = 1 to 50 do
+      ignore
+        (Ent_storage.Table.insert flights
+           [| Ent_storage.Value.Int i; Ent_storage.Value.Str "LA" |])
+    done;
+    let env = Ent_sql.Eval.fresh_env () in
+    let query =
+      match
+        Ent_sql.Parser.parse_stmt
+          "SELECT 'M', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+           Flights WHERE dest='LA') AND ('N', fno) IN ANSWER R CHOOSE 1"
+      with
+      | Ent_sql.Ast.Entangled e -> Ent_entangle.Translate.of_ast ~env e
+      | _ -> assert false
+    in
+    (Ent_sql.Eval.direct_access cat, env, query)
+  in
+  let access, genv, gquery = ground_fixture () in
+  let lock_bench () =
+    let lm = Ent_txn.Lock.create () in
+    for txn = 1 to 20 do
+      ignore (Ent_txn.Lock.request lm ~txn (Ent_txn.Lock.Table "T") S);
+      ignore (Ent_txn.Lock.request lm ~txn (Ent_txn.Lock.Row ("T", txn)) X)
+    done;
+    for txn = 1 to 20 do
+      ignore (Ent_txn.Lock.release_all lm ~txn)
+    done
+  in
+  let wal_bench () =
+    let wal = Ent_txn.Wal.create () in
+    for txn = 1 to 20 do
+      ignore (Ent_txn.Wal.append wal (Ent_txn.Wal.Begin txn));
+      ignore
+        (Ent_txn.Wal.append wal
+           (Ent_txn.Wal.Write
+              { txn; table = "T"; row = txn; before = None;
+                after = Some [| Ent_storage.Value.Int txn |] }));
+      ignore (Ent_txn.Wal.append wal (Ent_txn.Wal.Commit txn))
+    done
+  in
+  let fig6a_cell () =
+    ignore
+      (run_workload ~connections:10 ~frequency:20 ~transactional:true
+         Gen.Entangled ~n:100)
+  in
+  let fig6b_cell () = ignore (run_pending ~p:10 ~frequency:10 ~n:100) in
+  let fig6c_cell () =
+    ignore (run_structured ~structure:`Cycle ~set_size:5 ~frequency:10 ~total_txns:50)
+  in
+  let tests =
+    Test.make_grouped ~name:"youtopia"
+      [ Test.make ~name:"parse-entangled-txn"
+          (Staged.stage (fun () -> ignore (Ent_sql.Parser.parse_program mickey_src)));
+        Test.make ~name:"ground-50-flights"
+          (Staged.stage (fun () ->
+               ignore (Ent_entangle.Ground.compute ~access ~env:genv gquery)));
+        Test.make ~name:"lock-20txn-cycle" (Staged.stage lock_bench);
+        Test.make ~name:"wal-60-records" (Staged.stage wal_bench);
+        Test.make ~name:"fig6a-cell-100txn" (Staged.stage fig6a_cell);
+        Test.make ~name:"fig6b-cell-100txn" (Staged.stage fig6b_cell);
+        Test.make ~name:"fig6c-cell-50txn" (Staged.stage fig6c_cell) ]
+  in
+  let benchmark () =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] tests
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = analyze (benchmark ()) in
+  Printf.printf "%-40s %16s\n" "benchmark" "ns per run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let ns =
+           match Bechamel.Analyze.OLS.estimates ols with
+           | Some (x :: _) -> x
+           | _ -> nan
+         in
+         Printf.printf "%-40s %16.1f\n%!" name ns)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let run name f =
+    match which with
+    | None -> f ()
+    | Some w when w = name -> f ()
+    | Some _ -> ()
+  in
+  Printf.printf "entangled-transactions benchmark harness (BENCH_TXNS=%d)\n"
+    txns_total;
+  run "fig6a" fig6a;
+  run "fig6b" fig6b;
+  run "fig6c" fig6c;
+  run "ablation-isolation" ablation_isolation;
+  run "ablation-frequency" ablation_run_frequency;
+  run "ablation-search" ablation_coordination_search;
+  run "ablation-strategy" ablation_evaluation_strategy;
+  run "micro" microbenches

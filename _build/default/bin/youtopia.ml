@@ -1,0 +1,259 @@
+(* youtopia — run scripts of classical and entangled transactions.
+
+   A script is a sequence of top-level statements (DDL and bootstrap
+   DML, executed immediately) and BEGIN TRANSACTION ... COMMIT blocks
+   (submitted to the entangled transaction scheduler). After the pool
+   drains, outcomes, statistics and requested tables are printed.
+
+     dune exec bin/youtopia.exe -- run script.sql --show Bookings
+*)
+
+open Ent_core
+
+let isolation_of_string = function
+  | "full" -> Ok Isolation.full
+  | "no-group-commit" -> Ok Isolation.no_group_commit
+  | "no-grounding-locks" -> Ok Isolation.no_grounding_locks
+  | "read-uncommitted" -> Ok Isolation.read_uncommitted
+  | s -> Error (`Msg (Printf.sprintf "unknown isolation level %S" s))
+
+let run_script path connections frequency isolation_name show_tables verbose =
+  match isolation_of_string isolation_name with
+  | Error (`Msg msg) ->
+    prerr_endline msg;
+    2
+  | Ok isolation -> (
+    let input =
+      match path with
+      | Some p ->
+        let ic = open_in p in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    match Ent_sql.Parser.parse_script input with
+    | exception Ent_sql.Parser.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+    | exception Ent_sql.Lexer.Lex_error msg ->
+      Printf.eprintf "lex error: %s\n" msg;
+      2
+    | items ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections;
+          trigger = Scheduler.Every_arrivals frequency;
+          isolation;
+        }
+      in
+      let m = Manager.create ~config () in
+      let access = Ent_sql.Eval.direct_access (Manager.catalog m) in
+      let env = Ent_sql.Eval.fresh_env () in
+      let submitted = ref [] in
+      let count = ref 0 in
+      List.iter
+        (fun item ->
+          match item with
+          | Ent_sql.Parser.Stmt stmt ->
+            ignore (Ent_sql.Eval.exec_stmt access env stmt)
+          | Ent_sql.Parser.Program ast ->
+            incr count;
+            let label = Printf.sprintf "txn-%d" !count in
+            let id = Manager.submit m (Program.make ~label ast) in
+            submitted := (id, label) :: !submitted)
+        items;
+      Manager.drain m;
+      let pending = Scheduler.dormant (Manager.scheduler m) in
+      List.iter
+        (fun (id, label) ->
+          let outcome =
+            match Manager.outcome m id with
+            | Some Scheduler.Committed -> "committed"
+            | Some Scheduler.Timed_out -> "timed out"
+            | Some Scheduler.Rolled_back -> "rolled back"
+            | Some (Scheduler.Errored e) -> "error: " ^ e
+            | None ->
+              if List.mem id pending then "waiting for a partner" else "pending"
+          in
+          Printf.printf "%-8s %s\n" label outcome;
+          if verbose then
+            List.iter
+              (fun (rel, values) ->
+                Printf.printf "         answer %s(%s)\n" rel
+                  (String.concat ", "
+                     (List.map Ent_storage.Value.to_string values)))
+              (Manager.answers_of m id))
+        (List.rev !submitted);
+      let s = Manager.stats m in
+      Printf.printf
+        "-- runs: %d, commits: %d, entanglements: %d, repooled: %d, \
+         timeouts: %d, simulated time: %.3f ms\n"
+        s.runs s.commits s.entangle_events s.repooled s.timeouts
+        (1000.0 *. Manager.now m);
+      List.iter
+        (fun table ->
+          Printf.printf "-- table %s:\n" table;
+          match Ent_storage.Catalog.find (Manager.catalog m) table with
+          | None -> Printf.printf "   (unknown table)\n"
+          | Some t ->
+            Ent_storage.Table.iter
+              (fun _ row ->
+                Printf.printf "   (%s)\n"
+                  (String.concat ", "
+                     (List.map Ent_storage.Value.to_string
+                        (Ent_storage.Tuple.to_list row))))
+              t)
+        show_tables;
+      0)
+
+(* --- interactive mode ---
+
+   Lines of the form "name> statement" drive per-user sessions against
+   one Interactive hub; "name> poll", "name> commit" and "name> cancel"
+   are session commands. Lines without a "name>" prefix are bootstrap
+   DDL/DML executed directly. "#" starts a comment. *)
+
+let repl path isolation_name =
+  match isolation_of_string isolation_name with
+  | Error (`Msg msg) ->
+    prerr_endline msg;
+    2
+  | Ok isolation ->
+    let input =
+      match path with
+      | Some p ->
+        let ic = open_in p in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    let catalog = Ent_storage.Catalog.create () in
+    let engine = Ent_txn.Engine.create ~wal:true catalog in
+    let hub = Interactive.create_hub ~isolation engine in
+    let sessions : (string, Interactive.session) Hashtbl.t = Hashtbl.create 8 in
+    let session_of name =
+      match Hashtbl.find_opt sessions name with
+      | Some s -> s
+      | None ->
+        let s = Interactive.start hub in
+        Hashtbl.replace sessions name s;
+        s
+    in
+    let access = Ent_sql.Eval.direct_access catalog in
+    let boot_env = Ent_sql.Eval.fresh_env () in
+    let describe = function
+      | Interactive.Rows rows ->
+        Printf.sprintf "%d row(s)%s" (List.length rows)
+          (String.concat ""
+             (List.map
+                (fun row ->
+                  "\n    ("
+                  ^ String.concat ", "
+                      (List.map Ent_storage.Value.to_string (Array.to_list row))
+                  ^ ")")
+                rows))
+      | Interactive.Affected n -> Printf.sprintf "ok (%d row)" n
+      | Interactive.Answered atoms ->
+        "answered"
+        ^ String.concat ""
+            (List.map
+               (fun (rel, values) ->
+                 Printf.sprintf " %s(%s)" rel
+                   (String.concat ", "
+                      (List.map Ent_storage.Value.to_string values)))
+               atoms)
+      | Interactive.Parked -> "waiting for a partner"
+      | Interactive.Committed -> "committed"
+      | Interactive.Commit_pending -> "waiting for partners to commit"
+      | Interactive.Blocked -> "blocked on a lock (poll to retry)"
+      | Interactive.Aborted reason -> "aborted: " ^ reason
+    in
+    let handle_line line =
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.index_opt line '>' with
+        | Some i
+          when i > 0
+               && String.for_all
+                    (fun c ->
+                      (c >= 'a' && c <= 'z')
+                      || (c >= 'A' && c <= 'Z')
+                      || (c >= '0' && c <= '9')
+                      || c = '_')
+                    (String.sub line 0 i) ->
+          let name = String.sub line 0 i in
+          let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          let s = session_of name in
+          let reply =
+            match String.lowercase_ascii rest with
+            | "poll" -> Interactive.poll s
+            | "commit" -> Interactive.commit s
+            | "cancel" ->
+              Interactive.cancel s;
+              Interactive.poll s
+            | _ -> (
+              try Interactive.execute s rest
+              with Invalid_argument msg -> Interactive.Aborted msg)
+          in
+          Printf.printf "%-8s %s\n%!" name (describe reply)
+        | _ -> (
+          match
+            Ent_sql.Eval.exec_stmt access boot_env (Ent_sql.Parser.parse_stmt line)
+          with
+          | Ent_sql.Eval.Rows rows -> Printf.printf "boot     %d row(s)\n%!" (List.length rows)
+          | Ent_sql.Eval.Affected _ | Ent_sql.Eval.Created -> Printf.printf "boot     ok\n%!"
+          | exception Ent_sql.Parser.Parse_error msg ->
+            Printf.printf "boot     parse error: %s\n%!" msg
+          | exception Ent_sql.Eval.Eval_error msg ->
+            Printf.printf "boot     error: %s\n%!" msg)
+    in
+    List.iter handle_line (String.split_on_char '\n' input);
+    0
+
+open Cmdliner
+
+let path =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SCRIPT"
+         ~doc:"Script file (reads standard input when omitted).")
+
+let connections =
+  Arg.(value & opt int 100 & info [ "connections"; "c" ]
+         ~doc:"Concurrent connections of the simulated DBMS.")
+
+let frequency =
+  Arg.(value & opt int 1 & info [ "frequency"; "f" ]
+         ~doc:"Run frequency: start a run after this many arrivals.")
+
+let isolation =
+  Arg.(value & opt string "full" & info [ "isolation" ]
+         ~doc:"Isolation level: full, no-group-commit, no-grounding-locks, read-uncommitted.")
+
+let show =
+  Arg.(value & opt_all string [] & info [ "show" ]
+         ~doc:"Print this table after the script finishes (repeatable).")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print answer tuples.")
+
+let run_cmd =
+  let doc = "execute a script of classical and entangled transactions" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_script $ path $ connections $ frequency $ isolation $ show $ verbose)
+
+let repl_cmd =
+  let doc =
+    "drive interactive sessions from a script of 'name> statement' lines"
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl $ path $ isolation)
+
+let main =
+  let doc = "the Youtopia entangled transaction manager" in
+  Cmd.group (Cmd.info "youtopia" ~version:"1.0.0" ~doc) [ run_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/charity_matching.ml: Array Ent_core Ent_storage List Manager Printf Scheduler Schema String Value

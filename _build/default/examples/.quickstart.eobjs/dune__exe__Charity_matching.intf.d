@@ -1,0 +1,1 @@
+examples/charity_matching.mli:

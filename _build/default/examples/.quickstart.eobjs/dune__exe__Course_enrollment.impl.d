@@ -1,0 +1,1 @@
+examples/course_enrollment.ml: Array Ent_core Ent_storage List Manager Printf Scheduler Schema Value

@@ -1,0 +1,1 @@
+examples/interactive_trading.ml: Array Catalog Ent_core Ent_sql Ent_storage Ent_txn Interactive List Printf Schema String Value

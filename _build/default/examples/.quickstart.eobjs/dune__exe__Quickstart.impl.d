@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ent_core Ent_storage List Manager Printf Scheduler Schema String Value

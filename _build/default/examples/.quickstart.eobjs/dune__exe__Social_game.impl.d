@@ -1,0 +1,1 @@
+examples/social_game.ml: Array Ent_core Ent_storage List Manager Printf Scheduler Schema Value

@@ -1,0 +1,1 @@
+examples/travel_planning.ml: Array Ent_core Ent_storage List Manager Printf Scheduler Schema Value

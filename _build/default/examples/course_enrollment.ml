@@ -1,0 +1,85 @@
+(* Course enrollment (the paper cites CourseRank-style social course
+   planning as a coordination domain): friends want to enroll in the
+   same section of a course, subject to individual schedule
+   constraints, and seats are limited.
+
+   Alice is free only in the morning; Ben avoids Friday sections; the
+   entangled queries find the section satisfying everyone, and the
+   enrollment updates seat counts transactionally. A second pair then
+   tries to coordinate on the last remaining seat pair — and succeeds
+   in a different section because coordination checks capacity in the
+   grounding.
+
+   Run with: dune exec examples/course_enrollment.exe *)
+
+open Ent_storage
+open Ent_core
+
+let enroll_program me partner course constraint_sql =
+  Printf.sprintf
+    "BEGIN TRANSACTION WITH TIMEOUT 1 DAYS;\n\
+     SELECT '%s', sec AS @sec INTO ANSWER Enroll\n\
+     WHERE (sec) IN (SELECT section FROM Sections\n\
+    \                WHERE course='%s' AND seats >= 2%s)\n\
+     AND ('%s', sec) IN ANSWER Enroll\n\
+     CHOOSE 1;\n\
+     UPDATE Sections SET seats = seats - 1 WHERE section = @sec;\n\
+     INSERT INTO Enrolled VALUES ('%s', @sec);\n\
+     COMMIT;"
+    me course constraint_sql partner me
+
+let () =
+  let m = Manager.create () in
+  Manager.define_table m "Sections"
+    [ ("course", Schema.T_str);
+      ("section", Schema.T_int);
+      ("slot", Schema.T_str);
+      ("day", Schema.T_str);
+      ("seats", Schema.T_int) ];
+  Manager.define_table m "Enrolled"
+    [ ("student", Schema.T_str); ("section", Schema.T_int) ];
+  List.iter
+    (fun (sec, slot, day, seats) ->
+      Manager.load_row m "Sections"
+        [ Str "CS4320"; Int sec; Str slot; Str day; Int seats ])
+    [ (1, "morning", "Mon", 2); (2, "afternoon", "Wed", 30); (3, "morning", "Fri", 30) ];
+
+  (* Alice: mornings only. Ben: not Friday. Only section 1 fits both. *)
+  let alice =
+    Manager.submit_string m
+      (enroll_program "alice" "ben" "CS4320" " AND slot='morning'")
+  in
+  let ben =
+    Manager.submit_string m
+      (enroll_program "ben" "alice" "CS4320" " AND NOT day='Fri'")
+  in
+  Manager.drain m;
+
+  (* Section 1 is now full (2 seats taken): the next pair with the same
+     constraints cannot use it; Carol is flexible, Dan avoids Friday, so
+     they land in section 2. *)
+  let carol = Manager.submit_string m (enroll_program "carol" "dan" "CS4320" "") in
+  let dan =
+    Manager.submit_string m (enroll_program "dan" "carol" "CS4320" " AND NOT day='Fri'")
+  in
+  Manager.drain m;
+
+  List.iter
+    (fun (name, id) ->
+      match Manager.outcome m id with
+      | Some Scheduler.Committed -> Printf.printf "%-6s enrolled\n" name
+      | _ -> Printf.printf "%-6s NOT enrolled\n" name)
+    [ ("alice", alice); ("ben", ben); ("carol", carol); ("dan", dan) ];
+
+  print_endline "\nEnrollments:";
+  List.iter
+    (fun row ->
+      Printf.printf "   %-6s section %s\n" (Value.to_string row.(0))
+        (Value.to_string row.(1)))
+    (Manager.query m "SELECT student, section FROM Enrolled ORDER BY section");
+  print_endline "Remaining seats:";
+  List.iter
+    (fun row ->
+      Printf.printf "   section %s: %s seat(s)\n" (Value.to_string row.(0))
+        (Value.to_string row.(1)))
+    (Manager.query m "SELECT section, seats FROM Sections ORDER BY section")

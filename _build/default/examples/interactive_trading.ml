@@ -1,0 +1,95 @@
+(* Interactive entangled transactions (the §4 "Interactivity" model,
+   suited to social games): players come online one at a time, type
+   statements, and wait at entangled queries until a partner shows up.
+
+   Pat wants to trade a resource with Quinn: each gives one item iff
+   the other gives one back at an agreed price. Pat arrives first and
+   parks; Quinn arrives later and the trade clears online. Meanwhile
+   Riley parks a trade request nobody answers, gets bored, and cancels.
+
+   Run with: dune exec examples/interactive_trading.exe *)
+
+open Ent_storage
+open Ent_core
+
+let trade_query me partner =
+  Printf.sprintf
+    "SELECT '%s', price AS @price INTO ANSWER Trade\n\
+     WHERE (price) IN (SELECT price FROM Offers WHERE player='%s')\n\
+     AND ('%s', price) IN ANSWER Trade\n\
+     CHOOSE 1"
+    me me partner
+
+let show who reply =
+  (match reply with
+  | Interactive.Rows rows ->
+    Printf.printf "%-6s rows: %d\n" who (List.length rows)
+  | Interactive.Affected n -> Printf.printf "%-6s ok (%d row)\n" who n
+  | Interactive.Answered atoms ->
+    Printf.printf "%-6s matched! answers:" who;
+    List.iter
+      (fun (rel, values) ->
+        Printf.printf " %s(%s)" rel
+          (String.concat ", " (List.map Value.to_string values)))
+      atoms;
+    print_newline ()
+  | Interactive.Parked -> Printf.printf "%-6s waiting for a partner...\n" who
+  | Interactive.Committed -> Printf.printf "%-6s committed\n" who
+  | Interactive.Commit_pending -> Printf.printf "%-6s waiting for partner's commit\n" who
+  | Interactive.Blocked -> Printf.printf "%-6s blocked on a lock\n" who
+  | Interactive.Aborted reason -> Printf.printf "%-6s aborted (%s)\n" who reason);
+  reply
+
+let () =
+  let catalog = Catalog.create () in
+  let engine = Ent_txn.Engine.create ~wal:true catalog in
+  ignore
+    (Ent_txn.Engine.create_table engine "Offers"
+       (Schema.make [ { name = "player"; ty = T_str }; { name = "price"; ty = T_int } ]));
+  ignore
+    (Ent_txn.Engine.create_table engine "Trades"
+       (Schema.make [ { name = "player"; ty = T_str }; { name = "price"; ty = T_int } ]));
+  (* acceptable prices per player: they overlap at 30 *)
+  List.iter
+    (fun (p, price) ->
+      ignore (Ent_txn.Engine.load engine "Offers" [| Value.Str p; Value.Int price |]))
+    [ ("pat", 25); ("pat", 30); ("quinn", 30); ("quinn", 35); ("riley", 99) ];
+  let hub = Interactive.create_hub engine in
+
+  print_endline "-- Pat comes online and asks to trade with Quinn:";
+  let pat = Interactive.start hub in
+  ignore (show "pat" (Interactive.execute pat (trade_query "pat" "quinn")));
+
+  print_endline "-- Riley asks to trade with someone who never shows up:";
+  let riley = Interactive.start hub in
+  ignore (show "riley" (Interactive.execute riley (trade_query "riley" "sam")));
+
+  print_endline "-- Quinn comes online; the trade clears at the common price:";
+  let quinn = Interactive.start hub in
+  ignore (show "quinn" (Interactive.execute quinn (trade_query "quinn" "pat")));
+  ignore (show "pat" (Interactive.poll pat));
+
+  print_endline "-- both record the trade and commit (group commit):";
+  ignore (Interactive.execute pat "INSERT INTO Trades VALUES ('pat', @price)");
+  ignore (Interactive.execute quinn "INSERT INTO Trades VALUES ('quinn', @price)");
+  ignore (show "pat" (Interactive.commit pat));
+  ignore (show "quinn" (Interactive.commit quinn));
+  ignore (show "pat" (Interactive.poll pat));
+
+  print_endline "-- Riley gives up:";
+  Interactive.cancel riley;
+  ignore (show "riley" (Interactive.poll riley));
+
+  print_endline "\nTrades table:";
+  let access = Ent_sql.Eval.direct_access catalog in
+  (match
+     Ent_sql.Eval.exec_stmt access (Ent_sql.Eval.fresh_env ())
+       (Ent_sql.Parser.parse_stmt "SELECT player, price FROM Trades")
+   with
+  | Ent_sql.Eval.Rows rows ->
+    List.iter
+      (fun row ->
+        Printf.printf "   %-6s at price %s\n" (Value.to_string row.(0))
+          (Value.to_string row.(1)))
+      rows
+  | _ -> ())

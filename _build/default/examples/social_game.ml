@@ -1,0 +1,87 @@
+(* Social game: Farmville-style collaborative gameplay (one of the
+   paper's motivating domains, §1).
+
+   Four players build a communal barn. Each contributes one resource,
+   but only if the whole circle agrees on the SAME resource type —
+   player i pledges "I chip in resource r if my left neighbour does
+   too". That is a cyclic entanglement structure: the choice must go
+   all the way around, and the only resource every player owns is wood,
+   so coordination must discover it. A fifth player tries to join a
+   different circle that doesn't exist and times out.
+
+   Run with: dune exec examples/social_game.exe *)
+
+open Ent_storage
+open Ent_core
+
+let players = [| "alice"; "bob"; "carol"; "dave" |]
+
+let pledge me neighbour =
+  Printf.sprintf
+    "BEGIN TRANSACTION WITH TIMEOUT 1 HOURS;\n\
+     SELECT '%s', res AS @resource INTO ANSWER Barn\n\
+     WHERE (res) IN (SELECT resource FROM Inventory WHERE player='%s')\n\
+     AND ('%s', res) IN ANSWER Barn\n\
+     CHOOSE 1;\n\
+     DELETE FROM Inventory WHERE player='%s' AND resource=@resource;\n\
+     INSERT INTO Barn_contributions VALUES ('%s', @resource);\n\
+     COMMIT;"
+    me me neighbour me me
+
+let () =
+  let m = Manager.create () in
+  Manager.define_table m "Inventory"
+    [ ("player", Schema.T_str); ("resource", Schema.T_str) ];
+  Manager.define_table m "Barn_contributions"
+    [ ("player", Schema.T_str); ("resource", Schema.T_str) ];
+  (* Everyone owns wood; the rest of the inventories diverge. *)
+  List.iter
+    (fun (p, r) -> Manager.load_row m "Inventory" [ Str p; Str r ])
+    [ ("alice", "stone"); ("alice", "wood");
+      ("bob", "wood"); ("bob", "wheat");
+      ("carol", "bricks"); ("carol", "wood");
+      ("dave", "wood"); ("dave", "stone") ];
+
+  let ids =
+    Array.to_list
+      (Array.mapi
+         (fun i me ->
+           let neighbour = players.((i + Array.length players - 1) mod Array.length players) in
+           (me, Manager.submit_string m ~label:me (pledge me neighbour)))
+         players)
+  in
+  let loner =
+    Manager.submit_string m ~label:"eve"
+      "BEGIN TRANSACTION WITH TIMEOUT 0 SECONDS;\n\
+       SELECT 'eve', res AS @resource INTO ANSWER Greenhouse\n\
+       WHERE (res) IN (SELECT resource FROM Inventory WHERE player='eve')\n\
+       AND ('mallory', res) IN ANSWER Greenhouse\n\
+       CHOOSE 1;\n\
+       INSERT INTO Barn_contributions VALUES ('eve', @resource);\n\
+       COMMIT;"
+  in
+  Manager.drain m;
+
+  List.iter
+    (fun (name, id) ->
+      match Manager.outcome m id with
+      | Some Scheduler.Committed -> Printf.printf "%-6s contributed\n" name
+      | _ -> Printf.printf "%-6s failed to contribute\n" name)
+    ids;
+  (match Manager.outcome m loner with
+  | Some Scheduler.Timed_out ->
+    print_endline "eve    timed out (her circle never formed)"
+  | _ -> print_endline "eve    unexpected outcome");
+
+  print_endline "\nBarn contributions (everyone agreed on one resource):";
+  List.iter
+    (fun row ->
+      Printf.printf "   %-6s -> %s\n"
+        (Value.to_string row.(0)) (Value.to_string row.(1)))
+    (Manager.query m "SELECT player, resource FROM Barn_contributions");
+  print_endline "\nRemaining inventory:";
+  List.iter
+    (fun row ->
+      Printf.printf "   %-6s %s\n"
+        (Value.to_string row.(0)) (Value.to_string row.(1)))
+    (Manager.query m "SELECT player, resource FROM Inventory")

@@ -1,0 +1,110 @@
+(* Travel planning: the Figure 2 / Figure 4 scenario.
+
+   Mickey and Minnie coordinate on a flight AND a hotel — the hotel
+   stay length depends on the arrival date chosen by the flight query,
+   so the transaction needs two entangled queries with host-variable
+   data flow between them. Donald, meanwhile, wants to coordinate with
+   Daffy, who never shows up: his transaction cycles through the
+   dormant pool and finally times out.
+
+   Run with: dune exec examples/travel_planning.exe *)
+
+open Ent_storage
+open Ent_core
+
+let date y m d = Value.date_of_ymd ~y ~m ~d
+
+let travel_transaction me partner =
+  Printf.sprintf
+    "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+     SELECT '%s', fno AS @fno, fdate AS @ArrivalDay INTO ANSWER FlightRes\n\
+     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+     AND ('%s', fno, fdate) IN ANSWER FlightRes\n\
+     CHOOSE 1;\n\
+     INSERT INTO Tickets VALUES ('%s', @fno);\n\
+     SET @StayLength = '2011-05-06' - @ArrivalDay;\n\
+     SELECT '%s', hid AS @hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes\n\
+     WHERE (hid) IN (SELECT hid FROM Hotels WHERE location='LA')\n\
+     AND ('%s', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes\n\
+     CHOOSE 1;\n\
+     INSERT INTO Rooms VALUES ('%s', @hid, @ArrivalDay, @StayLength);\n\
+     COMMIT;"
+    me partner me me partner me
+
+let () =
+  let config =
+    { Scheduler.default_config with trigger = Scheduler.Manual }
+  in
+  let m = Manager.create ~config () in
+  Manager.define_table m "Flights"
+    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
+  Manager.define_table m "Hotels"
+    [ ("hid", Schema.T_int); ("location", Schema.T_str) ];
+  Manager.define_table m "Tickets"
+    [ ("passenger", Schema.T_str); ("fno", Schema.T_int) ];
+  Manager.define_table m "Rooms"
+    [ ("guest", Schema.T_str);
+      ("hid", Schema.T_int);
+      ("arrival", Schema.T_date);
+      ("nights", Schema.T_int) ];
+  List.iter
+    (fun (fno, d) -> Manager.load_row m "Flights" [ Int fno; d; Str "LA" ])
+    [ (122, date 2011 5 3); (123, date 2011 5 4); (124, date 2011 5 3) ];
+  List.iter
+    (fun hid -> Manager.load_row m "Hotels" [ Int hid; Str "LA" ])
+    [ (7); (8) ];
+
+  let mickey = Manager.submit_string m ~label:"mickey" (travel_transaction "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m ~label:"minnie" (travel_transaction "Minnie" "Mickey") in
+  let donald =
+    Manager.submit_string m ~label:"donald"
+      ("BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+        SELECT 'Donald', fno AS @fno INTO ANSWER FlightRes2\n\
+        WHERE (fno) IN (SELECT fno FROM Flights WHERE dest='LA')\n\
+        AND ('Daffy', fno) IN ANSWER FlightRes2\n\
+        CHOOSE 1;\n\
+        INSERT INTO Tickets VALUES ('Donald', @fno);\n\
+        COMMIT;")
+  in
+
+  print_endline "=== run 1 (Figure 4) ===";
+  Manager.run_once m;
+  let describe id name =
+    match Manager.outcome m id with
+    | Some Scheduler.Committed -> Printf.printf "%-7s COMMITTED\n" name
+    | Some Scheduler.Timed_out -> Printf.printf "%-7s TIMED OUT\n" name
+    | Some Scheduler.Rolled_back -> Printf.printf "%-7s ROLLED BACK\n" name
+    | Some (Scheduler.Errored e) -> Printf.printf "%-7s ERROR: %s\n" name e
+    | None -> Printf.printf "%-7s waiting in the dormant pool\n" name
+  in
+  describe mickey "Mickey";
+  describe minnie "Minnie";
+  describe donald "Donald";
+
+  print_endline "\n=== later runs (Donald keeps retrying) ===";
+  Manager.drain m;
+  describe donald "Donald";
+
+  print_endline "\n=== two days pass; Daffy never arrives ===";
+  Manager.advance_time m (2.0 *. 86400.0);
+  Manager.drain m;
+  describe donald "Donald";
+
+  print_endline "\nTickets:";
+  List.iter
+    (fun row ->
+      Printf.printf "   %-7s flight %s\n"
+        (Value.to_string row.(0)) (Value.to_string row.(1)))
+    (Manager.query m "SELECT passenger, fno FROM Tickets");
+  print_endline "Rooms:";
+  List.iter
+    (fun row ->
+      Printf.printf "   %-7s hotel %s, arriving %s, %s night(s)\n"
+        (Value.to_string row.(0)) (Value.to_string row.(1))
+        (Value.to_string row.(2)) (Value.to_string row.(3)))
+    (Manager.query m "SELECT guest, hid, arrival, nights FROM Rooms");
+
+  let s = Manager.stats m in
+  Printf.printf
+    "\nruns: %d, coordination rounds: %d, entanglement events: %d, repooled: %d, timeouts: %d\n"
+    s.runs s.coordination_rounds s.entangle_events s.repooled s.timeouts

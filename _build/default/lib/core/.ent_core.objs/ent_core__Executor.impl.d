@@ -1,0 +1,1 @@
+lib/core/executor.ml: Coordinate Ent_entangle Ent_sim Ent_sql Ent_storage Ent_txn Format Hashtbl Ir Isolation List Option Program Translate Value

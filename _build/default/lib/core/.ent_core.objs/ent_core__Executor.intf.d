@@ -1,0 +1,1 @@
+lib/core/executor.mli: Coordinate Ent_entangle Ent_sim Ent_sql Ent_txn Format Ir Isolation Program

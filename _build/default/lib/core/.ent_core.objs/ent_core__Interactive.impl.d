@@ -1,0 +1,1 @@
+lib/core/interactive.ml: Coordinate Ent_entangle Ent_sql Ent_storage Ent_txn Ground Group Hashtbl Ir Isolation List Translate

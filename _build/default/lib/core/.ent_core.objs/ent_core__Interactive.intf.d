@@ -1,0 +1,1 @@
+lib/core/interactive.mli: Ent_entangle Ent_sql Ent_storage Ent_txn Ir Isolation

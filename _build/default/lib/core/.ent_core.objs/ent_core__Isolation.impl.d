@@ -1,0 +1,1 @@
+lib/core/isolation.ml: Format

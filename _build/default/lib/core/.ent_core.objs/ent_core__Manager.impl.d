@@ -1,0 +1,1 @@
+lib/core/manager.ml: Array Catalog Ent_sql Ent_storage Ent_txn List Program Scheduler Schema Table

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Catalog Ent_entangle Ent_storage Ent_txn Program Scheduler Schema Value

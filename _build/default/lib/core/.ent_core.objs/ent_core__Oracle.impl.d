@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Coordinate Ent_entangle Ent_sim Ent_txn Executor Ground Ir Isolation List Program

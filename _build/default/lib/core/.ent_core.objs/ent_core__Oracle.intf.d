@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Ent_entangle Ent_txn Ir Program

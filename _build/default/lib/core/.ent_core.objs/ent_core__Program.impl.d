@@ -1,0 +1,1 @@
+lib/core/program.ml: Ent_sql Format List Option String

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Combined Coordinate Ent_entangle Ent_sim Ent_txn Executor Ground Group Hashtbl Ir Isolation List Option Program

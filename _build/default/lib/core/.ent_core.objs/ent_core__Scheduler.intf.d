@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Ent_entangle Ent_sim Ent_txn Isolation Program

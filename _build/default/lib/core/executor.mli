@@ -1,0 +1,66 @@
+(** Statement-level execution of one entangled transaction.
+
+    A {!task} is the scheduler's unit of bookkeeping: a program plus
+    its execution state. Tasks survive aborts — a task returned to the
+    dormant pool restarts from its first statement under a fresh
+    transaction id (the paper's execution model restarts blocked
+    transactions in a later run). *)
+
+open Ent_entangle
+
+type failure =
+  | Deadlock  (** chosen as deadlock victim; retryable *)
+  | Explicit_rollback  (** the program executed ROLLBACK; final *)
+  | Program_error of string  (** unsafe query, type error...; final *)
+
+type status =
+  | Runnable
+  | Waiting_entangled  (** blocked at an entangled query, needs partners *)
+  | Waiting_lock
+  | Ready  (** all statements done, waiting to (group-)commit *)
+  | Failed of failure  (** engine transaction already aborted *)
+
+type task = {
+  task_id : int;
+  program : Program.t;
+  arrival : float;
+  deadline : float option;
+  mutable txn : int;  (** current engine transaction id; -1 when none *)
+  mutable pc : int;
+  mutable env : Ent_sql.Eval.env;
+  mutable status : status;
+  mutable pending : Ir.t option;  (** translated query when [Waiting_entangled] *)
+  mutable attempts : int;  (** how many runs have started this task *)
+  mutable work : float;  (** simulated seconds accumulated since last drained *)
+  mutable conn : int;  (** connection index, -1 when unassigned *)
+  mutable answers : Ir.ground_atom list;  (** answer tuples received, newest first *)
+}
+
+val make_task :
+  task_id:int -> arrival:float -> Program.t -> task
+
+(** [start engine costs task] begins a fresh engine transaction for the
+    task and marks it runnable. *)
+val start : Ent_txn.Engine.t -> Ent_sim.Cost.t -> task -> unit
+
+(** [step engine isolation costs task] executes statements until the
+    task blocks (lock or entangled query), finishes ([Ready]), or
+    fails. Simulated cost is accumulated into [task.work]. *)
+val step :
+  Ent_txn.Engine.t -> Isolation.t -> Ent_sim.Cost.t -> task -> unit
+
+(** Deliver the result of entangled-query evaluation.
+    [Answered g] binds the [AS @var] positions from the task's own
+    answer tuple and resumes; [Empty] resumes with [Null] bindings;
+    [No_partner] leaves the task waiting. *)
+val deliver :
+  Ent_txn.Engine.t -> Ent_sim.Cost.t -> task -> Coordinate.outcome -> unit
+
+(** Reset a task for re-execution in a later run (after its engine
+    transaction was aborted). *)
+val reset_for_retry : task -> unit
+
+(** True for failures that end the task rather than retrying it. *)
+val failure_is_final : failure -> bool
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,18 @@
+type t = {
+  lock_classical_reads : bool;
+  lock_grounding_reads : bool;
+  group_commit : bool;
+}
+
+let full =
+  { lock_classical_reads = true; lock_grounding_reads = true; group_commit = true }
+
+let no_group_commit = { full with group_commit = false }
+let no_grounding_locks = { full with lock_grounding_reads = false }
+
+let read_uncommitted =
+  { lock_classical_reads = false; lock_grounding_reads = false; group_commit = false }
+
+let pp ppf t =
+  Format.fprintf ppf "{classical-read-locks=%b; grounding-locks=%b; group-commit=%b}"
+    t.lock_classical_reads t.lock_grounding_reads t.group_commit

@@ -1,0 +1,42 @@
+type t = {
+  label : string;
+  ast : Ent_sql.Ast.program;
+  transactional : bool;
+}
+
+let make ?(label = "txn") ?(transactional = true) ast = { label; ast; transactional }
+
+let of_string ?(label = "txn") ?(transactional = true) input =
+  { label; ast = Ent_sql.Parser.parse_program input; transactional }
+
+let to_string t =
+  Format.asprintf "-- label: %s@\n-- transactional: %b@\n%a" t.label
+    t.transactional Ent_sql.Pretty.pp_program t.ast
+
+let header_value line prefix =
+  if String.length line > String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then Some (String.sub line (String.length prefix) (String.length line - String.length prefix))
+  else None
+
+let of_serialized input =
+  let lines = String.split_on_char '\n' input in
+  let label =
+    List.find_map (fun l -> header_value l "-- label: ") lines
+    |> Option.value ~default:"txn"
+  in
+  let transactional =
+    match List.find_map (fun l -> header_value l "-- transactional: ") lines with
+    | Some "false" -> false
+    | Some _ | None -> true
+  in
+  { label; ast = Ent_sql.Parser.parse_program input; transactional }
+
+let entangled_count t =
+  List.length
+    (List.filter
+       (fun (s : Ent_sql.Ast.stmt) ->
+         match s with
+         | Entangled _ -> true
+         | _ -> false)
+       t.ast.body)

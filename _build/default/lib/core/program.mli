@@ -1,0 +1,29 @@
+(** Entangled transaction programs: a labelled {!Ent_sql.Ast.program}
+    that can be serialized (for dormant-pool persistence) and parsed
+    back. *)
+
+type t = {
+  label : string;
+  ast : Ent_sql.Ast.program;
+  transactional : bool;
+      (** [false] models the paper's -Q workloads: the same code
+          without a transaction block, i.e. every statement commits by
+          itself (MySQL autocommit). Entangled queries still
+          coordinate, but atomicity, group commit and held locks only
+          span one statement. *)
+}
+
+val make : ?label:string -> ?transactional:bool -> Ent_sql.Ast.program -> t
+
+(** Parse a [BEGIN TRANSACTION ... COMMIT] block. *)
+val of_string : ?label:string -> ?transactional:bool -> string -> t
+
+(** Serialize to re-parseable SQL. The label is carried in a leading
+    comment. *)
+val to_string : t -> string
+
+(** Inverse of {!to_string} (label recovered from the comment). *)
+val of_serialized : string -> t
+
+(** Number of entangled queries in the program. *)
+val entangled_count : t -> int

@@ -1,0 +1,502 @@
+open Ent_entangle
+
+type trigger =
+  | Every_arrivals of int
+  | Every_seconds of float
+  | Manual
+
+type evaluation_strategy =
+  | Search
+  | Combined
+
+type config = {
+  isolation : Isolation.t;
+  connections : int;
+  costs : Ent_sim.Cost.t;
+  trigger : trigger;
+  snapshot_pool : bool;
+  evaluation : evaluation_strategy;
+}
+
+let default_config =
+  {
+    isolation = Isolation.full;
+    connections = 100;
+    costs = Ent_sim.Cost.default;
+    trigger = Every_arrivals 1;
+    snapshot_pool = false;
+    evaluation = Search;
+  }
+
+type outcome =
+  | Committed
+  | Timed_out
+  | Rolled_back
+  | Errored of string
+
+type stats = {
+  mutable runs : int;
+  mutable commits : int;
+  mutable repooled : int;
+  mutable timeouts : int;
+  mutable entangle_events : int;
+  mutable deadlocks : int;
+  mutable coordination_rounds : int;
+}
+
+type t = {
+  engine : Ent_txn.Engine.t;
+  config : config;
+  pool : Ent_sim.Pool.t;
+  groups : Group.t;
+  mutable dormant : Executor.task list;  (* oldest first *)
+  mutable arrivals_since_run : int;
+  mutable next_task : int;
+  mutable next_event : int;
+  outcomes : (int, outcome) Hashtbl.t;
+  mutable result_order : int list;  (* task ids, newest first *)
+  task_index : (int, Executor.task) Hashtbl.t;
+  stats : stats;
+  mutable on_entangle : (event:int -> (int * string list) list -> unit) option;
+  mutable next_conn : int;
+  mutable last_run_end : float;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    config;
+    pool = Ent_sim.Pool.create ~connections:config.connections;
+    groups = Group.create ();
+    dormant = [];
+    arrivals_since_run = 0;
+    next_task = 1;
+    next_event = 1;
+    outcomes = Hashtbl.create 64;
+    result_order = [];
+    task_index = Hashtbl.create 64;
+    stats =
+      {
+        runs = 0;
+        commits = 0;
+        repooled = 0;
+        timeouts = 0;
+        entangle_events = 0;
+        deadlocks = 0;
+        coordination_rounds = 0;
+      };
+    on_entangle = None;
+    next_conn = 0;
+    last_run_end = 0.0;
+  }
+
+let engine t = t.engine
+let config t = t.config
+let set_on_entangle t f = t.on_entangle <- f
+let now t = Ent_sim.Pool.now t.pool
+let connection_loads t = Ent_sim.Pool.loads t.pool
+let advance_time t seconds = Ent_sim.Pool.advance_to t.pool (now t +. seconds)
+let stats t = t.stats
+let outcome t task_id = Hashtbl.find_opt t.outcomes task_id
+
+let results t =
+  List.rev_map
+    (fun id -> (id, Hashtbl.find t.outcomes id))
+    t.result_order
+
+let dormant t = List.map (fun (task : Executor.task) -> task.task_id) t.dormant
+
+let dormant_programs t =
+  List.map (fun (task : Executor.task) -> task.program) t.dormant
+
+let answers_of t task_id =
+  match Hashtbl.find_opt t.task_index task_id with
+  | Some task -> task.answers
+  | None -> []
+
+let finalize t (task : Executor.task) outcome =
+  Hashtbl.replace t.outcomes task.task_id outcome;
+  t.result_order <- task.task_id :: t.result_order
+
+let drain_work t (task : Executor.task) =
+  if task.work > 0.0 then begin
+    Ent_sim.Pool.add_work t.pool task.conn task.work;
+    task.work <- 0.0
+  end
+
+(* --- entanglement components ---
+
+   After coordination, the answered queries decompose into connected
+   components: q is linked to q' when one of q's chosen postconditions
+   is provided by q''s chosen head. Each component is one entanglement
+   operation E (it corresponds to one connected combined query in the
+   algorithm of [6]). *)
+let components (answered : (Executor.task * Ground.grounding) list) =
+  let uf = Group.create () in
+  let providers : (Ir.ground_atom, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((task : Executor.task), (g : Ground.grounding)) ->
+      List.iter
+        (fun atom ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt providers atom) in
+          Hashtbl.replace providers atom (task.task_id :: existing))
+        g.g_head)
+    answered;
+  List.iter
+    (fun ((task : Executor.task), (g : Ground.grounding)) ->
+      List.iter
+        (fun atom ->
+          match Hashtbl.find_opt providers atom with
+          | Some owners -> Group.join uf (task.task_id :: owners)
+          | None -> ())
+        g.g_post)
+    answered;
+  (* bucket tasks by component root *)
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun ((task : Executor.task), _) ->
+      if Hashtbl.mem seen task.task_id then None
+      else begin
+        let member_ids = Group.members uf task.task_id in
+        let members =
+          List.filter
+            (fun ((other : Executor.task), _) -> List.mem other.task_id member_ids)
+            answered
+        in
+        List.iter (fun ((o : Executor.task), _) -> Hashtbl.replace seen o.task_id ()) members;
+        Some (List.map fst members)
+      end)
+    answered
+
+(* --- the run loop --- *)
+
+let repool t (task : Executor.task) =
+  Executor.reset_for_retry task;
+  t.stats.repooled <- t.stats.repooled + 1;
+  t.dormant <- t.dormant @ [ task ]
+
+let fail_or_repool t (task : Executor.task) =
+  (* The engine transaction is already aborted at this point. *)
+  match task.status with
+  | Failed failure when Executor.failure_is_final failure ->
+    finalize t task
+      (match failure with
+      | Explicit_rollback -> Rolled_back
+      | Program_error msg -> Errored msg
+      | Deadlock -> assert false)
+  | _ -> (
+    match task.deadline with
+    | Some deadline when now t >= deadline ->
+      t.stats.timeouts <- t.stats.timeouts + 1;
+      finalize t task Timed_out
+    | _ -> repool t task)
+
+let run_once t =
+  if t.dormant <> [] then begin
+    let costs = t.config.costs in
+    let isolation = t.config.isolation in
+    t.stats.runs <- t.stats.runs + 1;
+    t.arrivals_since_run <- 0;
+    Group.reset t.groups;
+    let tasks = t.dormant in
+    t.dormant <- [];
+    let live = ref tasks in
+    let find_by_txn txn =
+      List.find_opt (fun (task : Executor.task) -> task.txn = txn) !live
+    in
+    (* Round-robin connection assignment: one transaction per
+       connection at a time; a greedy least-loaded pick would dump a
+       whole run onto a connection that lagged after the previous run,
+       because only the tiny BEGIN cost is visible at assignment
+       time. *)
+    List.iter
+      (fun (task : Executor.task) ->
+        task.conn <- t.next_conn mod t.config.connections;
+        t.next_conn <- t.next_conn + 1;
+        Executor.start t.engine costs task;
+        drain_work t task)
+      tasks;
+    let commit_group t_ (members : Executor.task list) =
+      List.iter
+        (fun (task : Executor.task) ->
+          let wrote = Ent_txn.Engine.savepoint t_.engine task.txn > 0 in
+          Ent_txn.Engine.commit t_.engine task.txn;
+          (* explicit COMMIT is a round trip; the flush is paid only
+             when this transaction wrote (always, for -T programs that
+             made it here; usually never, for -Q whose statements
+             committed themselves) *)
+          if task.program.transactional then
+            task.work <- task.work +. costs.c_stmt;
+          if wrote then task.work <- task.work +. costs.c_commit;
+          drain_work t_ task;
+          t_.stats.commits <- t_.stats.commits + 1;
+          finalize t_ task Committed;
+          live := List.filter (fun (o : Executor.task) -> o.task_id <> task.task_id) !live)
+        members
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* 1. step every runnable task *)
+      List.iter
+        (fun (task : Executor.task) ->
+          if task.status = Runnable then begin
+            Executor.step t.engine isolation costs task;
+            drain_work t task;
+            if task.status = Failed Deadlock then
+              t.stats.deadlocks <- t.stats.deadlocks + 1;
+            progress := true
+          end)
+        !live;
+      (* 2. lock wake-ups *)
+      let woken = Ent_txn.Engine.take_wakeups t.engine in
+      List.iter
+        (fun txn ->
+          match find_by_txn txn with
+          | Some task when task.status = Waiting_lock ->
+            task.status <- Runnable;
+            progress := true
+          | _ -> ())
+        woken;
+      (* 3. group commits: a ready task commits as soon as every live
+         member of its entanglement group is ready (Figure 4). *)
+      let committed_some = ref false in
+      let consider (task : Executor.task) =
+        if task.status = Ready && List.exists (fun (o : Executor.task) -> o.task_id = task.task_id) !live
+        then begin
+          let member_ids = Group.members t.groups task.task_id in
+          let member_tasks =
+            List.filter
+              (fun (o : Executor.task) -> List.mem o.task_id member_ids)
+              !live
+          in
+          let all_ready =
+            (not isolation.group_commit)
+            || List.for_all
+                 (fun (o : Executor.task) -> o.status = Ready)
+                 member_tasks
+          in
+          if all_ready then begin
+            let to_commit =
+              if isolation.group_commit then member_tasks else [ task ]
+            in
+            (* Integrity check (Assumption 3.1/3.5): refuse to commit a
+               (group of) transaction(s) whose writes leave the
+               database inconsistent. The whole group fails
+               permanently: retrying would re-derive the same state. *)
+            match Ent_txn.Engine.violated_constraint t.engine with
+            | Some name ->
+              Ent_txn.Engine.abort_group t.engine
+                (List.map (fun (o : Executor.task) -> o.txn) to_commit);
+              List.iter
+                (fun (member : Executor.task) ->
+                  member.work <- member.work +. costs.c_abort;
+                  drain_work t member;
+                  finalize t member (Errored ("constraint violated: " ^ name));
+                  live :=
+                    List.filter
+                      (fun (o : Executor.task) -> o.task_id <> member.task_id)
+                      !live)
+                to_commit;
+              committed_some := true
+            | None ->
+              commit_group t to_commit;
+              committed_some := true
+          end
+        end
+      in
+      List.iter consider !live;
+      if !committed_some then progress := true;
+      (* 4. when nothing else can move: evaluate all pending entangled
+         queries together *)
+      if not !progress then begin
+        let pending =
+          List.filter
+            (fun (task : Executor.task) -> task.status = Waiting_entangled)
+            !live
+        in
+        let entries =
+          List.filter_map
+            (fun (task : Executor.task) ->
+              match task.pending with
+              | None -> None
+              | Some ir -> (
+                let access =
+                  Ent_txn.Engine.access t.engine task.txn ~grounding:true
+                    ~lock_reads:isolation.lock_grounding_reads ()
+                in
+                match Ground.compute ~access ~env:task.env ir with
+                | groundings ->
+                  task.work <-
+                    task.work
+                    +. (float_of_int (List.length groundings) *. costs.c_ground);
+                  drain_work t task;
+                  Some (task, ir, groundings)
+                | exception Ent_txn.Engine.Blocked _ ->
+                  (* retry grounding after a wake-up; the statement
+                     pointer still sits at the entangled query *)
+                  task.pending <- None;
+                  task.status <- Waiting_lock;
+                  None
+                | exception Ent_txn.Engine.Deadlock_victim _ ->
+                  Ent_txn.Engine.abort t.engine task.txn;
+                  task.status <- Failed Deadlock;
+                  t.stats.deadlocks <- t.stats.deadlocks + 1;
+                  None
+                | exception Ground.Ground_error msg ->
+                  Ent_txn.Engine.abort t.engine task.txn;
+                  task.status <- Failed (Program_error msg);
+                  None))
+            pending
+        in
+        if entries <> [] then begin
+          t.stats.coordination_rounds <- t.stats.coordination_rounds + 1;
+          Ent_sim.Pool.barrier t.pool
+            (float_of_int (List.length entries) *. costs.c_coord);
+          let entry_triples =
+            List.map
+              (fun ((task : Executor.task), ir, gs) -> (task.task_id, ir, gs))
+              entries
+          in
+          let results =
+            match t.config.evaluation with
+            | Search -> Coordinate.evaluate entry_triples
+            | Combined -> Combined.evaluate entry_triples
+          in
+          let outcome_of task_id = List.assoc task_id results in
+          let answered =
+            List.filter_map
+              (fun ((task : Executor.task), _, _) ->
+                match outcome_of task.task_id with
+                | Coordinate.Answered g -> Some (task, g)
+                | Coordinate.Empty | Coordinate.No_partner -> None)
+              entries
+          in
+          (* entanglement operations: one per component *)
+          List.iter
+            (fun (component : Executor.task list) ->
+              let event = t.next_event in
+              t.next_event <- event + 1;
+              t.stats.entangle_events <- t.stats.entangle_events + 1;
+              Group.join t.groups
+                (List.map (fun (task : Executor.task) -> task.task_id) component);
+              (* Group members share lock ownership from now on: they
+                 will commit or abort together, so a member writing a
+                 table its partner grounding-read must not self-block
+                 the group. Retag the whole (possibly merged) group. *)
+              (match component with
+              | first :: _ ->
+                let full_group = Group.members t.groups first.task_id in
+                let tag = List.fold_left min max_int full_group in
+                List.iter
+                  (fun tid ->
+                    match
+                      List.find_opt
+                        (fun (o : Executor.task) -> o.task_id = tid)
+                        tasks
+                    with
+                    | Some member
+                      when Ent_txn.Engine.is_active t.engine member.txn ->
+                      Ent_txn.Engine.set_lock_group t.engine ~txn:member.txn
+                        ~group:tag
+                    | _ -> ())
+                  full_group
+              | [] -> ());
+              let txns = List.map (fun (task : Executor.task) -> task.txn) component in
+              Ent_txn.Engine.log_entangle_group t.engine ~event ~members:txns;
+              match t.on_entangle with
+              | Some hook ->
+                hook ~event
+                  (List.map
+                     (fun (task : Executor.task) ->
+                       (task.txn, Ent_txn.Engine.grounding_reads t.engine task.txn))
+                     component)
+              | None -> ())
+            (components answered);
+          (* deliver results *)
+          List.iter
+            (fun ((task : Executor.task), _, _) ->
+              match outcome_of task.task_id with
+              | Coordinate.Answered _ | Coordinate.Empty ->
+                Executor.deliver t.engine costs task (outcome_of task.task_id);
+                drain_work t task;
+                progress := true
+              | Coordinate.No_partner -> ())
+            entries
+        end
+      end
+    done;
+    (* Run end: whoever is left cannot proceed in this run. Blocked and
+       ready-but-widowed tasks are aborted and repooled (the group
+       abort cascade falls out: a ready task whose partner failed was
+       never committed, so it lands here and aborts); final failures
+       are recorded; expired timeouts fail permanently. *)
+    let leftovers = !live in
+    live := [];
+    (* Abort whole entanglement groups together: members share lock
+       ownership and may have interleaved writes on the same rows, so
+       their merged write log must be undone in one reverse pass. *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (task : Executor.task) ->
+        if not (Hashtbl.mem seen task.task_id) then begin
+          let member_ids = Group.members t.groups task.task_id in
+          let members =
+            List.filter
+              (fun (o : Executor.task) -> List.mem o.task_id member_ids)
+              leftovers
+          in
+          List.iter
+            (fun (o : Executor.task) -> Hashtbl.replace seen o.task_id ())
+            members;
+          let to_abort =
+            List.filter
+              (fun (o : Executor.task) ->
+                Ent_txn.Engine.is_active t.engine o.txn)
+              members
+          in
+          Ent_txn.Engine.abort_group t.engine
+            (List.map (fun (o : Executor.task) -> o.txn) to_abort);
+          List.iter
+            (fun (o : Executor.task) ->
+              o.work <- o.work +. costs.c_abort;
+              drain_work t o)
+            to_abort
+        end)
+      leftovers;
+    List.iter (fun task -> fail_or_repool t task) leftovers;
+    if t.config.snapshot_pool then
+      Ent_txn.Engine.log_pool_snapshot t.engine
+        (List.map
+           (fun (task : Executor.task) -> Program.to_string task.program)
+           t.dormant);
+    t.last_run_end <- now t
+  end
+
+let submit t program =
+  let task_id = t.next_task in
+  t.next_task <- task_id + 1;
+  let task = Executor.make_task ~task_id ~arrival:(now t) program in
+  Hashtbl.replace t.task_index task_id task;
+  t.dormant <- t.dormant @ [ task ];
+  t.arrivals_since_run <- t.arrivals_since_run + 1;
+  (match t.config.trigger with
+  | Every_arrivals f when t.arrivals_since_run >= f -> run_once t
+  | Every_seconds interval when now t -. t.last_run_end >= interval -> run_once t
+  | Every_arrivals _ | Every_seconds _ | Manual -> ());
+  task_id
+
+let drain ?(max_runs = 10_000) t =
+  let rec go remaining =
+    if remaining > 0 && t.dormant <> [] then begin
+      let before_commits = t.stats.commits in
+      let before_pool = List.length t.dormant in
+      run_once t;
+      let progressed =
+        t.stats.commits > before_commits
+        || List.length t.dormant < before_pool
+      in
+      if progressed then go (remaining - 1)
+    end
+  in
+  go max_runs

@@ -1,0 +1,112 @@
+(** The run-based execution model for non-interactive entangled
+    transactions (§4).
+
+    Arriving transactions enter a dormant pool. A run takes every
+    dormant transaction, executes each until it blocks on an entangled
+    query (or a lock), evaluates all pending entangled queries
+    together, resumes the answered ones, and repeats until nobody can
+    proceed. Transactions that reach COMMIT are committed as soon as
+    their whole entanglement group is ready (group commit; Figure 4:
+    Mickey and Minnie commit while Donald is still blocked).
+    Transactions still blocked at the end of the run are aborted and
+    returned to the pool for a later run; a transaction whose timeout
+    has expired fails permanently.
+
+    Time is simulated: statement costs accrue on the transaction's
+    connection ({!Ent_sim.Pool}), entangled query evaluation is a
+    centralized barrier phase, and the figure benchmarks read
+    {!now} after driving a workload through. *)
+
+type trigger =
+  | Every_arrivals of int
+      (** start a run once this many new transactions arrived (the
+          paper's run frequency [f]) *)
+  | Every_seconds of float
+      (** start a run when at least this much simulated time has passed
+          since the previous run ended and work is waiting (§4: "the
+          frequency can be explicitly given as a time interval") *)
+  | Manual  (** runs start only via {!run_once} *)
+
+type evaluation_strategy =
+  | Search  (** goal-driven coordination-set search ({!Ent_entangle.Coordinate}) *)
+  | Combined  (** combined-query compilation, the algorithm of [6] ({!Ent_entangle.Combined}) *)
+
+type config = {
+  isolation : Isolation.t;
+  connections : int;
+  costs : Ent_sim.Cost.t;
+  trigger : trigger;
+  snapshot_pool : bool;  (** persist dormant pool to the WAL after each run *)
+  evaluation : evaluation_strategy;
+}
+
+val default_config : config
+
+type outcome =
+  | Committed
+  | Timed_out
+  | Rolled_back  (** the program executed ROLLBACK *)
+  | Errored of string
+
+type stats = {
+  mutable runs : int;
+  mutable commits : int;
+  mutable repooled : int;  (** aborted-and-returned-to-pool occurrences *)
+  mutable timeouts : int;
+  mutable entangle_events : int;
+  mutable deadlocks : int;
+  mutable coordination_rounds : int;
+}
+
+type t
+
+val create : ?config:config -> Ent_txn.Engine.t -> t
+
+val engine : t -> Ent_txn.Engine.t
+val config : t -> config
+
+(** Install a hook called at each entanglement operation with the event
+    id and, per participant, its transaction id and the tables its
+    grounding read — the information a schedule recorder needs to emit
+    [E] operations and quasi-reads. *)
+val set_on_entangle : t -> (event:int -> (int * string list) list -> unit) option -> unit
+
+(** [submit t program] adds a transaction to the dormant pool and
+    returns its task id. May trigger a run, per the configured
+    trigger. *)
+val submit : t -> Program.t -> int
+
+(** Execute one run over the current dormant pool (no-op when empty). *)
+val run_once : t -> unit
+
+(** Run until the dormant pool is empty or a run makes no progress
+    (every remaining transaction failed to find a partner again).
+    [max_runs] is a safety bound (default 10_000). *)
+val drain : ?max_runs:int -> t -> unit
+
+(** Final outcome of a task, if decided. *)
+val outcome : t -> int -> outcome option
+
+val results : t -> (int * outcome) list
+
+(** The task ids currently waiting in the dormant pool. *)
+val dormant : t -> int list
+
+(** The programs currently waiting in the dormant pool (for external
+    persistence, e.g. checkpoint files). *)
+val dormant_programs : t -> Program.t list
+
+(** Answer tuples a task received (empty until answered). *)
+val answers_of : t -> int -> Ent_entangle.Ir.ground_atom list
+
+(** Simulated time (seconds). *)
+val now : t -> float
+
+(** Let wall-clock time pass with no work arriving (e.g. waiting out a
+    transaction timeout). *)
+val advance_time : t -> float -> unit
+
+val stats : t -> stats
+
+(** Per-connection simulated load (diagnostics / benchmarks). *)
+val connection_loads : t -> float array

@@ -1,0 +1,1 @@
+lib/entangle/combined.ml: Coordinate Ground Hashtbl Int Ir List Option

@@ -1,0 +1,1 @@
+lib/entangle/combined.mli: Coordinate Ground Ir

@@ -1,0 +1,1 @@
+lib/entangle/coordinate.ml: Ground Hashtbl Ir List Option

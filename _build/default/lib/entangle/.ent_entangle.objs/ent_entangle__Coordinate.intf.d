@@ -1,0 +1,1 @@
+lib/entangle/coordinate.mli: Ground Ir

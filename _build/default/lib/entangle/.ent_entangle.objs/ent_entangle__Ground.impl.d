@@ -1,0 +1,1 @@
+lib/entangle/ground.ml: Array Ent_sql Ent_storage Format Hashtbl Ir List Map String Value

@@ -1,0 +1,1 @@
+lib/entangle/ground.mli: Ent_sql Format Ir

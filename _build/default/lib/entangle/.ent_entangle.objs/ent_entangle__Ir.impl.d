@@ -1,0 +1,1 @@
+lib/entangle/ir.ml: Ent_sql Ent_storage Format List Printf String Value

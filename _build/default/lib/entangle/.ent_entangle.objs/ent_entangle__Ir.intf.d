@@ -1,0 +1,1 @@
+lib/entangle/ir.mli: Ent_sql Ent_storage Format Value

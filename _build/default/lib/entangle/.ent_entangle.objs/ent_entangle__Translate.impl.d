@@ -1,0 +1,1 @@
+lib/entangle/translate.ml: Ent_sql Ent_storage Format Hashtbl Ir List Value

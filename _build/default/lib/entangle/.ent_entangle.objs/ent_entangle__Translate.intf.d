@@ -1,0 +1,1 @@
+lib/entangle/translate.mli: Ent_sql Ir

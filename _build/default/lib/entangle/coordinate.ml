@@ -1,0 +1,140 @@
+type outcome =
+  | Answered of Ground.grounding
+  | Empty
+  | No_partner
+
+(* --- structural participation (Appendix B) --- *)
+
+(* Fixpoint: repeatedly drop queries having a postcondition pattern
+   that unifies with no remaining query's head pattern. Dropped
+   queries are the No_partner ones; the criterion only looks at query
+   structure, never at data, as Appendix B requires. *)
+let structurally_blocked queries =
+  let alive = Hashtbl.create 16 in
+  List.iter (fun (qid, _) -> Hashtbl.replace alive qid true) queries;
+  let heads_of_alive () =
+    List.concat_map
+      (fun (qid, (q : Ir.t)) -> if Hashtbl.find alive qid then q.head else [])
+      queries
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let heads = heads_of_alive () in
+    List.iter
+      (fun (qid, (q : Ir.t)) ->
+        if Hashtbl.find alive qid then
+          let ok =
+            List.for_all
+              (fun post -> List.exists (Ir.unifiable post) heads)
+              q.post
+          in
+          if not ok then begin
+            Hashtbl.replace alive qid false;
+            changed := true
+          end)
+      queries
+  done;
+  List.filter_map
+    (fun (qid, _) -> if Hashtbl.find alive qid then None else Some qid)
+    queries
+
+(* --- coordination search --- *)
+
+module Atom_tbl = Hashtbl
+
+let evaluate ?(budget = 200_000) queries =
+  let blocked = structurally_blocked (List.map (fun (q, ir, _) -> (q, ir)) queries) in
+  let participants =
+    List.filter (fun (qid, _, _) -> not (List.mem qid blocked)) queries
+  in
+  (* Index every grounding by each of its head atoms. *)
+  let head_index : (Ir.ground_atom, (int * Ground.grounding) list) Atom_tbl.t =
+    Atom_tbl.create 256
+  in
+  List.iter
+    (fun (qid, _, groundings) ->
+      List.iter
+        (fun (g : Ground.grounding) ->
+          List.iter
+            (fun atom ->
+              let existing =
+                Option.value ~default:[] (Atom_tbl.find_opt head_index atom)
+              in
+              Atom_tbl.replace head_index atom ((qid, g) :: existing))
+            g.g_head)
+        groundings)
+    participants;
+  let assignment : (int, Ground.grounding) Hashtbl.t = Hashtbl.create 16 in
+  let provided : (Ir.ground_atom, int) Hashtbl.t = Hashtbl.create 64 in
+  let provide atom =
+    Hashtbl.replace provided atom
+      (1 + Option.value ~default:0 (Hashtbl.find_opt provided atom))
+  in
+  let unprovide atom =
+    match Hashtbl.find_opt provided atom with
+    | Some 1 -> Hashtbl.remove provided atom
+    | Some n -> Hashtbl.replace provided atom (n - 1)
+    | None -> ()
+  in
+  let nodes = ref 0 in
+  (* Try to cover every atom on the agenda by (possibly) assigning
+     groundings to so-far-unassigned queries. Undoes its own side
+     effects on failure. *)
+  let rec satisfy agenda =
+    incr nodes;
+    if !nodes > budget then false
+    else
+      match agenda with
+      | [] -> true
+      | atom :: rest ->
+        if Hashtbl.mem provided atom then satisfy rest
+        else
+          let candidates =
+            List.rev (Option.value ~default:[] (Atom_tbl.find_opt head_index atom))
+          in
+          let try_candidate (qid, g) =
+            match Hashtbl.find_opt assignment qid with
+            | Some g' -> g' == g && satisfy rest
+            (* an assigned query provides its heads already, so if g'==g
+               the atom would have been in [provided]; this branch only
+               matters when the candidate equals the assignment *)
+            | None ->
+              Hashtbl.replace assignment qid g;
+              List.iter provide g.g_head;
+              if satisfy (g.g_post @ rest) then true
+              else begin
+                List.iter unprovide g.g_head;
+                Hashtbl.remove assignment qid;
+                false
+              end
+          in
+          List.exists try_candidate candidates
+  in
+  (* Greedy seeding: answer queries in submission order; each success
+     commits its (closed) partial assignment. *)
+  List.iter
+    (fun (qid, _, groundings) ->
+      if not (Hashtbl.mem assignment qid) then begin
+        nodes := 0;
+        let try_grounding (g : Ground.grounding) =
+          Hashtbl.replace assignment qid g;
+          List.iter provide g.g_head;
+          if satisfy g.g_post then true
+          else begin
+            List.iter unprovide g.g_head;
+            Hashtbl.remove assignment qid;
+            false
+          end
+        in
+        ignore (List.exists try_grounding groundings)
+      end)
+    participants;
+  List.map
+    (fun (qid, _, _) ->
+      if List.mem qid blocked then (qid, No_partner)
+      else
+        match Hashtbl.find_opt assignment qid with
+        | Some g -> (qid, Answered g)
+        | None -> (qid, Empty))
+    queries

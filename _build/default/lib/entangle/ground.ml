@@ -1,0 +1,124 @@
+open Ent_storage
+
+type grounding = {
+  g_head : Ir.ground_atom list;
+  g_post : Ir.ground_atom list;
+}
+
+exception Ground_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Ground_error s)) fmt
+
+module Valuation = Map.Make (String)
+
+(* Split the (already IN-ANSWER-free) body into a left-to-right list of
+   conjuncts. *)
+let rec conjuncts (c : Ent_sql.Ast.cond) =
+  match c with
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | True -> []
+  | c -> [ c ]
+
+let lookup_of valuation name = Valuation.find_opt name valuation
+
+(* Extend [valuation] by unifying binding expressions with a row of
+   subquery results. Returns None on mismatch. *)
+let unify_row ~access ~env valuation exprs row =
+  let exception Mismatch in
+  try
+    Some
+      (List.fold_left2
+         (fun acc (e : Ent_sql.Ast.expr) value ->
+           match e with
+           | Col (None, x) -> (
+             match Valuation.find_opt x acc with
+             | Some bound ->
+               if Value.equal bound value then acc else raise Mismatch
+             | None -> Valuation.add x value acc)
+           | _ -> (
+             (* constant-ish expression: evaluate and compare *)
+             match
+               Ent_sql.Eval.eval_expr ~var:(lookup_of acc) access env [] e
+             with
+             | v when Value.equal v value -> acc
+             | _ -> raise Mismatch
+             | exception Ent_sql.Eval.Eval_error _ -> raise Mismatch))
+         valuation exprs row)
+  with Mismatch -> None
+
+let compute ?(limit = 10_000) ~access ~env (query : Ir.t) =
+  let binders, filters =
+    List.partition
+      (fun (c : Ent_sql.Ast.cond) ->
+        match c with
+        | In_select _ -> true
+        | _ -> false)
+      (conjuncts query.body)
+  in
+  (* Enumerate valuations binder by binder (left to right, correlated
+     subqueries see earlier bindings). *)
+  let explored = ref 0 in
+  let step valuations (c : Ent_sql.Ast.cond) =
+    match c with
+    | In_select (exprs, sub) ->
+      List.concat_map
+        (fun valuation ->
+          let rows =
+            Ent_sql.Eval.(
+              select_rows_correlated ~var:(lookup_of valuation) access env sub)
+          in
+          List.filter_map
+            (fun row ->
+              incr explored;
+              if !explored > limit then
+                fail "grounding exceeded %d valuations" limit;
+              unify_row ~access ~env valuation exprs (Array.to_list row))
+            rows)
+        valuations
+    | _ -> assert false
+  in
+  let valuations = List.fold_left step [ Valuation.empty ] binders in
+  (* Apply the remaining conjuncts as filters. *)
+  let keep valuation =
+    List.for_all
+      (fun c ->
+        try Ent_sql.Eval.eval_cond ~var:(lookup_of valuation) access env [] c
+        with Ent_sql.Eval.Eval_error msg ->
+          fail "body filter not evaluable: %s" msg)
+      filters
+  in
+  let valuations = List.filter keep valuations in
+  let to_grounding valuation =
+    let subst atom =
+      Ir.substitute
+        (fun x ->
+          match Valuation.find_opt x valuation with
+          | Some v -> v
+          | None -> fail "unbound variable %s (unsafe query)" x)
+        atom
+    in
+    { g_head = List.map subst query.head; g_post = List.map subst query.post }
+  in
+  let groundings = List.map to_grounding valuations in
+  (* De-duplicate while keeping first-seen order. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun g ->
+      let key = (g.g_head, g.g_post) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    groundings
+
+let pp_ground_atom ppf ((rel, values) : Ir.ground_atom) =
+  Format.fprintf ppf "%s(%a)" rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    values
+
+let pp_grounding ppf g =
+  let pp_atoms =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ") pp_ground_atom
+  in
+  Format.fprintf ppf "{%a} %a" pp_atoms g.g_post pp_atoms g.g_head

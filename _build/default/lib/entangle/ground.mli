@@ -1,0 +1,34 @@
+(** Grounding of entangled queries (Appendix A).
+
+    A grounding is the query with its variables replaced by constants
+    following a valuation — an assignment of database values to
+    variables that satisfies the body. Groundings identify the set of
+    acceptable answers for one query in isolation; coordination then
+    chooses among them.
+
+    The body is evaluated through the caller's {!Ent_sql.Eval.access},
+    so when the access comes from [Engine.access ~grounding:true] the
+    reads are automatically table-S-locked and recorded as grounding
+    reads. *)
+
+
+type grounding = {
+  g_head : Ir.ground_atom list;  (** the query's own answer tuples *)
+  g_post : Ir.ground_atom list;  (** ground postconditions to be met by partners *)
+}
+
+exception Ground_error of string
+
+(** [compute ~access ~env query] enumerates all groundings of [query]
+    on the current database, in deterministic order, de-duplicated.
+    [limit] caps the number of valuations explored (default 10_000).
+    @raise Ground_error when the body is not evaluable left-to-right
+    (a filter mentions a variable no binder binds). *)
+val compute :
+  ?limit:int ->
+  access:Ent_sql.Eval.access ->
+  env:Ent_sql.Eval.env ->
+  Ir.t ->
+  grounding list
+
+val pp_grounding : Format.formatter -> grounding -> unit

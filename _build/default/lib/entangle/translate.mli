@@ -1,0 +1,14 @@
+(** Translation of extended-SQL entangled SELECTs into the IR.
+
+    Host variables ([@var]) are resolved against the transaction's
+    environment at translation time, because an entangled query is
+    translated at the moment the executing transaction reaches it —
+    e.g. in Figure 2 the hotel query mentions [@ArrivalDay], whose
+    value is known only after the flight query has been answered. *)
+
+exception Translate_error of string
+
+(** @raise Translate_error on unresolvable host variables or
+    projection expressions that mix variables with arithmetic.
+    @raise Ir.Unsafe when the result fails validation. *)
+val of_ast : env:Ent_sql.Eval.env -> Ent_sql.Ast.entangled_select -> Ir.t

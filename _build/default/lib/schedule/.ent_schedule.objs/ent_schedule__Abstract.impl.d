@@ -1,0 +1,1 @@
+lib/schedule/abstract.ml: Conflict Hashtbl History List Option

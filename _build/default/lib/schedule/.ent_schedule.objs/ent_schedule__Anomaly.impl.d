@@ -1,0 +1,1 @@
+lib/schedule/anomaly.ml: Array Conflict Format Hashtbl History List Option String

@@ -1,0 +1,1 @@
+lib/schedule/anomaly.mli: Format History

@@ -1,0 +1,1 @@
+lib/schedule/conflict.ml: Hashtbl History Int List

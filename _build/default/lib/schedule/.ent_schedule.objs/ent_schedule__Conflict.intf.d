@@ -1,0 +1,1 @@
+lib/schedule/conflict.mli: History

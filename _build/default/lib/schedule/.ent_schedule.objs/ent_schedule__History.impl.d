@@ -1,0 +1,1 @@
+lib/schedule/history.ml: Array Format Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/schedule/recorder.ml: Ent_txn Hashtbl History List

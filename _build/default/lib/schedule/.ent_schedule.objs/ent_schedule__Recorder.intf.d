@@ -1,0 +1,1 @@
+lib/schedule/recorder.mli: Ent_txn History

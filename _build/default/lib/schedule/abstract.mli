@@ -1,0 +1,47 @@
+(** An abstract execution machine over schedules, used to check
+    oracle-serializability (§C.3) concretely.
+
+    Objects hold integers (initially 0). Transactions are deterministic
+    in the sense of §C.4: the value a transaction writes is a fixed
+    function of its identity and everything it has observed so far
+    (values read plus entangled query answers). Entangled answers are a
+    fixed function of the grounding reads of all participants at the
+    moment of the entanglement operation. Aborts roll their writes
+    back.
+
+    Replaying the committed transactions serially with the recorded
+    answers (the oracle O_sigma of §C.3.1) and validating reads then
+    lets us test Theorem 3.6: an entangled-isolated schedule replayed
+    in conflict-graph order is a valid oracle execution producing the
+    same final database. *)
+
+type store = (History.obj * int) list
+(** Final database: object values, zeroes omitted, sorted. *)
+
+type execution = {
+  final : store;
+  (* per entanglement event: the grounding-read observations
+     ((txn, obj), value) it answered from, and the answer value *)
+  event_grounds : (int * ((int * History.obj) * int) list) list;
+  event_answers : (int * int) list;
+}
+
+(** Execute a schedule directly (the "real" interleaved execution). *)
+val execute : History.t -> execution
+
+type replay = {
+  replay_final : store;
+  replay_valid : bool;
+      (** every validating read matched the recorded grounding value
+          (Definition 3.3 validity at each oracle call) *)
+}
+
+(** [replay sched exec order] runs the committed transactions serially
+    in [order] alongside the oracle built from [exec]. *)
+val replay : History.t -> execution -> int list -> replay
+
+(** Definition C.7, checked constructively: find a serialization order
+    (the conflict-graph topological order when it exists, otherwise all
+    permutations of up to 7 committed transactions) whose replay is
+    valid and produces the same final store. *)
+val oracle_serializable : History.t -> bool

@@ -1,0 +1,167 @@
+let req_no_cycles schedule =
+  not (Conflict.has_cycle (Conflict.of_schedule (History.expand_quasi_reads schedule)))
+
+let reads_of (op : History.op) =
+  match op with
+  | Read (i, x) | Ground_read (i, x) | Quasi_read (i, x) -> Some (i, x)
+  | Write _ | Entangle _ | Commit _ | Abort _ -> None
+
+let req_no_read_from_aborted schedule =
+  let aborted = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace aborted i ()) (History.aborted schedule);
+  let committed = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace committed i ()) (History.committed schedule);
+  let rec scan = function
+    | [] -> true
+    | History.Write (i, x) :: rest when Hashtbl.mem aborted i ->
+      let bad =
+        List.exists
+          (fun op ->
+            match reads_of op with
+            | Some (j, y) ->
+              j <> i && Hashtbl.mem committed j && History.overlaps x y
+            | None -> false)
+          rest
+      in
+      (not bad) && scan rest
+    | _ :: rest -> scan rest
+  in
+  scan (History.expand_quasi_reads schedule)
+
+let find_widowed schedule =
+  let aborted = History.aborted schedule in
+  let committed = History.committed schedule in
+  List.find_map
+    (fun (op : History.op) ->
+      match op with
+      | Entangle (_, participants) -> (
+        let a = List.find_opt (fun i -> List.mem i aborted) participants in
+        let c = List.find_opt (fun i -> List.mem i committed) participants in
+        match a, c with
+        | Some a, Some c -> Some (a, c)
+        | _ -> None)
+      | _ -> None)
+    schedule
+
+let req_no_widowed schedule = find_widowed schedule = None
+
+let entangled_isolated schedule =
+  req_no_cycles schedule
+  && req_no_read_from_aborted schedule
+  && req_no_widowed schedule
+
+(* A witness RQ_i(x) ... W_j(y) ... R_i(y') (x, y, y' overlapping,
+   j <> i) exists iff, after the quasi-read, some other transaction
+   writes an overlapping object and i reads an overlapping object after
+   the FIRST such write. Indexing writes per table and reads per
+   (transaction, table) makes this near-linear — recorded benchmark
+   histories reach hundreds of thousands of operations. *)
+let find_unrepeatable_quasi_read schedule =
+  let expanded = Array.of_list (History.expand_quasi_reads schedule) in
+  let writes_by_key : (string, (int * int * History.obj) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let reads_by_txn_key : (int * string, (int * History.obj) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let push tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := v :: !l  (* newest first; reversed below *)
+    | None -> Hashtbl.add tbl key (ref [ v ])
+  in
+  Array.iteri
+    (fun pos (op : History.op) ->
+      match op with
+      | Write (j, y) -> push writes_by_key (History.group_key y) (pos, j, y)
+      | Read (i, y) | Ground_read (i, y) ->
+        push reads_by_txn_key (i, History.group_key y) (pos, y)
+      | Quasi_read _ | Entangle _ | Commit _ | Abort _ -> ())
+    expanded;
+  Hashtbl.iter (fun _ l -> l := List.rev !l) writes_by_key;
+  Hashtbl.iter (fun _ l -> l := List.rev !l) reads_by_txn_key;
+  let witness_for i x pos =
+    let key = History.group_key x in
+    let writes =
+      Option.value ~default:(ref []) (Hashtbl.find_opt writes_by_key key)
+    in
+    let first_write =
+      List.find_opt
+        (fun (wpos, j, y) -> wpos > pos && j <> i && History.overlaps x y)
+        !writes
+    in
+    match first_write with
+    | None -> false
+    | Some (wpos, _, _) ->
+      let reads =
+        Option.value ~default:(ref []) (Hashtbl.find_opt reads_by_txn_key (i, key))
+      in
+      List.exists
+        (fun (rpos, y') -> rpos > wpos && History.overlaps x y')
+        !reads
+  in
+  let result = ref None in
+  Array.iteri
+    (fun pos (op : History.op) ->
+      match op with
+      | Quasi_read (i, x) when !result = None ->
+        if witness_for i x pos then result := Some (i, x)
+      | _ -> ())
+    expanded;
+  !result
+
+let find_dirty_read schedule =
+  let aborted = History.aborted schedule in
+  let rec scan = function
+    | [] -> None
+    | History.Write (i, x) :: rest when List.mem i aborted -> (
+      let found =
+        List.find_map
+          (fun op ->
+            match reads_of op with
+            | Some (j, y) when j <> i && History.overlaps x y -> Some (i, j)
+            | _ -> None)
+          rest
+      in
+      match found with
+      | Some _ -> found
+      | None -> scan rest)
+    | _ :: rest -> scan rest
+  in
+  scan (History.expand_quasi_reads schedule)
+
+
+type report = {
+  conflict_cycle : bool;
+  read_from_aborted : bool;
+  widowed : bool;
+  unrepeatable_quasi_read : bool;
+}
+
+let report schedule =
+  {
+    conflict_cycle = not (req_no_cycles schedule);
+    read_from_aborted = not (req_no_read_from_aborted schedule);
+    widowed = find_widowed schedule <> None;
+    unrepeatable_quasi_read = find_unrepeatable_quasi_read schedule <> None;
+  }
+
+let level schedule =
+  let r = report schedule in
+  if
+    (not r.conflict_cycle) && (not r.read_from_aborted) && (not r.widowed)
+    && not r.unrepeatable_quasi_read
+  then `Full
+  else if not r.widowed then `No_widow
+  else `Loose
+
+let pp_report ppf r =
+  let flag name b = if b then [ name ] else [] in
+  let anomalies =
+    flag "conflict-cycle" r.conflict_cycle
+    @ flag "read-from-aborted" r.read_from_aborted
+    @ flag "widowed" r.widowed
+    @ flag "unrepeatable-quasi-read" r.unrepeatable_quasi_read
+  in
+  match anomalies with
+  | [] -> Format.pp_print_string ppf "none"
+  | xs -> Format.pp_print_string ppf (String.concat ", " xs)

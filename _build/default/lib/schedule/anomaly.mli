@@ -1,0 +1,60 @@
+(** Entangled isolation, anomaly-based (§C.2.2).
+
+    A schedule is entangled-isolated (Definition C.5) when it satisfies:
+    - Requirement C.2 (no cycles): acyclic conflict graph over
+      committed transactions, quasi-reads made explicit;
+    - Requirement C.3 (no read-from-aborted): no committed transaction
+      reads an object after an aborted transaction wrote it;
+    - Requirement C.4 (no widowed transactions): no entanglement
+      operation whose participants include both an aborted and a
+      committed transaction.
+
+    The individual detectors are exposed for tests and for the anomaly
+    demonstrations of Figure 3. *)
+
+(** Requirement C.2. Expands quasi-reads itself. *)
+val req_no_cycles : History.t -> bool
+
+(** Requirement C.3. *)
+val req_no_read_from_aborted : History.t -> bool
+
+(** Requirement C.4. *)
+val req_no_widowed : History.t -> bool
+
+(** Definition C.5. *)
+val entangled_isolated : History.t -> bool
+
+(** Demonstration finders (subsumed by the requirements above but
+    useful to point at a specific anomaly):
+    a witness for a widowed transaction is [(aborted, committed)]
+    sharing an entanglement operation. *)
+val find_widowed : History.t -> (int * int) option
+
+(** A witness for an unrepeatable quasi-read: [(txn, obj)] such that
+    txn quasi-reads obj, another transaction writes obj, and txn then
+    reads obj again (Figure 3b: Mickey, Airlines). Expands quasi-reads
+    itself. *)
+val find_unrepeatable_quasi_read : History.t -> (int * History.obj) option
+
+(** A dirty read: [(writer, reader)] where the reader observed a write
+    by a transaction that had not yet terminated (and later aborted). *)
+val find_dirty_read : History.t -> (int * int) option
+
+(** Which anomaly classes a schedule exhibits — the basis for the
+    paper's relaxed isolation levels (§3.3.1: lower levels permit "a
+    specific subset of the above anomalies"). *)
+type report = {
+  conflict_cycle : bool;
+  read_from_aborted : bool;
+  widowed : bool;
+  unrepeatable_quasi_read : bool;
+}
+
+val report : History.t -> report
+
+(** The strongest level a schedule satisfies, by permitted-anomaly
+    subset: [`Full] (none — Definition C.5), [`No_widow] (only
+    widowed transactions excluded), [`Loose] (anything else). *)
+val level : History.t -> [ `Full | `No_widow | `Loose ]
+
+val pp_report : Format.formatter -> report -> unit

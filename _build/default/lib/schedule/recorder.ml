@@ -1,0 +1,37 @@
+type t = { mutable ops : History.op list (* newest first *) }
+
+let create () = { ops = [] }
+let push t op = t.ops <- op :: t.ops
+
+let on_engine_event t (ev : Ent_txn.Engine.event) =
+  match ev with
+  | Ev_read (txn, T_table table) -> push t (History.Read (txn, Table table))
+  | Ev_read (txn, T_row (table, row)) -> push t (History.Read (txn, Row (table, row)))
+  | Ev_grounding_read (txn, table) -> push t (History.Ground_read (txn, Table table))
+  | Ev_write (txn, table, row) -> push t (History.Write (txn, Row (table, row)))
+  | Ev_commit txn -> push t (History.Commit txn)
+  | Ev_abort txn -> push t (History.Abort txn)
+  | Ev_begin _ -> ()
+
+let on_entangle t ~event participants =
+  push t (History.Entangle (event, List.map fst participants))
+
+let history t = List.rev t.ops
+
+let completed_history t =
+  let all = history t in
+  let terminated = Hashtbl.create 64 in
+  List.iter
+    (fun i -> Hashtbl.replace terminated i ())
+    (History.committed all @ History.aborted all);
+  let is_terminated i = Hashtbl.mem terminated i in
+  List.filter_map
+    (fun (op : History.op) ->
+      match op with
+      | Entangle (k, participants) ->
+        let live = List.filter is_terminated participants in
+        if live = [] then None else Some (History.Entangle (k, live))
+      | op ->
+        if List.for_all is_terminated (History.txns_of_op op) then Some op
+        else None)
+    all

@@ -1,0 +1,37 @@
+type t = {
+  c_stmt : float;
+  c_row : float;
+  c_write : float;
+  c_begin : float;
+  c_commit : float;
+  c_abort : float;
+  c_ground : float;
+  c_coord : float;
+  c_entangle_answer : float;
+}
+
+let default =
+  {
+    c_stmt = 0.4e-3;
+    c_row = 0.01e-3;
+    c_write = 0.15e-3;
+    c_begin = 0.1e-3;
+    c_commit = 0.5e-3;
+    c_abort = 0.3e-3;
+    c_ground = 0.02e-3;
+    c_coord = 0.1e-3;
+    c_entangle_answer = 0.05e-3;
+  }
+
+let scale f t =
+  {
+    c_stmt = f *. t.c_stmt;
+    c_row = f *. t.c_row;
+    c_write = f *. t.c_write;
+    c_begin = f *. t.c_begin;
+    c_commit = f *. t.c_commit;
+    c_abort = f *. t.c_abort;
+    c_ground = f *. t.c_ground;
+    c_coord = f *. t.c_coord;
+    c_entangle_answer = f *. t.c_entangle_answer;
+  }

@@ -1,0 +1,26 @@
+(** Calibrated operation costs for the deterministic time model.
+
+    The paper measures wall-clock time of a Java middle tier over
+    MySQL; we substitute a simulated clock (see DESIGN.md §2.3). Costs
+    are in seconds and roughly calibrated to a networked DBMS: a
+    statement costs a fixed round trip plus per-row work. Absolute
+    values only scale the plots; the figures' shapes come from the
+    scheduling structure. *)
+
+type t = {
+  c_stmt : float;  (** per-statement overhead (round trip, parse, plan) *)
+  c_row : float;  (** per row read or materialized *)
+  c_write : float;  (** per row written (log force amortized) *)
+  c_begin : float;
+  c_commit : float;  (** commit (log flush) *)
+  c_abort : float;
+  c_ground : float;  (** per grounding enumerated *)
+  c_coord : float;  (** per query included in a coordination round *)
+  c_entangle_answer : float;  (** per answered query (answer delivery) *)
+}
+
+(** Defaults used by all experiments. *)
+val default : t
+
+(** Scale every cost by a factor (for sensitivity ablations). *)
+val scale : float -> t -> t

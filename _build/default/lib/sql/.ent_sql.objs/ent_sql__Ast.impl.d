@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Ent_storage Schema Value

@@ -1,0 +1,1 @@
+lib/sql/eval.ml: Array Ast Buffer Catalog Ent_storage Format Hashtbl List Ordered_index Printf Schema String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/sql/eval.mli: Ast Catalog Ent_storage Hashtbl Ordered_index Schema Tuple Value

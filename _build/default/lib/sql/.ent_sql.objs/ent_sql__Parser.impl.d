@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Ent_storage Format Lexer List Schema String Value

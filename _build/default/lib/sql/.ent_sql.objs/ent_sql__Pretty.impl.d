@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Ent_storage Format List Schema String Value

@@ -1,0 +1,90 @@
+(** Evaluation of the SQL dialect over an abstract data-access
+    interface.
+
+    All reads and writes go through an {!access} record so that the
+    transaction layer can interpose locking, WAL logging and schedule
+    recording without the evaluator knowing. [direct_access] gives the
+    raw, unprotected view used by loaders and unit tests. *)
+
+open Ent_storage
+
+exception Eval_error of string
+
+(** Host-variable environment ([@var] bindings). *)
+type env = (string, Value.t) Hashtbl.t
+
+val fresh_env : unit -> env
+
+(** Rows currently in scope during evaluation: [(alias, schema, row)]
+    for each FROM table, innermost last. *)
+type binding = (string * Schema.t * Tuple.t) list
+
+type access = {
+  schema_of : string -> Schema.t;
+  scan : string -> (int * Tuple.t) list;
+  lookup : string -> positions:int list -> Value.t list -> (int * Tuple.t) list;
+  insert : string -> Value.t array -> int;
+  update : string -> int -> Value.t array -> unit;
+  delete : string -> int -> unit;
+  create : string -> Schema.t -> unit;
+  create_index : string -> string list -> unit;  (** column names *)
+  create_ordered_index : string -> string -> unit;  (** one column *)
+  range :
+    string ->
+    position:int ->
+    lo:Ordered_index.bound ->
+    hi:Ordered_index.bound ->
+    (int * Tuple.t) list;
+  has_range : string -> int -> bool;
+      (** is there an ordered index on this column? (guides the planner) *)
+  drop : string -> unit;
+}
+
+(** Unprotected access to a catalog. *)
+val direct_access : Catalog.t -> access
+
+(** [eval_expr ?var access env binding e] evaluates an expression. An
+    unqualified identifier resolves against [binding] first and then
+    against [var] (used by the entangled-query engine to substitute
+    valuations for free variables).
+    @raise Eval_error on unknown columns or ambiguity. *)
+val eval_expr :
+  ?var:(string -> Value.t option) ->
+  access -> env -> binding -> Ast.expr -> Value.t
+
+(** Evaluate a condition to a boolean. [IN (SELECT ...)] subqueries are
+    evaluated with the outer binding in scope (correlation allowed).
+    @raise Eval_error when the condition contains [IN ANSWER] — answer
+    relations only exist inside entangled query evaluation. *)
+val eval_cond :
+  ?var:(string -> Value.t option) ->
+  access -> env -> binding -> Ast.cond -> bool
+
+(** [select_rows access env sel] evaluates a classical SELECT and
+    returns the projected rows (in deterministic scan order). Host
+    bindings ([AS @var] and bare [@var] projections) are applied to
+    [env] from the first result row; bound variables are set to [Null]
+    when the result is empty. *)
+val select_rows : access -> env -> Ast.select -> Value.t array list
+
+(** Like {!select_rows} but with a variable-lookup fallback and without
+    applying host bindings — used by the entangled-query grounding
+    engine, where subqueries are evaluated under partial valuations. *)
+val select_rows_correlated :
+  ?var:(string -> Value.t option) ->
+  access -> env -> Ast.select -> Value.t array list
+
+(** Describe the access plan the evaluator will use for a SELECT: one
+    line per FROM table, [SCAN t] or [PROBE t ON (cols)], plus notes
+    for grouping, sorting, deduplication and limits. *)
+val explain : access -> Ast.select -> string
+
+type outcome =
+  | Rows of Value.t array list
+  | Affected of int
+  | Created
+
+(** Execute a classical statement. [Entangled] and [Rollback]
+    statements are the transaction manager's business.
+    @raise Eval_error if given one. *)
+val exec_stmt : access -> env -> Ast.stmt -> outcome

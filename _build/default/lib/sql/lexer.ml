@@ -1,0 +1,134 @@
+type token =
+  | Ident of string
+  | Host_var of string
+  | Int_lit of int
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+exception Lex_error of string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some input.[!pos + k] else None in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred input.[!pos] do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      while !pos < n && input.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then emit (Ident (read_while is_ident_char))
+    else if is_digit c then emit (Int_lit (int_of_string (read_while is_digit)))
+    else if c = '@' then begin
+      incr pos;
+      let name = read_while is_ident_char in
+      if name = "" then raise (Lex_error "empty host variable name");
+      emit (Host_var name)
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Lex_error "unterminated string literal")
+        else if input.[!pos] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            go ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf input.[!pos];
+          incr pos;
+          go ()
+        end
+      in
+      go ();
+      emit (Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
+      match two with
+      | "<>" | "!=" ->
+        emit Ne;
+        pos := !pos + 2
+      | "<=" ->
+        emit Le;
+        pos := !pos + 2
+      | ">=" ->
+        emit Ge;
+        pos := !pos + 2
+      | _ ->
+        (match c with
+        | '(' -> emit Lparen
+        | ')' -> emit Rparen
+        | ',' -> emit Comma
+        | ';' -> emit Semi
+        | '.' -> emit Dot
+        | '*' -> emit Star
+        | '+' -> emit Plus
+        | '-' -> emit Minus
+        | '/' -> emit Slash
+        | '=' -> emit Eq
+        | '<' -> emit Lt
+        | '>' -> emit Gt
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)));
+        incr pos
+    end
+  done;
+  emit Eof;
+  Array.of_list (List.rev !tokens)
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Host_var s -> Format.fprintf ppf "@%s" s
+  | Int_lit i -> Format.fprintf ppf "%d" i
+  | Str_lit s -> Format.fprintf ppf "'%s'" s
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Semi -> Format.pp_print_string ppf ";"
+  | Dot -> Format.pp_print_string ppf "."
+  | Star -> Format.pp_print_string ppf "*"
+  | Plus -> Format.pp_print_string ppf "+"
+  | Minus -> Format.pp_print_string ppf "-"
+  | Slash -> Format.pp_print_string ppf "/"
+  | Eq -> Format.pp_print_string ppf "="
+  | Ne -> Format.pp_print_string ppf "<>"
+  | Lt -> Format.pp_print_string ppf "<"
+  | Le -> Format.pp_print_string ppf "<="
+  | Gt -> Format.pp_print_string ppf ">"
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eof -> Format.pp_print_string ppf "<eof>"

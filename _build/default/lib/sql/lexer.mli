@@ -1,0 +1,32 @@
+(** Tokenizer for the SQL dialect. *)
+
+type token =
+  | Ident of string  (** identifier or keyword; keywords are recognized case-insensitively by the parser *)
+  | Host_var of string  (** [@name] *)
+  | Int_lit of int
+  | Str_lit of string  (** single-quoted *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+exception Lex_error of string
+
+(** [tokenize s] lexes a full input. Comments run from [--] to end of
+    line. @raise Lex_error on an unterminated string or a stray
+    character. *)
+val tokenize : string -> token array
+
+val pp_token : Format.formatter -> token -> unit

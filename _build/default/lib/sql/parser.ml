@@ -1,0 +1,601 @@
+open Ent_storage
+
+exception Parse_error of string
+
+type item =
+  | Program of Ast.program
+  | Stmt of Ast.stmt
+
+type state = {
+  tokens : Lexer.token array;
+  mutable pos : int;
+}
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let tok = peek st in
+  advance st;
+  tok
+
+let keyword_eq kw = function
+  | Lexer.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let at_keyword st kw = keyword_eq kw (peek st)
+
+let eat_keyword st kw =
+  if at_keyword st kw then advance st
+  else fail "expected %s, got %a" kw Lexer.pp_token (peek st)
+
+let eat_tok st tok name =
+  if peek st = tok then advance st
+  else fail "expected %s, got %a" name Lexer.pp_token (peek st)
+
+let opt_keyword st kw =
+  if at_keyword st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let parse_ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  | tok -> fail "expected identifier, got %a" Lexer.pp_token tok
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  match peek st with
+  | Lexer.Plus ->
+    advance st;
+    Ast.Binop (Add, lhs, parse_additive st)
+  | Lexer.Minus ->
+    advance st;
+    Ast.Binop (Sub, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_multiplicative st =
+  let lhs = parse_primary_expr st in
+  match peek st with
+  | Lexer.Star ->
+    advance st;
+    Ast.Binop (Mul, lhs, parse_multiplicative st)
+  | Lexer.Slash ->
+    advance st;
+    Ast.Binop (Div, lhs, parse_multiplicative st)
+  | _ -> lhs
+
+and parse_primary_expr st =
+  match next st with
+  | Lexer.Int_lit i -> Ast.Lit (Value.Int i)
+  | Lexer.Minus -> (
+    match next st with
+    | Lexer.Int_lit i -> Ast.Lit (Value.Int (-i))
+    | tok -> fail "expected integer after '-', got %a" Lexer.pp_token tok)
+  | Lexer.Str_lit s -> (
+    (* Date literals are written as strings, as in the paper. *)
+    match Value.parse_date s with
+    | Some d -> Ast.Lit d
+    | None -> Ast.Lit (Value.Str s))
+  | Lexer.Host_var v -> Ast.Host v
+  | Lexer.Ident id when String.uppercase_ascii id = "NULL" -> Ast.Lit Value.Null
+  | Lexer.Ident id when String.uppercase_ascii id = "TRUE" ->
+    Ast.Lit (Value.Bool true)
+  | Lexer.Ident id when String.uppercase_ascii id = "FALSE" ->
+    Ast.Lit (Value.Bool false)
+  | Lexer.Ident id when
+      List.mem (String.uppercase_ascii id) [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+      && peek st = Lexer.Lparen ->
+    let fn =
+      match String.uppercase_ascii id with
+      | "COUNT" -> Ast.Count
+      | "SUM" -> Ast.Sum
+      | "MIN" -> Ast.Min
+      | "MAX" -> Ast.Max
+      | _ -> Ast.Avg
+    in
+    advance st;
+    let arg =
+      if peek st = Lexer.Star then begin
+        if fn <> Ast.Count then fail "only COUNT may take *";
+        advance st;
+        None
+      end
+      else Some (parse_expr st)
+    in
+    eat_tok st Lexer.Rparen ")";
+    Ast.Agg (fn, arg)
+  | Lexer.Ident id ->
+    if peek st = Lexer.Dot then begin
+      advance st;
+      let col = parse_ident st in
+      Ast.Col (Some id, col)
+    end
+    else Ast.Col (None, id)
+  | Lexer.Lparen ->
+    let e = parse_expr st in
+    eat_tok st Lexer.Rparen ")";
+    e
+  | tok -> fail "expected expression, got %a" Lexer.pp_token tok
+
+(* --- conditions --- *)
+
+(* Find the token index just after the parenthesized group starting at
+   [st.pos] (which must be a Lparen), to disambiguate "(a, b) IN ..."
+   from a parenthesized condition. *)
+let index_after_paren_group st =
+  let n = Array.length st.tokens in
+  let rec go i depth =
+    if i >= n then None
+    else
+      match st.tokens.(i) with
+      | Lexer.Lparen -> go (i + 1) (depth + 1)
+      | Lexer.Rparen -> if depth = 1 then Some (i + 1) else go (i + 1) (depth - 1)
+      | _ -> go (i + 1) depth
+  in
+  go st.pos 0
+
+let rec parse_cond_or st =
+  let lhs = parse_cond_and st in
+  if opt_keyword st "OR" then Ast.Or (lhs, parse_cond_or st) else lhs
+
+and parse_cond_and st =
+  let lhs = parse_cond_not st in
+  if opt_keyword st "AND" then Ast.And (lhs, parse_cond_and st) else lhs
+
+and parse_cond_not st =
+  if opt_keyword st "NOT" then Ast.Not (parse_cond_not st)
+  else parse_cond_atom st
+
+and parse_cond_atom st =
+  match peek st with
+  | Lexer.Lparen -> (
+    match index_after_paren_group st with
+    | Some after when keyword_eq "IN" st.tokens.(after) ->
+      (* "(e1, ..., ek) IN ..." *)
+      advance st;
+      let exprs = parse_expr_list st in
+      eat_tok st Lexer.Rparen ")";
+      parse_in_tail st exprs
+    | _ ->
+      advance st;
+      let c = parse_cond_or st in
+      eat_tok st Lexer.Rparen ")";
+      c)
+  | _ ->
+    let exprs = parse_expr_list st in
+    (match exprs with
+    | [ e ] when not (at_keyword st "IN") -> parse_cmp_tail st e
+    | _ -> parse_in_tail st exprs)
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if peek st = Lexer.Comma then begin
+    advance st;
+    e :: parse_expr_list st
+  end
+  else [ e ]
+
+and parse_cmp_tail st lhs =
+  if at_keyword st "BETWEEN" then begin
+    advance st;
+    let lo = parse_expr st in
+    eat_keyword st "AND";
+    let hi = parse_expr st in
+    Ast.Between (lhs, lo, hi)
+  end
+  else
+  let op =
+    match next st with
+    | Lexer.Eq -> Ast.Eq
+    | Lexer.Ne -> Ast.Ne
+    | Lexer.Lt -> Ast.Lt
+    | Lexer.Le -> Ast.Le
+    | Lexer.Gt -> Ast.Gt
+    | Lexer.Ge -> Ast.Ge
+    | tok -> fail "expected comparison operator, got %a" Lexer.pp_token tok
+  in
+  Ast.Cmp (op, lhs, parse_expr st)
+
+and parse_in_tail st exprs =
+  eat_keyword st "IN";
+  if at_keyword st "ANSWER" then begin
+    advance st;
+    let rel = parse_ident st in
+    Ast.In_answer (exprs, rel)
+  end
+  else begin
+    eat_tok st Lexer.Lparen "(";
+    if at_keyword st "SELECT" then begin
+      advance st;
+      let sub = parse_select_after_keyword st in
+      eat_tok st Lexer.Rparen ")";
+      Ast.In_select (exprs, sub)
+    end
+    else begin
+      (* value list: only the single-expression form *)
+      match exprs with
+      | [ e ] ->
+        let values = parse_expr_list st in
+        eat_tok st Lexer.Rparen ")";
+        Ast.In_list (e, values)
+      | _ -> fail "tuple IN requires a subquery or ANSWER relation"
+    end
+  end
+
+(* --- SELECT --- *)
+
+and parse_proj st =
+  (* A bare @var projection stays a host-variable expression here; the
+     evaluator interprets an *unbound* one in a classical SELECT as the
+     Appendix D shorthand "column var AS @var". *)
+  let e = parse_expr st in
+  if opt_keyword st "AS" then
+    match next st with
+    | Lexer.Host_var v -> { Ast.pexpr = e; pbind = Some v }
+    | tok -> fail "expected @var after AS, got %a" Lexer.pp_token tok
+  else { Ast.pexpr = e; pbind = None }
+
+and parse_proj_list st =
+  let p = parse_proj st in
+  if peek st = Lexer.Comma then begin
+    advance st;
+    p :: parse_proj_list st
+  end
+  else [ p ]
+
+and parse_table_ref st =
+  let table = parse_ident st in
+  let alias =
+    if opt_keyword st "AS" then parse_ident st
+    else
+      match peek st with
+      | Lexer.Ident id
+        when not
+               (List.mem (String.uppercase_ascii id)
+                  [ "WHERE"; "LIMIT"; "CHOOSE"; "ORDER"; "GROUP" ]) ->
+        advance st;
+        id
+      | _ -> table
+  in
+  (table, alias)
+
+and parse_table_refs st =
+  let r = parse_table_ref st in
+  if peek st = Lexer.Comma then begin
+    advance st;
+    r :: parse_table_refs st
+  end
+  else [ r ]
+
+and parse_select_after_keyword st =
+  let distinct = opt_keyword st "DISTINCT" in
+  let projs = parse_proj_list st in
+  let from = if opt_keyword st "FROM" then parse_table_refs st else [] in
+  let where = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
+  let group_by =
+    if opt_keyword st "GROUP" then begin
+      eat_keyword st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let order_by =
+    if opt_keyword st "ORDER" then begin
+      eat_keyword st "BY";
+      let rec keys () =
+        let e = parse_expr st in
+        let dir =
+          if opt_keyword st "DESC" then Ast.Desc
+          else begin
+            ignore (opt_keyword st "ASC");
+            Ast.Asc
+          end
+        in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          (e, dir) :: keys ()
+        end
+        else [ (e, dir) ]
+      in
+      keys ()
+    end
+    else []
+  in
+  let limit =
+    if opt_keyword st "LIMIT" then
+      match next st with
+      | Lexer.Int_lit i -> Some i
+      | tok -> fail "expected integer after LIMIT, got %a" Lexer.pp_token tok
+    else None
+  in
+  { Ast.distinct; projs; from; where; group_by; order_by; limit }
+
+and parse_select_tail st ~distinct ~projs =
+  let from = if opt_keyword st "FROM" then parse_table_refs st else [] in
+  let where = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
+  let group_by =
+    if opt_keyword st "GROUP" then begin
+      eat_keyword st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let order_by =
+    if opt_keyword st "ORDER" then begin
+      eat_keyword st "BY";
+      let rec keys () =
+        let e = parse_expr st in
+        let dir =
+          if opt_keyword st "DESC" then Ast.Desc
+          else begin
+            ignore (opt_keyword st "ASC");
+            Ast.Asc
+          end
+        in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          (e, dir) :: keys ()
+        end
+        else [ (e, dir) ]
+      in
+      keys ()
+    end
+    else []
+  in
+  let limit =
+    if opt_keyword st "LIMIT" then
+      match next st with
+      | Lexer.Int_lit i -> Some i
+      | tok -> fail "expected integer after LIMIT, got %a" Lexer.pp_token tok
+    else None
+  in
+  { Ast.distinct; projs; from; where; group_by; order_by; limit }
+
+(* --- entangled SELECT --- *)
+
+and parse_entangled_after_into st projs =
+  eat_keyword st "ANSWER";
+  let into = parse_ident st in
+  if peek st = Lexer.Comma then
+    fail "multiple INTO ANSWER relations are only supported in the IR API";
+  let ewhere = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
+  eat_keyword st "CHOOSE";
+  let choose =
+    match next st with
+    | Lexer.Int_lit i when i >= 1 -> i
+    | tok -> fail "expected positive integer after CHOOSE, got %a" Lexer.pp_token tok
+  in
+  { Ast.eprojs = projs; into; ewhere; choose }
+
+(* --- statements --- *)
+
+let parse_insert st =
+  eat_keyword st "INTO";
+  let table = parse_ident st in
+  let columns =
+    if peek st = Lexer.Lparen then begin
+      advance st;
+      let rec cols () =
+        let c = parse_ident st in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          c :: cols ()
+        end
+        else [ c ]
+      in
+      let cs = cols () in
+      eat_tok st Lexer.Rparen ")";
+      Some cs
+    end
+    else None
+  in
+  eat_keyword st "VALUES";
+  eat_tok st Lexer.Lparen "(";
+  let values = parse_expr_list st in
+  eat_tok st Lexer.Rparen ")";
+  Ast.Insert { table; columns; values }
+
+let parse_update st =
+  let table = parse_ident st in
+  eat_keyword st "SET";
+  let rec assigns () =
+    let col = parse_ident st in
+    eat_tok st Lexer.Eq "=";
+    let e = parse_expr st in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      (col, e) :: assigns ()
+    end
+    else [ (col, e) ]
+  in
+  let set = assigns () in
+  let where = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
+  Ast.Update { table; set; where }
+
+let parse_delete st =
+  eat_keyword st "FROM";
+  let table = parse_ident st in
+  let where = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
+  Ast.Delete { table; where }
+
+let col_type_of_name name =
+  match String.uppercase_ascii name with
+  | "INT" | "INTEGER" -> Schema.T_int
+  | "STRING" | "VARCHAR" | "TEXT" | "CHAR" -> Schema.T_str
+  | "DATE" -> Schema.T_date
+  | "BOOL" | "BOOLEAN" -> Schema.T_bool
+  | "ANY" -> Schema.T_any
+  | _ -> fail "unknown column type %s" name
+
+let parse_create st =
+  let ordered = opt_keyword st "ORDERED" in
+  if opt_keyword st "INDEX" then begin
+    eat_keyword st "ON";
+    let table = parse_ident st in
+    eat_tok st Lexer.Lparen "(";
+    let rec cols () =
+      let c = parse_ident st in
+      if peek st = Lexer.Comma then begin
+        advance st;
+        c :: cols ()
+      end
+      else [ c ]
+    in
+    let columns = cols () in
+    eat_tok st Lexer.Rparen ")";
+    if ordered && List.length columns <> 1 then
+      fail "ordered indexes cover exactly one column";
+    Ast.Create_index { table; columns; ordered }
+  end
+  else begin
+  if ordered then fail "ORDERED only applies to CREATE INDEX";
+  eat_keyword st "TABLE";
+  let table = parse_ident st in
+  eat_tok st Lexer.Lparen "(";
+  let rec cols () =
+    let name = parse_ident st in
+    let ty = col_type_of_name (parse_ident st) in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      (name, ty) :: cols ()
+    end
+    else [ (name, ty) ]
+  in
+  let columns = cols () in
+  eat_tok st Lexer.Rparen ")";
+  Ast.Create_table { table; columns }
+  end
+
+let parse_set st =
+  match next st with
+  | Lexer.Host_var v ->
+    eat_tok st Lexer.Eq "=";
+    Ast.Set_var (v, parse_expr st)
+  | tok -> fail "expected @var after SET, got %a" Lexer.pp_token tok
+
+let parse_statement st =
+  match peek st with
+  | Lexer.Ident kw -> (
+    advance st;
+    match String.uppercase_ascii kw with
+    | "SELECT" ->
+      let distinct = opt_keyword st "DISTINCT" in
+      let projs = parse_proj_list st in
+      if opt_keyword st "INTO" then begin
+        if distinct then fail "DISTINCT is not meaningful on an entangled query";
+        Ast.Entangled (parse_entangled_after_into st projs)
+      end
+      else begin
+        let rest = parse_select_tail st ~distinct ~projs in
+        Ast.Select rest
+      end
+    | "INSERT" -> parse_insert st
+    | "UPDATE" -> parse_update st
+    | "DELETE" -> parse_delete st
+    | "CREATE" -> parse_create st
+    | "DROP" ->
+      eat_keyword st "TABLE";
+      Ast.Drop_table (parse_ident st)
+    | "SET" -> parse_set st
+    | "ROLLBACK" -> Ast.Rollback
+    | other -> fail "unexpected statement keyword %s" other)
+  | tok -> fail "expected statement, got %a" Lexer.pp_token tok
+
+(* --- transaction blocks & scripts --- *)
+
+let timeout_seconds amount unit_name =
+  let amount = float_of_int amount in
+  match String.uppercase_ascii unit_name with
+  | "SECOND" | "SECONDS" -> amount
+  | "MINUTE" | "MINUTES" -> amount *. 60.
+  | "HOUR" | "HOURS" -> amount *. 3600.
+  | "DAY" | "DAYS" -> amount *. 86400.
+  | other -> fail "unknown timeout unit %s" other
+
+let parse_program_after_begin st =
+  eat_keyword st "TRANSACTION";
+  let timeout =
+    if opt_keyword st "WITH" then begin
+      eat_keyword st "TIMEOUT";
+      match next st with
+      | Lexer.Int_lit amount -> Some (timeout_seconds amount (parse_ident st))
+      | tok -> fail "expected integer after TIMEOUT, got %a" Lexer.pp_token tok
+    end
+    else None
+  in
+  eat_tok st Lexer.Semi ";";
+  let rec stmts () =
+    if at_keyword st "COMMIT" then begin
+      advance st;
+      if peek st = Lexer.Semi then advance st;
+      []
+    end
+    else begin
+      let s = parse_statement st in
+      eat_tok st Lexer.Semi ";";
+      s :: stmts ()
+    end
+  in
+  { Ast.timeout; body = stmts () }
+
+let make_state input = { tokens = Lexer.tokenize input; pos = 0 }
+
+let expect_eof st =
+  if peek st = Lexer.Semi then advance st;
+  match peek st with
+  | Lexer.Eof -> ()
+  | tok -> fail "trailing input: %a" Lexer.pp_token tok
+
+let parse_stmt input =
+  let st = make_state input in
+  let s = parse_statement st in
+  expect_eof st;
+  s
+
+let parse_program input =
+  let st = make_state input in
+  eat_keyword st "BEGIN";
+  let p = parse_program_after_begin st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | tok -> fail "trailing input after COMMIT: %a" Lexer.pp_token tok);
+  p
+
+let parse_script input =
+  let st = make_state input in
+  let rec items () =
+    match peek st with
+    | Lexer.Eof -> []
+    | Lexer.Semi ->
+      advance st;
+      items ()
+    | _ ->
+      if at_keyword st "BEGIN" then begin
+        advance st;
+        let p = parse_program_after_begin st in
+        Program p :: items ()
+      end
+      else begin
+        let s = parse_statement st in
+        (match peek st with
+        | Lexer.Semi -> advance st
+        | Lexer.Eof -> ()
+        | tok -> fail "expected ';', got %a" Lexer.pp_token tok);
+        Stmt s :: items ()
+      end
+  in
+  items ()
+
+let parse_cond input =
+  let st = make_state input in
+  let c = parse_cond_or st in
+  expect_eof st;
+  c

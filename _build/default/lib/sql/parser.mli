@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SQL dialect of {!Ast}. *)
+
+exception Parse_error of string
+
+(** One top-level item of a script: an explicit transaction block or a
+    bare statement (to be run as its own transaction, "autocommit"). *)
+type item =
+  | Program of Ast.program
+  | Stmt of Ast.stmt
+
+(** Parse a single statement (no trailing input allowed besides an
+    optional [;]). *)
+val parse_stmt : string -> Ast.stmt
+
+(** Parse one [BEGIN TRANSACTION ... COMMIT] block. *)
+val parse_program : string -> Ast.program
+
+(** Parse a whole script: a sequence of transaction blocks and bare
+    statements. *)
+val parse_script : string -> item list
+
+(** Parse a condition in isolation (used by tests). *)
+val parse_cond : string -> Ast.cond

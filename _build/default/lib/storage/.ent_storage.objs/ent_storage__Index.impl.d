@@ -1,0 +1,1 @@
+lib/storage/index.ml: Hashtbl Int List Set Tuple Value

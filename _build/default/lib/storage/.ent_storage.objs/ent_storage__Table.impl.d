@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Index List Option Ordered_index Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Ordered_index Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Format List Printf Schema Value

@@ -1,0 +1,48 @@
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.equal Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module H = Hashtbl.Make (Key)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  positions : int list;
+  entries : Int_set.t ref H.t;
+  mutable cardinal : int;
+}
+
+let create ~positions = { positions; entries = H.create 64; cardinal = 0 }
+let positions t = t.positions
+let key_of t row = List.map (fun i -> Tuple.get row i) t.positions
+
+let insert t key row_id =
+  (match H.find_opt t.entries key with
+  | Some set ->
+    if not (Int_set.mem row_id !set) then begin
+      set := Int_set.add row_id !set;
+      t.cardinal <- t.cardinal + 1
+    end
+  | None ->
+    H.add t.entries key (ref (Int_set.singleton row_id));
+    t.cardinal <- t.cardinal + 1)
+
+let remove t key row_id =
+  match H.find_opt t.entries key with
+  | None -> ()
+  | Some set ->
+    if Int_set.mem row_id !set then begin
+      set := Int_set.remove row_id !set;
+      t.cardinal <- t.cardinal - 1;
+      if Int_set.is_empty !set then H.remove t.entries key
+    end
+
+let lookup t key =
+  match H.find_opt t.entries key with
+  | None -> []
+  | Some set -> Int_set.elements !set
+
+let cardinal t = t.cardinal

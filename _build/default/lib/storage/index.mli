@@ -1,0 +1,20 @@
+(** Hash indexes mapping a key (a projection of a row) to row ids. *)
+
+type t
+
+(** [create ~positions] indexes rows on the columns at [positions]. *)
+val create : positions:int list -> t
+
+val positions : t -> int list
+
+(** [key_of index row] is the index key of a row. *)
+val key_of : t -> Tuple.t -> Value.t list
+
+val insert : t -> Value.t list -> int -> unit
+val remove : t -> Value.t list -> int -> unit
+
+(** [lookup index key] is the row ids whose key equals [key], in
+    ascending id order. *)
+val lookup : t -> Value.t list -> int list
+
+val cardinal : t -> int

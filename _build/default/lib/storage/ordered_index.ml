@@ -1,0 +1,76 @@
+module Value_map = Map.Make (Value)
+module Int_set = Set.Make (Int)
+
+type t = {
+  position : int;
+  mutable entries : Int_set.t Value_map.t;
+  mutable cardinal : int;
+}
+
+let create ~position = { position; entries = Value_map.empty; cardinal = 0 }
+let position t = t.position
+
+let insert t key row_id =
+  let existing =
+    Option.value ~default:Int_set.empty (Value_map.find_opt key t.entries)
+  in
+  if not (Int_set.mem row_id existing) then begin
+    t.entries <- Value_map.add key (Int_set.add row_id existing) t.entries;
+    t.cardinal <- t.cardinal + 1
+  end
+
+let remove t key row_id =
+  match Value_map.find_opt key t.entries with
+  | None -> ()
+  | Some existing ->
+    if Int_set.mem row_id existing then begin
+      let remaining = Int_set.remove row_id existing in
+      t.entries <-
+        (if Int_set.is_empty remaining then Value_map.remove key t.entries
+         else Value_map.add key remaining t.entries);
+      t.cardinal <- t.cardinal - 1
+    end
+
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+let in_lo lo key =
+  match lo with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v >= 0
+  | Exclusive v -> Value.compare key v > 0
+
+let in_hi hi key =
+  match hi with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v <= 0
+  | Exclusive v -> Value.compare key v < 0
+
+let range t ~lo ~hi =
+  (* Walk only the sub-map above the lower bound; stop at the upper. *)
+  let exception Done of int list in
+  let start =
+    match lo with
+    | Unbounded -> t.entries
+    | Inclusive v | Exclusive v ->
+      let _, eq, above = Value_map.split v t.entries in
+      (match lo, eq with
+      | Inclusive _, Some set -> Value_map.add v set above
+      | _ -> above)
+  in
+  try
+    let acc =
+      Value_map.fold
+        (fun key set acc ->
+          if not (in_hi hi key) then raise (Done acc)
+          else if in_lo lo key then
+            List.rev_append (Int_set.elements set) acc
+          else acc)
+        start []
+    in
+    List.rev acc
+  with Done acc -> List.rev acc
+
+let cardinal t = t.cardinal

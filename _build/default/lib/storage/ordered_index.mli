@@ -1,0 +1,23 @@
+(** Ordered (single-column) indexes supporting range lookups, for
+    BETWEEN and inequality probes. Backed by a balanced map from value
+    to row-id set. *)
+
+type t
+
+(** [create ~position] indexes rows on the column at [position]. *)
+val create : position:int -> t
+
+val position : t -> int
+val insert : t -> Value.t -> int -> unit
+val remove : t -> Value.t -> int -> unit
+
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+(** [range t ~lo ~hi] is the row ids whose key lies in the interval, in
+    ascending (key, id) order. *)
+val range : t -> lo:bound -> hi:bound -> int list
+
+val cardinal : t -> int

@@ -1,0 +1,166 @@
+type row_id = int
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable slots : Tuple.t option array;
+  mutable next_id : int;
+  mutable live : int;
+  mutable indexes : Index.t list;
+  mutable ordered : Ordered_index.t list;
+}
+
+let create ?(name = "<anon>") schema =
+  { name; schema; slots = Array.make 16 None; next_id = 0; live = 0; indexes = []; ordered = [] }
+
+let name t = t.name
+let schema t = t.schema
+
+let ensure_capacity t id =
+  let n = Array.length t.slots in
+  if id >= n then begin
+    let cap = max (n * 2) (id + 1) in
+    let slots = Array.make cap None in
+    Array.blit t.slots 0 slots 0 n;
+    t.slots <- slots
+  end
+
+let index_insert t row id =
+  List.iter (fun ix -> Index.insert ix (Index.key_of ix row) id) t.indexes;
+  List.iter
+    (fun ox -> Ordered_index.insert ox (Tuple.get row (Ordered_index.position ox)) id)
+    t.ordered
+
+let index_remove t row id =
+  List.iter (fun ix -> Index.remove ix (Index.key_of ix row) id) t.indexes;
+  List.iter
+    (fun ox -> Ordered_index.remove ox (Tuple.get row (Ordered_index.position ox)) id)
+    t.ordered
+
+let insert t row =
+  let row = Tuple.of_array t.schema row in
+  let id = t.next_id in
+  ensure_capacity t id;
+  t.slots.(id) <- Some row;
+  t.next_id <- id + 1;
+  t.live <- t.live + 1;
+  index_insert t row id;
+  id
+
+let get t id =
+  if id < 0 || id >= t.next_id then None else t.slots.(id)
+
+let delete t id =
+  match get t id with
+  | None -> None
+  | Some row ->
+    t.slots.(id) <- None;
+    t.live <- t.live - 1;
+    index_remove t row id;
+    Some row
+
+let update t id row =
+  match get t id with
+  | None -> None
+  | Some old ->
+    let row = Tuple.of_array t.schema row in
+    t.slots.(id) <- Some row;
+    index_remove t old id;
+    index_insert t row id;
+    Some old
+
+let restore t id row =
+  if id < 0 then invalid_arg "Table.restore: negative row id";
+  let row = Tuple.of_array t.schema row in
+  ensure_capacity t id;
+  (match t.slots.(id) with
+  | Some _ -> invalid_arg "Table.restore: row id occupied"
+  | None -> ());
+  t.slots.(id) <- Some row;
+  if id >= t.next_id then t.next_id <- id + 1;
+  t.live <- t.live + 1;
+  index_insert t row id
+
+let cardinal t = t.live
+
+let iter f t =
+  for id = 0 to t.next_id - 1 do
+    match t.slots.(id) with
+    | Some row -> f id row
+    | None -> ()
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun id row -> acc := f id row !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun id row acc -> (id, row) :: acc) t [])
+
+let find_index t positions =
+  List.find_opt (fun ix -> Index.positions ix = positions) t.indexes
+
+let add_index t ~positions =
+  match find_index t positions with
+  | Some _ -> ()
+  | None ->
+    let ix = Index.create ~positions in
+    iter (fun id row -> Index.insert ix (Index.key_of ix row) id) t;
+    t.indexes <- ix :: t.indexes
+
+let lookup t ~positions key =
+  match find_index t positions with
+  | Some ix ->
+    List.filter_map
+      (fun id -> Option.map (fun row -> (id, row)) (get t id))
+      (Index.lookup ix key)
+  | None ->
+    List.rev
+      (fold
+         (fun id row acc ->
+           let projected = List.map (fun i -> Tuple.get row i) positions in
+           if List.equal Value.equal projected key then (id, row) :: acc
+           else acc)
+         t [])
+
+let add_ordered_index t ~position =
+  if
+    not
+      (List.exists (fun ox -> Ordered_index.position ox = position) t.ordered)
+  then begin
+    let ox = Ordered_index.create ~position in
+    iter (fun id row -> Ordered_index.insert ox (Tuple.get row position) id) t;
+    t.ordered <- ox :: t.ordered
+  end
+
+let has_ordered_index t ~position =
+  List.exists (fun ox -> Ordered_index.position ox = position) t.ordered
+
+let range_lookup t ~position ~lo ~hi =
+  match List.find_opt (fun ox -> Ordered_index.position ox = position) t.ordered with
+  | Some ox ->
+    List.filter_map
+      (fun id -> Option.map (fun row -> (id, row)) (get t id))
+      (Ordered_index.range ox ~lo ~hi)
+  | None ->
+    let keep v =
+      (match lo with
+      | Ordered_index.Unbounded -> true
+      | Ordered_index.Inclusive b -> Value.compare v b >= 0
+      | Ordered_index.Exclusive b -> Value.compare v b > 0)
+      &&
+      match hi with
+      | Ordered_index.Unbounded -> true
+      | Ordered_index.Inclusive b -> Value.compare v b <= 0
+      | Ordered_index.Exclusive b -> Value.compare v b < 0
+    in
+    List.rev
+      (fold
+         (fun id row acc ->
+           if keep (Tuple.get row position) then (id, row) :: acc else acc)
+         t [])
+
+let clear t =
+  iter (fun id row -> index_remove t row id) t;
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.live <- 0

@@ -1,0 +1,73 @@
+(** Heap tables: rows addressed by dense integer row ids, with
+    maintained hash indexes.
+
+    Row ids are assigned in insertion order and never reused, which
+    gives deterministic scan order — important for reproducible
+    experiment runs and for the deterministic-evaluation assumption the
+    paper's serializability proof relies on (§C.1). *)
+
+type t
+
+type row_id = int
+
+val create : ?name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+
+(** [insert t row] checks the row against the schema and returns its
+    fresh row id. *)
+val insert : t -> Tuple.t -> row_id
+
+(** [get t id] is [Some row] for a live row, [None] for a deleted or
+    never-assigned id. *)
+val get : t -> row_id -> Tuple.t option
+
+(** [delete t id] removes a live row and returns its old value. *)
+val delete : t -> row_id -> Tuple.t option
+
+(** [update t id row] replaces a live row, maintaining indexes, and
+    returns the old value. *)
+val update : t -> row_id -> Tuple.t -> Tuple.t option
+
+(** [restore t id row] re-inserts a row under a specific id (used by
+    transaction rollback and recovery). The id must be unoccupied but
+    may be below the current high-water mark. *)
+val restore : t -> row_id -> Tuple.t -> unit
+
+(** Live row count. *)
+val cardinal : t -> int
+
+(** [iter f t] applies [f] to live rows in ascending row-id order. *)
+val iter : (row_id -> Tuple.t -> unit) -> t -> unit
+
+val fold : (row_id -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> (row_id * Tuple.t) list
+
+(** [add_index t ~positions] creates (and backfills) a hash index; a
+    second call for the same positions is a no-op. *)
+val add_index : t -> positions:int list -> unit
+
+(** [add_ordered_index t ~position] creates (and backfills) an ordered
+    index on one column, enabling {!range_lookup}. Idempotent. *)
+val add_ordered_index : t -> position:int -> unit
+
+(** [range_lookup t ~position ~lo ~hi] returns the live rows whose
+    column at [position] falls in the interval, using an ordered index
+    when one exists and a scan otherwise. Rows are in ascending
+    (key, id) order when indexed, id order otherwise. *)
+val range_lookup :
+  t ->
+  position:int ->
+  lo:Ordered_index.bound ->
+  hi:Ordered_index.bound ->
+  (row_id * Tuple.t) list
+
+(** True when an ordered index exists on this column. *)
+val has_ordered_index : t -> position:int -> bool
+
+(** [lookup t ~positions key] uses an index on [positions] when one
+    exists, else scans. Returns matching (id, row) pairs in id order. *)
+val lookup : t -> positions:int list -> Value.t list -> (row_id * Tuple.t) list
+
+(** Remove all rows (indexes kept, row ids keep growing). *)
+val clear : t -> unit

@@ -1,0 +1,43 @@
+type t = Value.t array
+
+let of_array schema values =
+  if Array.length values <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Tuple: arity mismatch (got %d, schema has %d)"
+         (Array.length values) (Schema.arity schema));
+  List.iteri
+    (fun i (c : Schema.column) ->
+      if not (Schema.check_value c.ty values.(i)) then
+        invalid_arg
+          (Printf.sprintf "Tuple: column %s expects %s, got %s" c.name
+             (Schema.type_name c.ty)
+             (Value.type_name values.(i))))
+    (Schema.columns schema);
+  values
+
+let make schema values = of_array schema (Array.of_list values)
+let arity = Array.length
+let get t i = t.(i)
+let project t positions = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let compare a b =
+  let rec go i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+let to_list = Array.to_list
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Value.pp)
+    (to_list t)

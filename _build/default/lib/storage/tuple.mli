@@ -1,0 +1,20 @@
+(** Tuples (rows): immutable arrays of values checked against a schema. *)
+
+type t = Value.t array
+
+(** [make schema values] checks arity and column types.
+    @raise Invalid_argument on arity or type mismatch. *)
+val make : Schema.t -> Value.t list -> t
+
+val of_array : Schema.t -> Value.t array -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** [project t positions] extracts the listed positions, in order. *)
+val project : t -> int list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_list : t -> Value.t list
+val pp : Format.formatter -> t -> unit

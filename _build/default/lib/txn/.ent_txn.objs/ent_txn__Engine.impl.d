@@ -1,0 +1,1 @@
+lib/txn/engine.ml: Catalog Ent_sql Ent_storage Hashtbl Int List Lock Printf Schema Table Tuple Wal

@@ -1,0 +1,1 @@
+lib/txn/engine.mli: Catalog Ent_sql Ent_storage Lock Schema Table Value Wal

@@ -1,0 +1,1 @@
+lib/txn/lock.ml: Hashtbl Int List Option

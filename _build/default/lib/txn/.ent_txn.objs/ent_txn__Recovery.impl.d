@@ -1,0 +1,1 @@
+lib/txn/recovery.ml: Catalog Ent_storage Hashtbl Int List Option Schema Set Table Wal

@@ -1,0 +1,1 @@
+lib/txn/recovery.mli: Catalog Ent_storage Wal

@@ -1,0 +1,1 @@
+lib/txn/wal.ml: Ent_storage Fun List Marshal Schema String Tuple

@@ -1,0 +1,382 @@
+open Ent_storage
+
+exception Blocked of int
+exception Deadlock_victim of int
+
+type read_target =
+  | T_table of string
+  | T_row of string * int
+
+type event =
+  | Ev_read of int * read_target
+  | Ev_grounding_read of int * string
+  | Ev_write of int * string * int
+  | Ev_begin of int
+  | Ev_commit of int
+  | Ev_abort of int
+
+type write = {
+  w_seq : int;  (* global write sequence, for cross-transaction undo order *)
+  w_table : string;
+  w_row : int;
+  w_before : Tuple.t option;
+  w_after : Tuple.t option;
+}
+
+type txn = {
+  id : int;
+  mutable writes : write list;  (* newest first *)
+  mutable write_count : int;
+  mutable grounding_tables : string list;
+  mutable finished : bool;
+}
+
+type t = {
+  catalog : Catalog.t;
+  locks : Lock.t;
+  wal : Wal.t option;
+  txns : (int, txn) Hashtbl.t;
+  mutable next_txn : int;
+  mutable wakeups : int list;
+  mutable on_event : (event -> unit) option;
+  mutable constraints : (string * (Catalog.t -> bool)) list;
+  mutable write_seq : int;
+}
+
+let create ?(wal = false) ?on_event catalog =
+  {
+    catalog;
+    locks = Lock.create ();
+    wal = (if wal then Some (Wal.create ()) else None);
+    txns = Hashtbl.create 32;
+    next_txn = 1;
+    wakeups = [];
+    on_event;
+    constraints = [];
+    write_seq = 0;
+  }
+
+let catalog t = t.catalog
+let log t = t.wal
+let locks t = t.locks
+let set_on_event t f = t.on_event <- f
+
+let emit t ev =
+  match t.on_event with
+  | Some f -> f ev
+  | None -> ()
+
+let log_record t record =
+  match t.wal with
+  | Some wal -> ignore (Wal.append wal record)
+  | None -> ()
+
+let schema_columns schema =
+  List.map (fun (c : Schema.column) -> (c.name, c.ty)) (Schema.columns schema)
+
+let create_table t name schema =
+  let table = Catalog.create_table t.catalog name schema in
+  log_record t (Create { table = name; columns = schema_columns schema });
+  table
+
+let load t name row =
+  let table = Catalog.find_exn t.catalog name in
+  let id = Table.insert table row in
+  log_record t (Write { txn = 0; table = name; row = id; before = None; after = Some row });
+  id
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  Hashtbl.replace t.txns id
+    { id; writes = []; write_count = 0; grounding_tables = []; finished = false };
+  log_record t (Begin id);
+  emit t (Ev_begin id);
+  id
+
+let is_active t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some txn -> not txn.finished
+  | None -> false
+
+let find_txn t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some txn when not txn.finished -> txn
+  | _ -> invalid_arg (Printf.sprintf "Engine: transaction %d is not active" id)
+
+(* Acquire a lock or suspend/abort the requester. *)
+let acquire t txn_id resource mode =
+  match Lock.request t.locks ~txn:txn_id resource mode with
+  | Lock.Granted -> ()
+  | Lock.Waiting -> (
+    match Lock.deadlock_cycle t.locks ~txn:txn_id with
+    | Some _ ->
+      (* Break the cycle by sacrificing the requester; the caller must
+         abort it, which dequeues the request and releases its locks. *)
+      raise (Deadlock_victim txn_id)
+    | None -> raise (Blocked txn_id))
+
+let table_of t name =
+  match Catalog.find t.catalog name with
+  | Some table -> table
+  | None -> raise (Ent_sql.Eval.Eval_error ("unknown table " ^ name))
+
+let record_write t txn table_name row before after =
+  t.write_seq <- t.write_seq + 1;
+  txn.writes <-
+    { w_seq = t.write_seq; w_table = table_name; w_row = row;
+      w_before = before; w_after = after }
+    :: txn.writes;
+  txn.write_count <- txn.write_count + 1;
+  log_record t
+    (Write { txn = txn.id; table = table_name; row; before; after });
+  emit t (Ev_write (txn.id, table_name, row))
+
+let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
+  let read_table name =
+    (* Full scans take a table-level shared lock whether grounding or
+       not: there is no finer lock that protects against phantoms. *)
+    if lock_reads then acquire t txn_id (Lock.Table name) Lock.S;
+    if grounding then begin
+      let txn = find_txn t txn_id in
+      if not (List.mem name txn.grounding_tables) then
+        txn.grounding_tables <- name :: txn.grounding_tables;
+      emit t (Ev_grounding_read (txn_id, name))
+    end
+    else emit t (Ev_read (txn_id, T_table name))
+  in
+  let read_rows name =
+    (* Indexed lookups take an intention lock here plus row locks on the
+       returned rows; grounding lookups escalate to a table lock. *)
+    if lock_reads then
+      if grounding then acquire t txn_id (Lock.Table name) Lock.S
+      else acquire t txn_id (Lock.Table name) Lock.IS;
+    if grounding then begin
+      let txn = find_txn t txn_id in
+      if not (List.mem name txn.grounding_tables) then
+        txn.grounding_tables <- name :: txn.grounding_tables;
+      emit t (Ev_grounding_read (txn_id, name))
+    end
+  in
+  let lock_row name row =
+    if lock_reads && not grounding then
+      acquire t txn_id (Lock.Row (name, row)) Lock.S;
+    if not grounding then emit t (Ev_read (txn_id, T_row (name, row)))
+  in
+  let write_locks name row =
+    acquire t txn_id (Lock.Table name) Lock.IX;
+    acquire t txn_id (Lock.Row (name, row)) Lock.X
+  in
+  {
+    schema_of = (fun name -> Table.schema (table_of t name));
+    scan =
+      (fun name ->
+        read_table name;
+        Table.to_list (table_of t name));
+    lookup =
+      (fun name ~positions key ->
+        read_rows name;
+        let rows = Table.lookup (table_of t name) ~positions key in
+        List.iter (fun (id, _) -> lock_row name id) rows;
+        rows);
+    insert =
+      (fun name row ->
+        let txn = find_txn t txn_id in
+        acquire t txn_id (Lock.Table name) Lock.IX;
+        let id = Table.insert (table_of t name) row in
+        (match Lock.request t.locks ~txn:txn_id (Lock.Row (name, id)) Lock.X with
+        | Lock.Granted -> ()
+        | Lock.Waiting -> assert false (* fresh row: no competitors *));
+        record_write t txn name id None (Some row);
+        id);
+    update =
+      (fun name id row ->
+        let txn = find_txn t txn_id in
+        write_locks name id;
+        match Table.update (table_of t name) id row with
+        | Some before -> record_write t txn name id (Some before) (Some row)
+        | None -> raise (Ent_sql.Eval.Eval_error "update of missing row"));
+    delete =
+      (fun name id ->
+        let txn = find_txn t txn_id in
+        write_locks name id;
+        match Table.delete (table_of t name) id with
+        | Some before -> record_write t txn name id (Some before) None
+        | None -> raise (Ent_sql.Eval.Eval_error "delete of missing row"));
+    create =
+      (fun name schema ->
+        (* DDL inside transactions is not part of the paper's model;
+           execute it immediately and log it. *)
+        ignore (create_table t name schema));
+    create_index =
+      (fun name columns ->
+        let table = table_of t name in
+        let schema = Table.schema table in
+        let positions =
+          List.map
+            (fun c ->
+              if Schema.mem schema c then Schema.index_of schema c
+              else
+                raise
+                  (Ent_sql.Eval.Eval_error
+                     (Printf.sprintf "CREATE INDEX: unknown column %s on %s" c name)))
+            columns
+        in
+        Table.add_index table ~positions);
+    create_ordered_index =
+      (fun name column ->
+        let table = table_of t name in
+        let schema = Table.schema table in
+        if not (Schema.mem schema column) then
+          raise
+            (Ent_sql.Eval.Eval_error
+               (Printf.sprintf "CREATE ORDERED INDEX: unknown column %s on %s"
+                  column name));
+        Table.add_ordered_index table ~position:(Schema.index_of schema column));
+    range =
+      (fun name ~position ~lo ~hi ->
+        (* like an indexed lookup: intention lock plus row locks *)
+        read_rows name;
+        let rows = Table.range_lookup (table_of t name) ~position ~lo ~hi in
+        List.iter (fun (id, _) -> lock_row name id) rows;
+        rows);
+    has_range =
+      (fun name position -> Table.has_ordered_index (table_of t name) ~position);
+    drop = (fun name -> Catalog.drop t.catalog name);
+  }
+
+let add_constraint t ~name predicate =
+  t.constraints <- t.constraints @ [ (name, predicate) ]
+
+let violated_constraint t =
+  List.find_map
+    (fun (name, predicate) -> if predicate t.catalog then None else Some name)
+    t.constraints
+
+let savepoint t txn_id = (find_txn t txn_id).write_count
+
+(* Undo writes down to a savepoint, logging compensations so that
+   redo-only recovery replays to the right state. *)
+let rollback_to t txn_id sp =
+  let txn = find_txn t txn_id in
+  let rec undo () =
+    if txn.write_count > sp then begin
+      match txn.writes with
+      | [] -> assert false
+      | w :: rest ->
+        txn.writes <- rest;
+        txn.write_count <- txn.write_count - 1;
+        let table = table_of t w.w_table in
+        (match w.w_before, w.w_after with
+        | None, Some _ -> ignore (Table.delete table w.w_row)
+        | Some before, Some _ -> ignore (Table.update table w.w_row before)
+        | Some before, None -> Table.restore table w.w_row before
+        | None, None -> ());
+        log_record t
+          (Write
+             {
+               txn = txn_id;
+               table = w.w_table;
+               row = w.w_row;
+               before = w.w_after;
+               after = w.w_before;
+             });
+        undo ()
+    end
+  in
+  undo ()
+
+let finish t txn =
+  txn.finished <- true;
+  let woken = Lock.release_all t.locks ~txn:txn.id in
+  t.wakeups <- t.wakeups @ woken
+
+(* Undo one write (compensation-logged). *)
+let undo_write t txn_id (w : write) =
+  let table = table_of t w.w_table in
+  (match w.w_before, w.w_after with
+  | None, Some _ -> ignore (Table.delete table w.w_row)
+  | Some before, Some _ -> ignore (Table.update table w.w_row before)
+  | Some before, None -> Table.restore table w.w_row before
+  | None, None -> ());
+  log_record t
+    (Write
+       {
+         txn = txn_id;
+         table = w.w_table;
+         row = w.w_row;
+         before = w.w_after;
+         after = w.w_before;
+       })
+
+(* Abort a whole entanglement group. Group members share lock
+   ownership, so their writes to the same row interleave; restoring
+   before-images per member would resurrect overwritten values. Undo
+   the MERGED write log of all members in reverse global order. *)
+let abort_group t txn_ids =
+  let members = List.filter (fun id -> is_active t id) txn_ids in
+  let tagged =
+    List.concat_map
+      (fun id ->
+        let txn = find_txn t id in
+        List.map (fun w -> (id, w)) txn.writes)
+      members
+  in
+  let ordered =
+    List.sort (fun (_, a) (_, b) -> Int.compare b.w_seq a.w_seq) tagged
+  in
+  List.iter (fun (id, w) -> undo_write t id w) ordered;
+  List.iter
+    (fun id ->
+      let txn = find_txn t id in
+      txn.writes <- [];
+      txn.write_count <- 0;
+      log_record t (Abort id);
+      emit t (Ev_abort id);
+      finish t txn)
+    members
+
+let commit t txn_id =
+  let txn = find_txn t txn_id in
+  log_record t (Commit txn_id);
+  emit t (Ev_commit txn_id);
+  finish t txn
+
+let abort t txn_id =
+  let txn = find_txn t txn_id in
+  rollback_to t txn_id 0;
+  log_record t (Abort txn_id);
+  emit t (Ev_abort txn_id);
+  finish t txn
+
+(* Sharp checkpoint: only legal at quiescence. *)
+let checkpoint t =
+  let active =
+    Hashtbl.fold (fun _ txn acc -> acc || not txn.finished) t.txns false
+  in
+  if active then
+    invalid_arg "Engine.checkpoint: active transactions (sharp checkpoints only)";
+  let tables =
+    List.map
+      (fun name ->
+        let table = Catalog.find_exn t.catalog name in
+        (name, schema_columns (Table.schema table), Table.to_list table))
+      (Catalog.table_names t.catalog)
+  in
+  log_record t (Checkpoint { tables })
+
+let log_entangle_group t ~event ~members =
+  log_record t (Entangle_group { event; members })
+
+let set_lock_group t ~txn ~group = Lock.set_group t.locks ~txn ~group
+
+let log_pool_snapshot t programs = log_record t (Pool_snapshot programs)
+
+let take_wakeups t =
+  let woken = List.sort_uniq Int.compare t.wakeups in
+  t.wakeups <- [];
+  (* Only report transactions that are still alive and no longer
+     waiting on anything. *)
+  List.filter (fun id -> is_active t id && not (Lock.is_waiting t.locks ~txn:id)) woken
+
+let grounding_reads t txn_id = (find_txn t txn_id).grounding_tables

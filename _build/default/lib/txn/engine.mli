@@ -1,0 +1,119 @@
+(** The transactional engine: catalog + lock manager + WAL, with
+    per-transaction locked data access.
+
+    The engine is cooperative. Data access raises {!Blocked} when a
+    lock must be waited for (the caller suspends the transaction and
+    retries the statement after a wake-up) and {!Deadlock_victim} when
+    the request would close a waits-for cycle (the caller aborts).
+
+    Transaction id 0 is reserved for bootstrap loading and is always
+    treated as committed by recovery. *)
+
+open Ent_storage
+
+exception Blocked of int  (** payload: the blocked transaction id *)
+
+exception Deadlock_victim of int
+
+(** What a read touched, mirroring the lock taken: full scans read (and
+    table-S-lock) the whole table; indexed lookups read specific rows. *)
+type read_target =
+  | T_table of string
+  | T_row of string * int
+
+type event =
+  | Ev_read of int * read_target
+  | Ev_grounding_read of int * string  (** grounding reads are always table-level *)
+  | Ev_write of int * string * int  (** (txn, table, row) *)
+  | Ev_begin of int
+  | Ev_commit of int
+  | Ev_abort of int
+
+type t
+
+(** [create ~wal catalog] wraps an existing catalog. With [~wal:true]
+    every change is logged and {!log} is available for recovery tests.
+    [on_event] feeds the schedule recorder. *)
+val create : ?wal:bool -> ?on_event:(event -> unit) -> Catalog.t -> t
+
+val catalog : t -> Catalog.t
+val log : t -> Wal.t option
+val locks : t -> Lock.t
+
+(** Replace the event listener (used to attach a recorder after setup). *)
+val set_on_event : t -> (event -> unit) option -> unit
+
+(** Create a table through the engine so it is logged for recovery. *)
+val create_table : t -> string -> Schema.t -> Table.t
+
+(** Bulk-load a row as the bootstrap pseudo-transaction (id 0):
+    logged, never locked. *)
+val load : t -> string -> Value.t array -> int
+
+val begin_txn : t -> int
+
+(** True when the id denotes a live (begun, not yet finished) txn. *)
+val is_active : t -> int -> bool
+
+(** [access t txn] is the locked {!Ent_sql.Eval.access} view for a
+    transaction. [grounding] selects table-level shared locks on reads
+    (used while grounding entangled queries, §3.3.3); classical reads
+    take intention locks plus row locks on lookups and table locks on
+    full scans. The [lock_reads] flag (default true) exists so relaxed
+    isolation levels can skip read locks entirely. *)
+val access : t -> int -> grounding:bool -> ?lock_reads:bool -> unit -> Ent_sql.Eval.access
+
+(** Number of writes performed so far; pass back to {!rollback_to} for
+    statement-level atomicity. *)
+val savepoint : t -> int -> int
+
+(** Undo (with compensation logging) all writes after a savepoint. *)
+val rollback_to : t -> int -> int -> unit
+
+(** Register a named integrity constraint — a predicate over the whole
+    database that consistent states satisfy (the "consistency" of
+    Assumption 3.1/3.5). Constraints are checked by the execution layer
+    before commits; see {!violated_constraint}. *)
+val add_constraint : t -> name:string -> (Ent_storage.Catalog.t -> bool) -> unit
+
+(** The name of some violated constraint in the current (dirty) table
+    state, if any. *)
+val violated_constraint : t -> string option
+
+(** Commit: logs, releases locks, queues wake-ups. *)
+val commit : t -> int -> unit
+
+(** Abort: undoes all writes, logs, releases locks, queues wake-ups. *)
+val abort : t -> int -> unit
+
+(** Abort several transactions of one entanglement group together.
+    Group members share lock ownership and may have interleaved writes
+    to the same rows; this undoes their merged write log in reverse
+    order, which per-member {!abort} cannot do safely. Inactive ids are
+    skipped. *)
+val abort_group : t -> int list -> unit
+
+(** Record that the listed transactions entangled (event id is
+    system-wide unique); logged for entanglement-aware recovery. *)
+val log_entangle_group : t -> event:int -> members:int list -> unit
+
+(** Tag a transaction as belonging to an entanglement group for lock
+    purposes: group members never block each other (they commit or
+    abort together, so the group is one distributed lock owner). *)
+val set_lock_group : t -> txn:int -> group:int -> unit
+
+(** Persist the dormant pool (serialized programs). *)
+val log_pool_snapshot : t -> string list -> unit
+
+(** Write a sharp checkpoint (full table images) into the WAL, so
+    recovery restarts from it and the log can be compacted
+    ([Wal.compact]).
+    @raise Invalid_argument while any transaction is active. *)
+val checkpoint : t -> unit
+
+(** Transactions granted their pending lock since the last call. *)
+val take_wakeups : t -> int list
+
+(** Tables this transaction grounding-read so far (for quasi-read
+    bookkeeping). *)
+val grounding_reads : t -> int -> string list

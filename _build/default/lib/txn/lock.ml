@@ -1,0 +1,213 @@
+type mode = IS | IX | S | X
+
+type resource =
+  | Table of string
+  | Row of string * int
+
+let compatible a b =
+  match a, b with
+  | IS, IS | IS, IX | IX, IS | IX, IX | IS, S | S, IS | S, S -> true
+  | X, _ | _, X | S, IX | IX, S -> false
+
+(* Does holding [held] cover a request for [want]? *)
+let covers held want =
+  match held, want with
+  | X, _ -> true
+  | S, (S | IS) -> true
+  | IX, (IX | IS) -> true
+  | IS, IS -> true
+  | _ -> false
+
+(* Least mode at least as strong as both (escalating S+IX to X since we
+   do not implement SIX). *)
+let lub a b =
+  if covers a b then a
+  else if covers b a then b
+  else
+    match a, b with
+    | IS, IX | IX, IS -> IX
+    | S, IX | IX, S | S, X | X, S | IX, X | X, IX | IS, X | X, IS -> X
+    | IS, S | S, IS -> S
+    | IS, IS | IX, IX | S, S | X, X -> a
+
+type entry = {
+  mutable holders : (int * mode) list;
+  mutable queue : (int * mode) list;  (* FIFO: head is the oldest waiter *)
+}
+
+type t = {
+  entries : (resource, entry) Hashtbl.t;
+  owned : (int, resource list) Hashtbl.t;  (* resources a txn holds or waits on *)
+  groups : (int, int) Hashtbl.t;  (* txn -> entanglement group tag *)
+}
+
+let create () =
+  { entries = Hashtbl.create 64; owned = Hashtbl.create 16; groups = Hashtbl.create 16 }
+
+let set_group t ~txn ~group = Hashtbl.replace t.groups txn group
+
+let same_owner t a b =
+  a = b
+  ||
+  match Hashtbl.find_opt t.groups a, Hashtbl.find_opt t.groups b with
+  | Some ga, Some gb -> ga = gb
+  | _ -> false
+
+let entry_for t resource =
+  match Hashtbl.find_opt t.entries resource with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; queue = [] } in
+    Hashtbl.add t.entries resource e;
+    e
+
+let note_owned t txn resource =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.owned txn) in
+  if not (List.mem resource existing) then
+    Hashtbl.replace t.owned txn (resource :: existing)
+
+type outcome =
+  | Granted
+  | Waiting
+
+let other_holders t entry txn =
+  List.filter (fun (o, _) -> not (same_owner t o txn)) entry.holders
+
+let grantable t entry txn need =
+  List.for_all (fun (_, m) -> compatible need m) (other_holders t entry txn)
+
+let request t ~txn resource mode =
+  let entry = entry_for t resource in
+  let held = List.assoc_opt txn entry.holders in
+  let need =
+    match held with
+    | Some h -> lub h mode
+    | None -> mode
+  in
+  match held with
+  | Some h when covers h mode -> Granted
+  | _ ->
+    if List.exists (fun (o, _) -> o = txn) entry.queue then begin
+      (* already queued; strengthen the queued mode if needed *)
+      entry.queue <-
+        List.map
+          (fun (o, m) -> if o = txn then (o, lub m need) else (o, m))
+          entry.queue;
+      Waiting
+    end
+    else begin
+      let is_upgrade = held <> None in
+      (* Upgrades may jump the queue (a blocked upgrade behind a new
+         waiter on the same resource would deadlock trivially). Fresh
+         requests respect FIFO order. *)
+      if grantable t entry txn need && (entry.queue = [] || is_upgrade) then begin
+        entry.holders <-
+          (txn, need) :: List.filter (fun (o, _) -> o <> txn) entry.holders;
+        note_owned t txn resource;
+        Granted
+      end
+      else begin
+        entry.queue <- entry.queue @ [ (txn, need) ];
+        note_owned t txn resource;
+        Waiting
+      end
+    end
+
+let promote_waiters t entry =
+  (* Grant from the front of the queue while compatible. *)
+  let granted = ref [] in
+  let rec go () =
+    match entry.queue with
+    | [] -> ()
+    | (txn, need) :: rest ->
+      if grantable t entry txn need then begin
+        entry.holders <-
+          (txn, need) :: List.filter (fun (o, _) -> o <> txn) entry.holders;
+        entry.queue <- rest;
+        granted := txn :: !granted;
+        go ()
+      end
+  in
+  go ();
+  List.rev !granted
+
+let release_all t ~txn =
+  let resources = Option.value ~default:[] (Hashtbl.find_opt t.owned txn) in
+  Hashtbl.remove t.owned txn;
+  Hashtbl.remove t.groups txn;
+  let woken = ref [] in
+  List.iter
+    (fun resource ->
+      match Hashtbl.find_opt t.entries resource with
+      | None -> ()
+      | Some entry ->
+        entry.holders <- List.filter (fun (o, _) -> o <> txn) entry.holders;
+        entry.queue <- List.filter (fun (o, _) -> o <> txn) entry.queue;
+        woken := promote_waiters t entry @ !woken;
+        if entry.holders = [] && entry.queue = [] then
+          Hashtbl.remove t.entries resource)
+    resources;
+  List.sort_uniq Int.compare !woken
+
+let holders t resource =
+  match Hashtbl.find_opt t.entries resource with
+  | None -> []
+  | Some e -> e.holders
+
+let held t ~txn resource = List.assoc_opt txn (holders t resource)
+
+(* A waiter waits for every incompatible holder and every earlier
+   incompatible waiter on the same resource. *)
+let blockers_of_entry t entry txn =
+  match
+    List.find_opt (fun (o, _) -> o = txn) entry.queue
+  with
+  | None -> []
+  | Some (_, need) ->
+    let rec earlier acc = function
+      | [] -> acc
+      | (o, _) :: _ when o = txn -> acc
+      | (o, m) :: rest ->
+        earlier (if compatible need m then acc else o :: acc) rest
+    in
+    let from_holders =
+      List.filter_map
+        (fun (o, m) ->
+          if (not (same_owner t o txn)) && not (compatible need m) then Some o
+          else None)
+        entry.holders
+    in
+    from_holders @ earlier [] entry.queue
+
+let blockers t ~txn =
+  Hashtbl.fold
+    (fun _ entry acc -> blockers_of_entry t entry txn @ acc)
+    t.entries []
+  |> List.sort_uniq Int.compare
+
+let is_waiting t ~txn =
+  Hashtbl.fold
+    (fun _ entry acc -> acc || List.exists (fun (o, _) -> o = txn) entry.queue)
+    t.entries false
+
+let deadlock_cycle t ~txn =
+  (* DFS over the waits-for graph starting from [txn], looking for a
+     path back to [txn]. *)
+  let rec dfs path visited node =
+    let next = blockers t ~txn:node in
+    if List.mem txn next then Some (List.rev (node :: path))
+    else
+      List.fold_left
+        (fun acc n ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if List.mem n !visited then None
+            else begin
+              visited := n :: !visited;
+              dfs (node :: path) visited n
+            end)
+        None next
+  in
+  let visited = ref [ txn ] in
+  dfs [] visited txn

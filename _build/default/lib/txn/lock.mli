@@ -1,0 +1,65 @@
+(** Strict two-phase-locking lock manager with multigranularity modes.
+
+    Resources are whole tables or single rows. Classical reads take
+    [IS] on the table plus [S] on rows; writes take [IX] plus row [X];
+    grounding reads of entangled queries take table-level [S] — the
+    paper's §3.3.3 prescription for making quasi-reads repeatable
+    ("Minnie's transaction would have held a read lock on the Airlines
+    table until commit").
+
+    The manager is cooperative: a conflicting request is enqueued and
+    reported as {!Waiting}; the owner is expected to suspend and retry
+    after a wake-up. Deadlocks are detected on the waits-for graph at
+    enqueue time. *)
+
+type mode = IS | IX | S | X
+
+type resource =
+  | Table of string
+  | Row of string * int
+
+type t
+
+val create : unit -> t
+
+(** Group-aware ownership: transactions tagged with the same group
+    never conflict with each other. The scheduler tags the members of
+    an entanglement group — they are guaranteed to commit or abort
+    together (group commit), so the group behaves as one distributed
+    lock owner; without this, a transaction writing a table its partner
+    grounding-read could never commit. Tags are dropped on
+    {!release_all}. *)
+val set_group : t -> txn:int -> group:int -> unit
+
+type outcome =
+  | Granted
+  | Waiting
+
+(** [request t ~txn resource mode] acquires or upgrades a lock.
+    Upgrades combine the held and requested modes (e.g. holding [S] and
+    requesting [IX] escalates to [X]). Re-requesting a covered mode is
+    a no-op returning [Granted]. An already-queued request stays queued
+    and returns [Waiting] again. *)
+val request : t -> txn:int -> resource -> mode -> outcome
+
+(** [release_all t ~txn] releases every lock held by [txn], removes its
+    queued requests, and returns the transactions whose queued requests
+    became granted. *)
+val release_all : t -> txn:int -> int list
+
+(** Current holders of a resource, as (txn, mode). *)
+val holders : t -> resource -> (int * mode) list
+
+(** [held t ~txn resource] is the mode held, if any. *)
+val held : t -> txn:int -> resource -> mode option
+
+(** [blockers t ~txn] is the set of transactions [txn] currently waits
+    for (empty when it has no queued request). *)
+val blockers : t -> txn:int -> int list
+
+(** [deadlock_cycle t ~txn] is a waits-for cycle through [txn], if one
+    exists. *)
+val deadlock_cycle : t -> txn:int -> int list option
+
+(** True when [txn] has a queued (not yet granted) request. *)
+val is_waiting : t -> txn:int -> bool

@@ -1,0 +1,78 @@
+open Ent_storage
+
+type lsn = int
+
+type record =
+  | Begin of int
+  | Write of {
+      txn : int;
+      table : string;
+      row : int;
+      before : Tuple.t option;
+      after : Tuple.t option;
+    }
+  | Commit of int
+  | Abort of int
+  | Create of { table : string; columns : (string * Schema.col_type) list }
+  | Entangle_group of { event : int; members : int list }
+  | Pool_snapshot of string list
+  | Checkpoint of {
+      tables :
+        (string * (string * Schema.col_type) list * (int * Tuple.t) list) list;
+    }
+
+type t = { mutable log : record list; mutable len : int }
+(* [log] is kept reversed for O(1) append. *)
+
+let create () = { log = []; len = 0 }
+
+let append t record =
+  let lsn = t.len in
+  t.log <- record :: t.log;
+  t.len <- t.len + 1;
+  lsn
+
+let records t = List.rev t.log
+let length t = t.len
+
+let prefix t n =
+  let all = records t in
+  List.filteri (fun i _ -> i < n) all
+
+let compact t =
+  let all = records t in
+  let last_cp = ref (-1) in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Checkpoint _ -> last_cp := i
+      | _ -> ())
+    all;
+  if !last_cp >= 0 then begin
+    let kept = List.filteri (fun i _ -> i >= !last_cp) all in
+    t.log <- List.rev kept;
+    t.len <- List.length kept
+  end
+
+
+let magic = "ENTWAL1\n"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc (records t) [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then failwith "Wal.load: not an entangled WAL file";
+      let records : record list = Marshal.from_channel ic in
+      let t = create () in
+      List.iter (fun r -> ignore (append t r)) records;
+      t)

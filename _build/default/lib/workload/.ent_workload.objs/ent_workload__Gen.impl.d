@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Ent_core List Printf Social_graph String Travel

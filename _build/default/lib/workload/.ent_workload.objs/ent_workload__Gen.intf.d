@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Ent_core Travel

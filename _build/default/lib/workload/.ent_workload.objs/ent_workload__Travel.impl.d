@@ -1,0 +1,1 @@
+lib/workload/travel.ml: Array Ent_core Ent_storage List Printf Schema Social_graph

@@ -1,0 +1,1 @@
+lib/workload/travel.mli: Ent_core Social_graph

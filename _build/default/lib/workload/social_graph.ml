@@ -1,0 +1,102 @@
+type t = {
+  adjacency : int list array;  (* sorted, no duplicates *)
+}
+
+let users t = Array.length t.adjacency
+let friends t u = if u < 0 || u >= users t then [] else t.adjacency.(u)
+let degree t u = List.length (friends t u)
+
+let nth_friend t u k =
+  match friends t u with
+  | [] -> None
+  | fs -> Some (List.nth fs (k mod List.length fs))
+
+let edge_count t = Array.fold_left (fun acc fs -> acc + List.length fs) 0 t.adjacency
+
+let of_edge_list ~n edges =
+  let sets = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a <> b && a >= 0 && a < n && b >= 0 && b < n then begin
+        if not (List.mem b sets.(a)) then sets.(a) <- b :: sets.(a);
+        if not (List.mem a sets.(b)) then sets.(b) <- a :: sets.(b)
+      end)
+    edges;
+  { adjacency = Array.map (List.sort Int.compare) sets }
+
+let generate ?(seed = 1) ~users ~edges_per_node () =
+  if users < 2 then invalid_arg "Social_graph.generate: need at least 2 users";
+  let rng = Random.State.make [| seed; users; edges_per_node |] in
+  (* Preferential attachment via the repeated-endpoints urn. *)
+  let urn = ref [ 0; 1 ] in
+  let urn_size = ref 2 in
+  let edges = ref [ (0, 1) ] in
+  for v = 2 to users - 1 do
+    let m = min v (max 1 edges_per_node) in
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 20 * m do
+      incr attempts;
+      let idx = Random.State.int rng !urn_size in
+      let target = List.nth !urn idx in
+      if target <> v then Hashtbl.replace chosen target ()
+    done;
+    Hashtbl.iter
+      (fun target () ->
+        edges := (v, target) :: !edges;
+        urn := target :: !urn;
+        incr urn_size)
+      chosen;
+    urn := v :: !urn;
+    incr urn_size
+  done;
+  of_edge_list ~n:users !edges
+
+let parse_edges text =
+  let lines = String.split_on_char '\n' text in
+  let raw =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None
+        else
+          match
+            String.split_on_char '\t' line
+            |> List.concat_map (String.split_on_char ' ')
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ a; b ] -> (
+            match int_of_string_opt a, int_of_string_opt b with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+          | _ -> None)
+      lines
+  in
+  (* dense remap *)
+  let mapping = Hashtbl.create 1024 in
+  let next = ref 0 in
+  let map x =
+    match Hashtbl.find_opt mapping x with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      Hashtbl.replace mapping x i;
+      incr next;
+      i
+  in
+  let edges =
+    List.map
+      (fun (a, b) ->
+        let a = map a in
+        let b = map b in
+        (a, b))
+      raw
+  in
+  of_edge_list ~n:!next edges
+
+let load_edges path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_edges text

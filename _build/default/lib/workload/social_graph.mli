@@ -1,0 +1,31 @@
+(** Social graphs for the evaluation workloads.
+
+    The paper uses the SNAP Slashdot0902 social network. That file is
+    not available in the sealed build environment, so the default is a
+    synthetic preferential-attachment graph with the properties the
+    workload actually consumes: reciprocated friend edges and a
+    heavy-tailed degree distribution (see DESIGN.md §2.2). A loader for
+    the SNAP edge-list format is provided for users who have the data. *)
+
+type t
+
+(** [generate ~seed ~users ~edges_per_node] builds a deterministic
+    preferential-attachment graph. Edges are reciprocated. *)
+val generate : ?seed:int -> users:int -> edges_per_node:int -> unit -> t
+
+(** Parse SNAP edge-list text ([#] comments, one [from<TAB>to] pair per
+    line). Node ids are remapped densely; edges are reciprocated. *)
+val parse_edges : string -> t
+
+(** Read a SNAP edge-list file. *)
+val load_edges : string -> t
+
+val users : t -> int
+val friends : t -> int -> int list
+val degree : t -> int -> int
+
+(** [nth_friend t u k] picks a friend deterministically ([]: none). *)
+val nth_friend : t -> int -> int -> int option
+
+(** Total number of (directed) friendship pairs. *)
+val edge_count : t -> int

@@ -1,0 +1,1 @@
+test/test_appendix_d.ml: Alcotest Array Ent_core Ent_storage List Manager Scheduler Schema Value

@@ -1,0 +1,1 @@
+test/test_appendix_d.mli:

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Catalog Ent_core Ent_storage Ent_txn Isolation List Manager Oracle Printf Program QCheck2 QCheck_alcotest Scheduler Schema String Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_entangle.ml: Alcotest Ast Catalog Combined Coordinate Ent_entangle Ent_sql Ent_storage Eval Ground Hashtbl Int Ir List Parser Printf QCheck2 QCheck_alcotest Schema Table Translate Value

@@ -1,0 +1,1 @@
+test/test_interactive.ml: Alcotest Catalog Ent_core Ent_sql Ent_storage Ent_txn Hashtbl Interactive List Printf Schema Value

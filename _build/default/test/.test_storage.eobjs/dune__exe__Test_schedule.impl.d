@@ -1,0 +1,1 @@
+test/test_schedule.ml: Abstract Alcotest Anomaly Array Conflict Ent_core Ent_schedule Ent_storage Ent_txn Format History List Manager Option Printf QCheck2 QCheck_alcotest Recorder Scheduler

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost Ent_core Ent_sim Fun List Pool QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Catalog Ent_sql Ent_storage Eval Hashtbl Lexer List Parser Pretty Printf QCheck2 QCheck_alcotest Schema String Table Tuple Value

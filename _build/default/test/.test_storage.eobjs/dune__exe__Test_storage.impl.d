@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Catalog Ent_storage Hashtbl Int List Option Ordered_index Printf QCheck2 QCheck_alcotest Schema Stdlib Table Tuple Value

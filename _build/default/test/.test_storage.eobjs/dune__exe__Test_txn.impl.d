@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Catalog Engine Ent_core Ent_sql Ent_storage Ent_txn List Lock Option Printf Program QCheck2 QCheck_alcotest Recovery Schema String Table Tuple Value Wal

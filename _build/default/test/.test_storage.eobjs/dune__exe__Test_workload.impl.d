@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ent_core Ent_storage Ent_workload Filename Fun Gen List Manager Printf Program QCheck2 QCheck_alcotest Scheduler Social_graph Sys Travel

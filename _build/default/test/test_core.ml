@@ -1,0 +1,606 @@
+(* Integration tests for the entangled transaction manager: the
+   run-based scheduler (§4), group commit / widowed-transaction
+   prevention (§3.3.3), timeouts, the Figure 4 walkthrough, oracles
+   (Defs 3.2-3.4), and crash recovery of middleware state (§5.1). *)
+
+open Ent_storage
+open Ent_core
+
+let date y m d = Value.date_of_ymd ~y ~m ~d
+
+(* travel system: Flights + Hotels + Reserve bookkeeping *)
+let travel_manager ?config () =
+  let m = Manager.create ?config () in
+  Manager.define_table m "Flights"
+    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
+  Manager.define_table m "Hotels"
+    [ ("hid", Schema.T_int); ("location", Schema.T_str) ];
+  Manager.define_table m "Reserve"
+    [ ("name", Schema.T_str); ("what", Schema.T_str); ("item", Schema.T_int) ];
+  List.iter
+    (fun (fno, d, dest) -> Manager.load_row m "Flights" [ Int fno; d; Str dest ])
+    [ (122, date 2011 5 3, "LA");
+      (123, date 2011 5 4, "LA");
+      (124, date 2011 5 3, "LA");
+      (235, date 2011 5 5, "Paris") ];
+  List.iter
+    (fun (hid, loc) -> Manager.load_row m "Hotels" [ Int hid; Str loc ])
+    [ (7, "LA"); (8, "LA"); (9, "Paris") ];
+  m
+
+let flight_program ?(timeout = "") me partner =
+  Printf.sprintf
+    "BEGIN TRANSACTION%s;\n\
+     SELECT '%s', fno AS @fno, fdate INTO ANSWER FlightRes\n\
+     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+     AND ('%s', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
+     INSERT INTO Reserve VALUES ('%s', 'flight', @fno);\n\
+     COMMIT;"
+    timeout me partner me
+
+(* Figure 2: coordinate on flight, then on hotel for the arrival day. *)
+let travel_program me partner =
+  Printf.sprintf
+    "BEGIN TRANSACTION;\n\
+     SELECT '%s', fno AS @fno, fdate AS @ArrivalDay INTO ANSWER FlightRes\n\
+     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+     AND ('%s', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
+     INSERT INTO Reserve VALUES ('%s', 'flight', @fno);\n\
+     SET @StayLength = '2011-05-06' - @ArrivalDay;\n\
+     SELECT '%s', hid AS @hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes\n\
+     WHERE (hid) IN (SELECT hid FROM Hotels WHERE location='LA')\n\
+     AND ('%s', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes CHOOSE 1;\n\
+     INSERT INTO Reserve VALUES ('%s', 'hotel', @hid);\n\
+     COMMIT;"
+    me partner me me partner me
+
+let reserve_rows m =
+  List.map
+    (fun row ->
+      match row with
+      | [| Value.Str name; Value.Str what; item |] -> (name, what, Value.to_string item)
+      | _ -> Alcotest.fail "unexpected Reserve row shape")
+    (Manager.query m "SELECT name, what, item FROM Reserve")
+
+let outcome_name = function
+  | Some Scheduler.Committed -> "committed"
+  | Some Scheduler.Timed_out -> "timed-out"
+  | Some Scheduler.Rolled_back -> "rolled-back"
+  | Some (Scheduler.Errored msg) -> "errored:" ^ msg
+  | None -> "pending"
+
+let check_outcome m name expected id =
+  Alcotest.(check string) name expected (outcome_name (Manager.outcome m id))
+
+(* --- classical transactions through the manager --- *)
+
+let test_classical_transaction () =
+  let m = travel_manager () in
+  let id =
+    Manager.submit_string m
+      "BEGIN TRANSACTION;\n\
+       INSERT INTO Reserve VALUES ('Solo', 'flight', 122);\n\
+       COMMIT;"
+  in
+  Manager.drain m;
+  check_outcome m "committed" "committed" id;
+  Alcotest.(check int) "booking written" 1 (List.length (reserve_rows m))
+
+let test_classical_rollback () =
+  let m = travel_manager () in
+  let id =
+    Manager.submit_string m
+      "BEGIN TRANSACTION;\n\
+       INSERT INTO Reserve VALUES ('Solo', 'flight', 122);\n\
+       ROLLBACK;\n\
+       COMMIT;"
+  in
+  Manager.drain m;
+  check_outcome m "rolled back" "rolled-back" id;
+  Alcotest.(check int) "no booking" 0 (List.length (reserve_rows m))
+
+(* --- entangled coordination --- *)
+
+let test_mickey_minnie_commit () =
+  let m = travel_manager () in
+  let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (flight_program "Minnie" "Mickey") in
+  Manager.drain m;
+  check_outcome m "mickey" "committed" mickey;
+  check_outcome m "minnie" "committed" minnie;
+  let rows = reserve_rows m in
+  Alcotest.(check int) "two bookings" 2 (List.length rows);
+  (match rows with
+  | [ (_, _, f1); (_, _, f2) ] ->
+    Alcotest.(check string) "same flight" f1 f2
+  | _ -> Alcotest.fail "row count");
+  let s = Manager.stats m in
+  Alcotest.(check int) "one entangle event" 1 s.entangle_events
+
+let test_figure2_multi_query () =
+  let m = travel_manager () in
+  let mickey = Manager.submit_string m (travel_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (travel_program "Minnie" "Mickey") in
+  Manager.drain m;
+  check_outcome m "mickey" "committed" mickey;
+  check_outcome m "minnie" "committed" minnie;
+  let rows = reserve_rows m in
+  Alcotest.(check int) "four bookings" 4 (List.length rows);
+  let flights = List.filter (fun (_, what, _) -> what = "flight") rows in
+  let hotels = List.filter (fun (_, what, _) -> what = "hotel") rows in
+  (match flights, hotels with
+  | [ (_, _, f1); (_, _, f2) ], [ (_, _, h1); (_, _, h2) ] ->
+    Alcotest.(check string) "same flight" f1 f2;
+    Alcotest.(check string) "same hotel" h1 h2
+  | _ -> Alcotest.fail "booking shapes");
+  let s = Manager.stats m in
+  Alcotest.(check int) "two entangle events" 2 s.entangle_events
+
+let test_donald_waits_and_times_out () =
+  let m = travel_manager () in
+  let donald =
+    Manager.submit_string m
+      (flight_program ~timeout:" WITH TIMEOUT 0 SECONDS" "Donald" "Daffy")
+  in
+  Manager.drain m;
+  check_outcome m "donald times out" "timed-out" donald;
+  Alcotest.(check int) "no booking" 0 (List.length (reserve_rows m))
+
+let test_donald_stays_dormant_without_timeout () =
+  let m = travel_manager () in
+  let donald = Manager.submit_string m (flight_program "Donald" "Daffy") in
+  Manager.drain m;
+  Alcotest.(check string) "pending" "pending" (outcome_name (Manager.outcome m donald));
+  Alcotest.(check (list int)) "in dormant pool" [ donald ]
+    (Scheduler.dormant (Manager.scheduler m));
+  (* Daffy finally arrives: both commit. *)
+  let daffy = Manager.submit_string m (flight_program "Daffy" "Donald") in
+  Manager.drain m;
+  check_outcome m "donald" "committed" donald;
+  check_outcome m "daffy" "committed" daffy
+
+let test_figure4_walkthrough () =
+  (* Mickey and Minnie coordinate on flight then hotel; Donald waits
+     for Daffy. One run: Mickey & Minnie commit, Donald aborts back to
+     the pool. *)
+  let config =
+    { Scheduler.default_config with trigger = Scheduler.Manual }
+  in
+  let m = travel_manager ~config () in
+  let mickey = Manager.submit_string m (travel_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (travel_program "Minnie" "Mickey") in
+  let donald = Manager.submit_string m (flight_program "Donald" "Daffy") in
+  Manager.run_once m;
+  check_outcome m "mickey committed" "committed" mickey;
+  check_outcome m "minnie committed" "committed" minnie;
+  Alcotest.(check string) "donald pending" "pending"
+    (outcome_name (Manager.outcome m donald));
+  Alcotest.(check (list int)) "donald back in pool" [ donald ]
+    (Scheduler.dormant (Manager.scheduler m));
+  let s = Manager.stats m in
+  Alcotest.(check int) "runs" 1 s.runs;
+  Alcotest.(check bool) "several coordination rounds" true
+    (s.coordination_rounds >= 2);
+  Alcotest.(check int) "donald repooled once" 1 s.repooled
+
+let test_empty_success_proceeds () =
+  (* Structural partners, but no LA flights at all: both queries get an
+     empty (successful) answer and the transactions run to commit; the
+     booking inserts a NULL item. *)
+  let m = Manager.create () in
+  Manager.define_table m "Flights"
+    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
+  Manager.define_table m "Reserve"
+    [ ("name", Schema.T_str); ("what", Schema.T_str); ("item", Schema.T_int) ];
+  let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (flight_program "Minnie" "Mickey") in
+  Manager.drain m;
+  check_outcome m "mickey" "committed" mickey;
+  check_outcome m "minnie" "committed" minnie;
+  match Manager.query m "SELECT item FROM Reserve" with
+  | [ [| Value.Null |]; [| Value.Null |] ] -> ()
+  | _ -> Alcotest.fail "expected two NULL bookings"
+
+(* --- widowed-transaction prevention (Figure 3a) --- *)
+
+let minnie_aborts_program =
+  "BEGIN TRANSACTION;\n\
+   SELECT 'Minnie', fno AS @fno, fdate INTO ANSWER FlightRes\n\
+   WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+   AND ('Mickey', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
+   ROLLBACK;\n\
+   COMMIT;"
+
+let test_group_commit_prevents_widow () =
+  let m = travel_manager () in
+  let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m ~label:"minnie-aborts" minnie_aborts_program in
+  Manager.drain m;
+  (* Minnie rolled back after entangling; Mickey must NOT commit on the
+     assumption that Minnie travels with him. He aborts and retries --
+     forever partnerless, so he stays in the pool. *)
+  check_outcome m "minnie rolled back" "rolled-back" minnie;
+  Alcotest.(check string) "mickey not committed" "pending"
+    (outcome_name (Manager.outcome m mickey));
+  Alcotest.(check int) "no bookings at all" 0 (List.length (reserve_rows m))
+
+let test_no_group_commit_admits_widow () =
+  (* Same scenario at the relaxed level: Mickey commits a booking based
+     on Minnie's aborted promise — the widowed-transaction anomaly. *)
+  let config =
+    { Scheduler.default_config with isolation = Isolation.no_group_commit }
+  in
+  let m = travel_manager ~config () in
+  let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let _minnie = Manager.submit_string m ~label:"minnie-aborts" minnie_aborts_program in
+  Manager.drain m;
+  check_outcome m "mickey widowed but committed" "committed" mickey;
+  let rows = reserve_rows m in
+  Alcotest.(check int) "mickey's orphan booking exists" 1 (List.length rows)
+
+(* --- oracles --- *)
+
+let test_oracle_valid_execution () =
+  let m = travel_manager () in
+  let program = Program.of_string (flight_program "Mickey" "Minnie") in
+  let oracle =
+    Oracle.scripted
+      [ Some [ ("FlightRes", [ Value.Str "Mickey"; Value.Int 122; date 2011 5 3 ]) ] ]
+  in
+  let result = Oracle.run_solo (Manager.engine m) program oracle in
+  (match result.outcome with
+  | Oracle.Solo_committed -> ()
+  | _ -> Alcotest.fail "solo execution failed");
+  Alcotest.(check bool) "valid (Def 3.4)" true result.valid;
+  Alcotest.(check int) "booking written" 1 (List.length (reserve_rows m))
+
+let test_oracle_invalid_answer_flagged () =
+  let m = travel_manager () in
+  let program = Program.of_string (flight_program "Mickey" "Minnie") in
+  (* flight 999 is not a grounding of Mickey's query on this database *)
+  let oracle =
+    Oracle.scripted
+      [ Some [ ("FlightRes", [ Value.Str "Mickey"; Value.Int 999; date 2011 5 3 ]) ] ]
+  in
+  let result = Oracle.run_solo (Manager.engine m) program oracle in
+  Alcotest.(check bool) "invalid execution detected" false result.valid
+
+let test_oracle_empty_answer () =
+  let m = travel_manager () in
+  let program = Program.of_string (flight_program "Mickey" "Minnie") in
+  let result = Oracle.run_solo (Manager.engine m) program (Oracle.scripted [ None ]) in
+  (match result.outcome with
+  | Oracle.Solo_committed -> ()
+  | _ -> Alcotest.fail "empty answer should still commit");
+  Alcotest.(check bool) "empty answers are valid" true result.valid
+
+(* --- crash recovery of middleware state --- *)
+
+let test_recovery_restores_pool_and_data () =
+  let config =
+    { Scheduler.default_config with snapshot_pool = true }
+  in
+  let m = travel_manager ~config () in
+  let pair_a = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let pair_b = Manager.submit_string m (flight_program "Minnie" "Mickey") in
+  let lonely = Manager.submit_string m (flight_program "Donald" "Daffy") in
+  Manager.drain m;
+  check_outcome m "a committed" "committed" pair_a;
+  check_outcome m "b committed" "committed" pair_b;
+  Alcotest.(check int) "lonely still dormant" 1
+    (List.length (Scheduler.dormant (Manager.scheduler m)));
+  (* crash! *)
+  let m' = Manager.crash_and_recover m in
+  ignore lonely;
+  Alcotest.(check int) "bookings survive" 2
+    (List.length
+       (Manager.query m' "SELECT name FROM Reserve WHERE what = 'flight'"));
+  (* Donald's transaction was re-submitted from the pool snapshot; when
+     Daffy arrives in the recovered system, they coordinate. *)
+  let daffy = Manager.submit_string m' (flight_program "Daffy" "Donald") in
+  Manager.drain m';
+  check_outcome m' "daffy commits in recovered system" "committed" daffy;
+  Alcotest.(check int) "donald's booking exists now" 4
+    (List.length (Manager.query m' "SELECT name FROM Reserve"))
+
+(* --- integrity constraints (consistency, Assumption 3.1/3.5) --- *)
+
+(* seats bookkeeping: Stock(item, left) must never go negative *)
+let stock_manager ?config () =
+  let m = Manager.create ?config () in
+  Manager.define_table m "Stock"
+    [ ("item", Schema.T_str); ("left", Schema.T_int) ];
+  Manager.load_row m "Stock" [ Str "seat"; Int 1 ];
+  Manager.add_constraint m "no-negative-stock" (fun catalog ->
+      match Catalog.find catalog "Stock" with
+      | None -> true
+      | Some table ->
+        Table.fold
+          (fun _ row ok ->
+            ok
+            &&
+            match Tuple.get row 1 with
+            | Value.Int n -> n >= 0
+            | _ -> true)
+          table true);
+  m
+
+let take_seat_program =
+  "BEGIN TRANSACTION;\n\
+   UPDATE Stock SET left = left - 1 WHERE item = 'seat';\n\
+   COMMIT;"
+
+let test_constraint_blocks_overbooking () =
+  let m = stock_manager () in
+  let first = Manager.submit_string m take_seat_program in
+  let second = Manager.submit_string m take_seat_program in
+  Manager.drain m;
+  check_outcome m "first gets the seat" "committed" first;
+  (match Manager.outcome m second with
+  | Some (Scheduler.Errored msg) ->
+    Alcotest.(check bool) "names the constraint" true
+      (String.length msg > 0
+      && String.sub msg 0 10 = "constraint")
+  | other -> Alcotest.failf "second should violate (got %s)" (outcome_name other));
+  match Manager.query m "SELECT left FROM Stock" with
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "stock must end at exactly zero"
+
+let test_constraint_aborts_whole_group () =
+  (* an entangled pair whose combined bookings overbook: group commit
+     must refuse both, leaving the database consistent *)
+  let m = stock_manager () in
+  Manager.define_table m "Flights"
+    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
+  Manager.load_row m "Flights" [ Int 122; date 2011 5 3; Str "LA" ];
+  let grab me partner =
+    Printf.sprintf
+      "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+       SELECT '%s', fno AS @fno INTO ANSWER FlightRes\n\
+       WHERE (fno) IN (SELECT fno FROM Flights WHERE dest='LA')\n\
+       AND ('%s', fno) IN ANSWER FlightRes CHOOSE 1;\n\
+       UPDATE Stock SET left = left - 1 WHERE item = 'seat';\n\
+       COMMIT;"
+      me partner
+  in
+  let mickey = Manager.submit_string m (grab "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (grab "Minnie" "Mickey") in
+  Manager.drain m;
+  (* one seat, two coordinated takers: the group violates and both fail *)
+  (match Manager.outcome m mickey, Manager.outcome m minnie with
+  | Some (Scheduler.Errored _), Some (Scheduler.Errored _) -> ()
+  | a, b ->
+    Alcotest.failf "expected both errored, got %s / %s" (outcome_name a)
+      (outcome_name b));
+  match Manager.query m "SELECT left FROM Stock" with
+  | [ [| Value.Int 1 |] ] -> ()
+  | _ -> Alcotest.fail "the seat must still be there"
+
+let test_invalid_oracle_breaks_consistency () =
+  (* Definition 3.3 made operational: a VALID oracle answer preserves
+     consistency (Assumption 3.5); an INVALID one books a flight that
+     doesn't exist and trips the integrity constraint. *)
+  let fresh () =
+    let m = travel_manager () in
+    Manager.add_constraint m "bookings-reference-flights" (fun catalog ->
+        match Catalog.find catalog "Reserve", Catalog.find catalog "Flights" with
+        | Some reserve, Some flights ->
+          Table.fold
+            (fun _ row ok ->
+              ok
+              && (Tuple.get row 1 <> Value.Str "flight"
+                 || Table.lookup flights ~positions:[ 0 ] [ Tuple.get row 2 ] <> []))
+            reserve true
+        | _ -> true);
+    m
+  in
+  let program = Program.of_string (flight_program "Mickey" "Minnie") in
+  (* valid answer: flight 122 exists *)
+  let m = fresh () in
+  let valid_oracle =
+    Oracle.scripted [ Some [ ("FlightRes", [ Value.Str "Mickey"; Value.Int 122; date 2011 5 3 ]) ] ]
+  in
+  (match Oracle.run_solo (Manager.engine m) program valid_oracle with
+  | { outcome = Oracle.Solo_committed; valid = true; _ } -> ()
+  | _ -> Alcotest.fail "valid oracle execution should commit");
+  (* invalid answer: flight 999 does not exist -> inconsistent booking *)
+  let m' = fresh () in
+  let invalid_oracle =
+    Oracle.scripted [ Some [ ("FlightRes", [ Value.Str "Mickey"; Value.Int 999; date 2011 5 3 ]) ] ]
+  in
+  match Oracle.run_solo (Manager.engine m') program invalid_oracle with
+  | { outcome = Oracle.Solo_error _; valid = false; _ } -> ()
+  | { valid; _ } ->
+    Alcotest.failf "invalid oracle should break consistency (valid=%b)" valid
+
+(* --- time-interval run trigger (§4: frequency as a time interval) --- *)
+
+let test_interval_trigger () =
+  let config =
+    { Scheduler.default_config with trigger = Scheduler.Every_seconds 1.0 }
+  in
+  let m = travel_manager ~config () in
+  let first =
+    Manager.submit_string m
+      "BEGIN TRANSACTION;\nINSERT INTO Reserve VALUES ('a', 'flight', 1);\nCOMMIT;"
+  in
+  (* no time has passed since the (virtual) last run: stays pooled *)
+  Alcotest.(check string) "first waits" "pending"
+    (outcome_name (Manager.outcome m first));
+  Manager.advance_time m 2.0;
+  let second =
+    Manager.submit_string m
+      "BEGIN TRANSACTION;\nINSERT INTO Reserve VALUES ('b', 'flight', 2);\nCOMMIT;"
+  in
+  (* the second arrival finds the interval expired and triggers a run
+     covering both *)
+  check_outcome m "first ran" "committed" first;
+  check_outcome m "second ran" "committed" second
+
+(* --- program round-trip --- *)
+
+let test_program_serialization () =
+  let p = Program.of_string ~label:"mickey" (travel_program "Mickey" "Minnie") in
+  let p' = Program.of_serialized (Program.to_string p) in
+  Alcotest.(check string) "label survives" "mickey" p'.label;
+  Alcotest.(check int) "entangled count" 2 (Program.entangled_count p');
+  Alcotest.(check string) "stable serialization"
+    (Program.to_string p) (Program.to_string p')
+
+(* --- properties --- *)
+
+let prop_pairs_always_coordinate =
+  (* any number of complete pairs submitted in any interleaving all
+     commit, and every pair books one common flight *)
+  let gen = QCheck2.Gen.(pair (int_range 1 6) (int_range 1 4)) in
+  QCheck2.Test.make ~name:"complete pairs all commit" ~count:25 gen
+    (fun (n_pairs, f) ->
+      let config =
+        { Scheduler.default_config with trigger = Scheduler.Every_arrivals (2 * f) }
+      in
+      let m = travel_manager ~config () in
+      let ids =
+        List.concat
+          (List.init n_pairs (fun i ->
+               let a = Printf.sprintf "u%da" i and b = Printf.sprintf "u%db" i in
+               [ Manager.submit_string m (flight_program a b);
+                 Manager.submit_string m (flight_program b a) ]))
+      in
+      Manager.drain m;
+      List.for_all (fun id -> Manager.outcome m id = Some Scheduler.Committed) ids
+      && List.length (reserve_rows m) = 2 * n_pairs)
+
+let test_manual_trigger_and_misuse () =
+  let config = { Scheduler.default_config with trigger = Scheduler.Manual } in
+  let m = travel_manager ~config () in
+  (* run_once on an empty pool is a no-op *)
+  Manager.run_once m;
+  Alcotest.(check int) "no runs on empty pool" 0 (Manager.stats m).runs;
+  let id =
+    Manager.submit_string m
+      "BEGIN TRANSACTION;\nINSERT INTO Reserve VALUES ('m', 'flight', 1);\nCOMMIT;"
+  in
+  (* manual trigger: nothing ran at submission *)
+  Alcotest.(check string) "pending until run_once" "pending"
+    (outcome_name (Manager.outcome m id));
+  Manager.run_once m;
+  check_outcome m "committed after run_once" "committed" id;
+  (try
+     ignore (Manager.query m "INSERT INTO Reserve VALUES ('x', 'y', 1)");
+     Alcotest.fail "query accepted a non-SELECT"
+   with Invalid_argument _ -> ())
+
+let prop_scheduler_conserves_tasks =
+  (* Random mixes of paired, lonely, rolling-back and classical
+     transactions: after drain, every task is accounted for (final
+     outcome or dormant), the engine is quiescent, and all locks are
+     released. *)
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 0 5) (int_range 0 3)
+        (pair (int_range 0 3) (int_range 1 8)))
+  in
+  QCheck2.Test.make ~name:"drain accounts for every task" ~count:40 gen
+    (fun (pairs, lonely, (rollbacks, f)) ->
+      let config =
+        { Scheduler.default_config with trigger = Scheduler.Every_arrivals f }
+      in
+      let m = travel_manager ~config () in
+      let ids = ref [] in
+      let submit p = ids := Manager.submit m p :: !ids in
+      for k = 0 to pairs - 1 do
+        let a = Printf.sprintf "p%da" k and b = Printf.sprintf "p%db" k in
+        submit (Program.of_string (flight_program a b));
+        submit (Program.of_string (flight_program b a))
+      done;
+      for k = 0 to lonely - 1 do
+        submit
+          (Program.of_string
+             (flight_program (Printf.sprintf "lone%d" k) "nobody"))
+      done;
+      for _ = 0 to rollbacks - 1 do
+        submit
+          (Program.of_string
+             "BEGIN TRANSACTION;\n\
+              INSERT INTO Reserve VALUES ('r', 'flight', 1);\n\
+              ROLLBACK;\nCOMMIT;")
+      done;
+      Manager.drain m;
+      let dormant = Scheduler.dormant (Manager.scheduler m) in
+      let accounted id =
+        Manager.outcome m id <> None || List.mem id dormant
+      in
+      let no_active_txns =
+        (* every lock owner must be gone: probe a few resources *)
+        List.for_all
+          (fun table ->
+            Ent_txn.Lock.holders
+              (Ent_txn.Engine.locks (Manager.engine m))
+              (Ent_txn.Lock.Table table)
+            = [])
+          [ "Flights"; "Hotels"; "Reserve" ]
+      in
+      List.for_all accounted !ids
+      && no_active_txns
+      && List.length dormant = lonely)
+
+let prop_paired_outcomes_deterministic =
+  (* same submission sequence twice => identical outcomes and identical
+     simulated time (the determinism assumption of §C.1) *)
+  QCheck2.Test.make ~name:"executions are deterministic" ~count:20
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 1 6))
+    (fun (pairs, f) ->
+      let run () =
+        let config =
+          { Scheduler.default_config with trigger = Scheduler.Every_arrivals f }
+        in
+        let m = travel_manager ~config () in
+        let ids = ref [] in
+        for k = 0 to pairs - 1 do
+          let a = Printf.sprintf "p%da" k and b = Printf.sprintf "p%db" k in
+          ids := Manager.submit m (Program.of_string (flight_program a b)) :: !ids;
+          ids := Manager.submit m (Program.of_string (flight_program b a)) :: !ids
+        done;
+        Manager.drain m;
+        ( List.map (fun id -> outcome_name (Manager.outcome m id)) !ids,
+          Manager.now m,
+          reserve_rows m )
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "core"
+    [ ( "classical",
+        [ Alcotest.test_case "commit" `Quick test_classical_transaction;
+          Alcotest.test_case "rollback" `Quick test_classical_rollback ] );
+      ( "entangled",
+        [ Alcotest.test_case "mickey-minnie commit" `Quick test_mickey_minnie_commit;
+          Alcotest.test_case "figure 2 multi-query" `Quick test_figure2_multi_query;
+          Alcotest.test_case "timeout" `Quick test_donald_waits_and_times_out;
+          Alcotest.test_case "late partner" `Quick test_donald_stays_dormant_without_timeout;
+          Alcotest.test_case "figure 4 walkthrough" `Quick test_figure4_walkthrough;
+          Alcotest.test_case "empty success" `Quick test_empty_success_proceeds ] );
+      ( "isolation",
+        [ Alcotest.test_case "group commit prevents widow" `Quick test_group_commit_prevents_widow;
+          Alcotest.test_case "relaxed level admits widow" `Quick test_no_group_commit_admits_widow ] );
+      ( "oracle",
+        [ Alcotest.test_case "valid execution" `Quick test_oracle_valid_execution;
+          Alcotest.test_case "invalid answer flagged" `Quick test_oracle_invalid_answer_flagged;
+          Alcotest.test_case "empty answer" `Quick test_oracle_empty_answer ] );
+      ( "recovery",
+        [ Alcotest.test_case "pool and data restored" `Quick test_recovery_restores_pool_and_data ] );
+      ( "constraints",
+        [ Alcotest.test_case "overbooking blocked" `Quick test_constraint_blocks_overbooking;
+          Alcotest.test_case "group aborted together" `Quick test_constraint_aborts_whole_group;
+          Alcotest.test_case "invalid oracle breaks consistency" `Quick
+            test_invalid_oracle_breaks_consistency ] );
+      ( "scheduling",
+        [ Alcotest.test_case "interval trigger" `Quick test_interval_trigger;
+          Alcotest.test_case "manual trigger + misuse" `Quick test_manual_trigger_and_misuse ] );
+      ( "program",
+        [ Alcotest.test_case "serialization" `Quick test_program_serialization ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pairs_always_coordinate;
+            prop_scheduler_conserves_tasks;
+            prop_paired_outcomes_deterministic ] ) ]

@@ -1,0 +1,639 @@
+(* Tests for the entangled query engine: IR translation, grounding
+   (Figure 7), coordination (Figure 1), the Appendix B failure
+   classification, and complex coordination structures. *)
+
+open Ent_storage
+open Ent_sql
+open Ent_entangle
+
+let date y m d = Value.date_of_ymd ~y ~m ~d
+let may3 = date 2011 5 3
+let may4 = date 2011 5 4
+
+(* The Figure 1 database. *)
+let figure1_catalog () =
+  let cat = Catalog.create () in
+  let flights =
+    Catalog.create_table cat "Flights"
+      (Schema.make
+         [ { name = "fno"; ty = T_int };
+           { name = "fdate"; ty = T_date };
+           { name = "dest"; ty = T_str } ])
+  in
+  let airlines =
+    Catalog.create_table cat "Airlines"
+      (Schema.make
+         [ { name = "fno"; ty = T_int }; { name = "airline"; ty = T_str } ])
+  in
+  List.iter
+    (fun row -> ignore (Table.insert flights row))
+    [ [| Value.Int 122; may3; Value.Str "LA" |];
+      [| Value.Int 123; may4; Value.Str "LA" |];
+      [| Value.Int 124; may3; Value.Str "LA" |];
+      [| Value.Int 235; date 2011 5 5; Value.Str "Paris" |] ];
+  List.iter
+    (fun row -> ignore (Table.insert airlines row))
+    [ [| Value.Int 122; Value.Str "United" |];
+      [| Value.Int 123; Value.Str "United" |];
+      [| Value.Int 124; Value.Str "USAir" |];
+      [| Value.Int 235; Value.Str "Delta" |] ];
+  cat
+
+let parse_entangled input =
+  match Parser.parse_stmt input with
+  | Ast.Entangled e -> e
+  | _ -> Alcotest.fail "expected an entangled statement"
+
+let translate ?(env = Eval.fresh_env ()) input =
+  Translate.of_ast ~env (parse_entangled input)
+
+let mickey_src =
+  "SELECT 'Mickey', fno, fdate INTO ANSWER R WHERE (fno, fdate) IN (SELECT \
+   fno, fdate FROM Flights WHERE dest='LA') AND ('Minnie', fno, fdate) IN \
+   ANSWER R CHOOSE 1"
+
+let minnie_src =
+  "SELECT 'Minnie', fno, fdate INTO ANSWER R WHERE (fno, fdate) IN (SELECT \
+   F.fno, F.fdate FROM Flights F, Airlines A WHERE F.dest='LA' AND F.fno = \
+   A.fno AND A.airline='United') AND ('Mickey', fno, fdate) IN ANSWER R \
+   CHOOSE 1"
+
+let ground cat query =
+  Ground.compute ~access:(Eval.direct_access cat) ~env:(Eval.fresh_env ()) query
+
+(* --- translation --- *)
+
+let test_translate_mickey () =
+  let q = translate mickey_src in
+  Alcotest.(check int) "one head atom" 1 (List.length q.head);
+  Alcotest.(check int) "one postcondition" 1 (List.length q.post);
+  let head = List.hd q.head in
+  Alcotest.(check string) "head relation" "R" head.rel;
+  (match head.args with
+  | [ Ir.Const (Value.Str "Mickey"); Ir.Var "fno"; Ir.Var "fdate" ] -> ()
+  | _ -> Alcotest.fail "head args wrong");
+  Alcotest.(check (list string)) "answer vars" [ "fdate"; "fno" ] (Ir.answer_vars q)
+
+let test_translate_host_resolution () =
+  let env = Eval.fresh_env () in
+  Hashtbl.replace env "ArrivalDay" may3;
+  let q =
+    Translate.of_ast ~env
+      (parse_entangled
+         "SELECT 'Mickey', hid, @ArrivalDay INTO ANSWER H WHERE (hid) IN \
+          (SELECT hid FROM Hotels WHERE location='LA') AND ('Minnie', hid, \
+          @ArrivalDay) IN ANSWER H CHOOSE 1")
+  in
+  match (List.hd q.head).args with
+  | [ _; Ir.Var "hid"; Ir.Const d ] ->
+    Alcotest.(check string) "resolved date" "2011-05-03" (Value.to_string d)
+  | _ -> Alcotest.fail "host var not resolved into constant"
+
+let test_translate_binds () =
+  let q =
+    translate
+      "SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER R WHERE (fno, \
+       fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA') AND \
+       ('Minnie', fno, fdate) IN ANSWER R CHOOSE 1"
+  in
+  Alcotest.(check (list (pair string int))) "binding positions"
+    [ ("ArrivalDay", 2) ] q.binds
+
+let test_translate_unsafe_unbound_var () =
+  try
+    ignore
+      (translate
+         "SELECT 'Mickey', fno INTO ANSWER R WHERE ('Minnie', fno) IN ANSWER \
+          R CHOOSE 1");
+    Alcotest.fail "range restriction violation accepted"
+  with Ir.Unsafe _ -> ()
+
+let test_translate_rejects_in_answer_under_or () =
+  try
+    ignore
+      (translate
+         "SELECT 'M', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+          Flights) AND (('X', fno) IN ANSWER R OR fno = 1) CHOOSE 1");
+    Alcotest.fail "IN ANSWER under OR accepted"
+  with Translate.Translate_error _ -> ()
+
+let test_translate_unbound_host () =
+  try
+    ignore
+      (translate
+         "SELECT 'M', @nope, fno INTO ANSWER R WHERE (fno) IN (SELECT fno \
+          FROM Flights) AND ('X', fno) IN ANSWER R CHOOSE 1");
+    Alcotest.fail "unbound host accepted"
+  with Translate.Translate_error _ -> ()
+
+(* --- grounding (Figure 7) --- *)
+
+let test_ground_mickey () =
+  let cat = figure1_catalog () in
+  let gs = ground cat (translate mickey_src) in
+  (* Figure 7(b): groundings 1-3 for Mickey (flights 122, 123, 124). *)
+  Alcotest.(check int) "three groundings" 3 (List.length gs);
+  let heads = List.map (fun (g : Ground.grounding) -> List.hd g.g_head) gs in
+  let fno_of (_, values) = List.nth values 1 in
+  Alcotest.(check (list string)) "flights in scan order"
+    [ "122"; "123"; "124" ]
+    (List.map (fun h -> Value.to_string (fno_of h)) heads)
+
+let test_ground_minnie_join () =
+  let cat = figure1_catalog () in
+  let gs = ground cat (translate minnie_src) in
+  (* Figure 7(b): groundings 4-5 for Minnie (United flights 122, 123). *)
+  Alcotest.(check int) "two groundings" 2 (List.length gs)
+
+let test_ground_filter_condition () =
+  let cat = figure1_catalog () in
+  let gs =
+    ground cat
+      (translate
+         ("SELECT 'M', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+           Flights WHERE dest='LA') AND fno > 122 AND ('X', fno) IN ANSWER R \
+           CHOOSE 1"))
+  in
+  Alcotest.(check int) "filtered" 2 (List.length gs)
+
+let test_ground_dedup () =
+  let cat = figure1_catalog () in
+  (* projecting only fdate: May 3 appears twice in LA flights *)
+  let gs =
+    ground cat
+      (translate
+         "SELECT 'M', fdate INTO ANSWER R WHERE (fno, fdate) IN (SELECT fno, \
+          fdate FROM Flights WHERE dest='LA') AND ('X', fdate) IN ANSWER R \
+          CHOOSE 1")
+  in
+  Alcotest.(check int) "deduplicated" 2 (List.length gs)
+
+let test_ground_empty () =
+  let cat = figure1_catalog () in
+  let gs =
+    ground cat
+      (translate
+         "SELECT 'M', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+          Flights WHERE dest='Nowhere') AND ('X', fno) IN ANSWER R CHOOSE 1")
+  in
+  Alcotest.(check int) "no groundings" 0 (List.length gs)
+
+let test_ground_limit () =
+  let cat = figure1_catalog () in
+  try
+    ignore (Ground.compute ~limit:2 ~access:(Eval.direct_access cat)
+              ~env:(Eval.fresh_env ()) (translate mickey_src));
+    Alcotest.fail "limit not enforced"
+  with Ground.Ground_error _ -> ()
+
+(* --- coordination (Figure 1) --- *)
+
+let evaluate_pair cat =
+  let mickey = translate mickey_src in
+  let minnie = translate minnie_src in
+  Coordinate.evaluate
+    [ (1, mickey, ground cat mickey); (2, minnie, ground cat minnie) ]
+
+let test_coordinate_mickey_minnie () =
+  let cat = figure1_catalog () in
+  match evaluate_pair cat with
+  | [ (1, Coordinate.Answered g1); (2, Coordinate.Answered g2) ] ->
+    (* both must agree on the flight: 122 or 123 (United to LA) *)
+    let fno g =
+      match (g : Ground.grounding).g_head with
+      | [ (_, [ _; fno; _ ]) ] -> Value.to_string fno
+      | _ -> Alcotest.fail "unexpected head shape"
+    in
+    Alcotest.(check string) "same flight" (fno g1) (fno g2);
+    Alcotest.(check bool) "united flight" true (List.mem (fno g1) [ "122"; "123" ]);
+    (* mutual satisfaction: posts covered by the union of heads *)
+    let heads = g1.g_head @ g2.g_head in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "post covered" true
+          (List.exists (fun h -> h = p) heads))
+      (g1.g_post @ g2.g_post)
+  | _ -> Alcotest.fail "both queries should be answered"
+
+let test_coordinate_alone_no_partner () =
+  let cat = figure1_catalog () in
+  let mickey = translate mickey_src in
+  match Coordinate.evaluate [ (1, mickey, ground cat mickey) ] with
+  | [ (1, Coordinate.No_partner) ] -> ()
+  | _ -> Alcotest.fail "lone query should have no partner"
+
+let test_coordinate_empty_success () =
+  (* Partner present structurally, but the data admits no coordinated
+     choice (Minnie insists on United, only USAir flies on Mickey's
+     dates): both participated, neither answered -> Empty. *)
+  let cat = Catalog.create () in
+  let flights =
+    Catalog.create_table cat "Flights"
+      (Schema.make
+         [ { name = "fno"; ty = T_int };
+           { name = "fdate"; ty = T_date };
+           { name = "dest"; ty = T_str } ])
+  in
+  ignore
+    (Catalog.create_table cat "Airlines"
+       (Schema.make
+          [ { name = "fno"; ty = T_int }; { name = "airline"; ty = T_str } ]));
+  ignore (Table.insert flights [| Value.Int 124; may3; Value.Str "LA" |]);
+  ignore
+    (Table.insert (Catalog.find_exn cat "Airlines")
+       [| Value.Int 124; Value.Str "USAir" |]);
+  match evaluate_pair cat with
+  | [ (1, Coordinate.Empty); (2, Coordinate.Empty) ] -> ()
+  | [ (1, o1); (2, o2) ] ->
+    let name = function
+      | Coordinate.Answered _ -> "answered"
+      | Coordinate.Empty -> "empty"
+      | Coordinate.No_partner -> "no-partner"
+    in
+    Alcotest.failf "expected empty/empty, got %s/%s" (name o1) (name o2)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_structural_blocking_donald () =
+  (* Donald coordinates with Daffy, who is absent: structurally blocked
+     even though Mickey and Minnie are around. *)
+  let donald =
+    translate
+      "SELECT 'Donald', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+       Flights WHERE dest='LA') AND ('Daffy', fno) IN ANSWER R CHOOSE 1"
+  in
+  let mickey = translate mickey_src in
+  let minnie = translate minnie_src in
+  Alcotest.(check (list int)) "donald blocked" [ 3 ]
+    (Coordinate.structurally_blocked [ (1, mickey); (2, minnie); (3, donald) ])
+
+let test_structural_blocking_cascades () =
+  (* a needs b's head; b needs c's head; c is absent: both a and b are
+     blocked once c's absence eliminates b. *)
+  let q sel = translate sel in
+  let a =
+    q
+      "SELECT 'a', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM Flights) \
+       AND ('b', fno) IN ANSWER R CHOOSE 1"
+  in
+  let b =
+    q
+      "SELECT 'b', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM Flights) \
+       AND ('c', fno) IN ANSWER R CHOOSE 1"
+  in
+  Alcotest.(check (list int)) "cascade" [ 1; 2 ]
+    (List.sort Int.compare (Coordinate.structurally_blocked [ (1, a); (2, b) ]))
+
+(* --- complex structures (used by Figure 6c) --- *)
+
+let flights_only_catalog n =
+  let cat = Catalog.create () in
+  let flights =
+    Catalog.create_table cat "Flights"
+      (Schema.make [ { name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ])
+  in
+  for i = 1 to n do
+    ignore (Table.insert flights [| Value.Int i; Value.Str "LA" |])
+  done;
+  cat
+
+let pair_query me partner =
+  Printf.sprintf
+    "SELECT '%s', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM Flights \
+     WHERE dest='LA') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+    me partner
+
+let test_coordinate_cycle () =
+  (* a -> b -> c -> a: cyclic entanglement must resolve to a common
+     flight for all three. *)
+  let cat = flights_only_catalog 3 in
+  let qa = translate (pair_query "a" "b") in
+  let qb = translate (pair_query "b" "c") in
+  let qc = translate (pair_query "c" "a") in
+  match
+    Coordinate.evaluate
+      [ (1, qa, ground cat qa); (2, qb, ground cat qb); (3, qc, ground cat qc) ]
+  with
+  | [ (1, Answered g1); (2, Answered g2); (3, Answered g3) ] ->
+    let fno (g : Ground.grounding) =
+      match g.g_head with
+      | [ (_, [ _; fno ]) ] -> Value.to_string fno
+      | _ -> Alcotest.fail "head shape"
+    in
+    Alcotest.(check string) "a=b" (fno g1) (fno g2);
+    Alcotest.(check string) "b=c" (fno g2) (fno g3)
+  | _ -> Alcotest.fail "cycle should coordinate"
+
+let test_coordinate_spoke_hub () =
+  (* Hub h entangles with spokes s1 and s2 via separate relations, each
+     requiring a different flight choice; the IR multi-head hub query
+     contributes to both relations. *)
+  let cat = flights_only_catalog 2 in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  ignore access;
+  ignore env;
+  let hub : Ir.t =
+    {
+      head =
+        [ { rel = "R1"; args = [ Const (Value.Str "h"); Var "x" ] };
+          { rel = "R2"; args = [ Const (Value.Str "h"); Var "y" ] } ];
+      post =
+        [ { rel = "R1"; args = [ Const (Value.Str "s1"); Var "x" ] };
+          { rel = "R2"; args = [ Const (Value.Str "s2"); Var "y" ] } ];
+      body =
+        Parser.parse_cond
+          "(x) IN (SELECT fno FROM Flights) AND (y) IN (SELECT fno FROM \
+           Flights)";
+      binds = [];
+      choose = 1;
+    }
+  in
+  let spoke name rel =
+    translate
+      (Printf.sprintf
+         "SELECT '%s', fno INTO ANSWER %s WHERE (fno) IN (SELECT fno FROM \
+          Flights) AND ('h', fno) IN ANSWER %s CHOOSE 1"
+         name rel rel)
+  in
+  let s1 = spoke "s1" "R1" in
+  let s2 = spoke "s2" "R2" in
+  let groundings q = ground cat q in
+  match
+    Coordinate.evaluate
+      [ (1, hub, groundings hub); (2, s1, groundings s1); (3, s2, groundings s2) ]
+  with
+  | [ (1, Answered _); (2, Answered _); (3, Answered _) ] -> ()
+  | _ -> Alcotest.fail "spoke-hub should coordinate"
+
+let test_coordinate_partial_answering () =
+  (* Mickey+Minnie coordinate; Donald+Daffy also coordinate; a fifth
+     lone query stays unanswered. All evaluated together. *)
+  let cat = flights_only_catalog 2 in
+  let qs =
+    [ (1, translate (pair_query "mickey" "minnie"));
+      (2, translate (pair_query "minnie" "mickey"));
+      (3, translate (pair_query "donald" "daffy"));
+      (4, translate (pair_query "daffy" "donald"));
+      (5, translate (pair_query "goofy" "pluto")) ]
+  in
+  let results =
+    Coordinate.evaluate (List.map (fun (i, q) -> (i, q, ground cat q)) qs)
+  in
+  let outcome i = List.assoc i results in
+  (match outcome 1, outcome 2, outcome 3, outcome 4 with
+  | Answered _, Answered _, Answered _, Answered _ -> ()
+  | _ -> Alcotest.fail "two pairs should both be answered");
+  match outcome 5 with
+  | No_partner -> ()
+  | _ -> Alcotest.fail "goofy should be blocked"
+
+let test_coordinate_asymmetric_choice () =
+  (* Mickey accepts any LA flight; Minnie only flight 2 (by filter).
+     Coordination must pick flight 2 for both. *)
+  let cat = flights_only_catalog 3 in
+  let mickey = translate (pair_query "m" "n") in
+  let minnie =
+    translate
+      "SELECT 'n', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM Flights \
+       WHERE dest='LA') AND fno = 2 AND ('m', fno) IN ANSWER R CHOOSE 1"
+  in
+  match
+    Coordinate.evaluate
+      [ (1, mickey, ground cat mickey); (2, minnie, ground cat minnie) ]
+  with
+  | [ (1, Answered g1); (2, Answered _) ] ->
+    (match g1.g_head with
+    | [ (_, [ _; fno ]) ] ->
+      Alcotest.(check string) "flight 2 chosen" "2" (Value.to_string fno)
+    | _ -> Alcotest.fail "head shape")
+  | _ -> Alcotest.fail "should coordinate on flight 2"
+
+(* --- combined-query evaluation (the algorithm of [6]) --- *)
+
+let test_combined_compile_pair () =
+  let mickey = translate mickey_src in
+  let minnie = translate minnie_src in
+  match Combined.compile [ (1, mickey); (2, minnie) ] with
+  | [ c ] ->
+    Alcotest.(check (list int)) "one component of two" [ 1; 2 ] c.member_ids;
+    (* each query's single post matched against the partner's head *)
+    Alcotest.(check int) "two constraints" 2 (List.length c.constraints);
+    Alcotest.(check bool) "cross constraints" true
+      (List.mem ((1, 0), (2, 0)) c.constraints
+      && List.mem ((2, 0), (1, 0)) c.constraints)
+  | cs -> Alcotest.failf "expected one combined query, got %d" (List.length cs)
+
+let test_combined_mickey_minnie () =
+  let cat = figure1_catalog () in
+  let mickey = translate mickey_src in
+  let minnie = translate minnie_src in
+  match
+    Combined.evaluate
+      [ (1, mickey, ground cat mickey); (2, minnie, ground cat minnie) ]
+  with
+  | [ (1, Combined.Answered g1); (2, Combined.Answered g2) ] ->
+    let heads = g1.g_head @ g2.g_head in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "post covered" true (List.exists (fun h -> h = p) heads))
+      (g1.g_post @ g2.g_post)
+  | _ -> Alcotest.fail "combined evaluation should answer both"
+
+let test_combined_no_partner_and_empty () =
+  let cat = figure1_catalog () in
+  let mickey = translate mickey_src in
+  let donald =
+    translate
+      "SELECT 'Donald', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+       Flights WHERE dest='LA') AND ('Daffy', fno) IN ANSWER R CHOOSE 1"
+  in
+  (match Combined.evaluate [ (3, donald, ground cat donald) ] with
+  | [ (3, Combined.No_partner) ] -> ()
+  | _ -> Alcotest.fail "lone query: no partner");
+  (* structurally fine but one side has zero groundings: Empty *)
+  let minnie = translate minnie_src in
+  match
+    Combined.evaluate [ (1, mickey, ground cat mickey); (2, minnie, []) ]
+  with
+  | [ (1, Combined.Empty); (2, Combined.Empty) ] -> ()
+  | _ -> Alcotest.fail "no coordinated choice: empty success"
+
+let test_combined_cycle () =
+  let cat = flights_only_catalog 3 in
+  let qa = translate (pair_query "a" "b") in
+  let qb = translate (pair_query "b" "c") in
+  let qc = translate (pair_query "c" "a") in
+  match
+    Combined.evaluate
+      [ (1, qa, ground cat qa); (2, qb, ground cat qb); (3, qc, ground cat qc) ]
+  with
+  | [ (1, Answered g1); (2, Answered g2); (3, Answered g3) ] ->
+    let fno (g : Ground.grounding) =
+      match g.g_head with
+      | [ (_, [ _; fno ]) ] -> Value.to_string fno
+      | _ -> Alcotest.fail "head shape"
+    in
+    Alcotest.(check string) "a=b" (fno g1) (fno g2);
+    Alcotest.(check string) "b=c" (fno g2) (fno g3)
+  | _ -> Alcotest.fail "combined cycle should coordinate"
+
+let test_combined_spoke_hub_multihead () =
+  (* the hub's multi-head IR query compiles into one component with the
+     spokes; the join answers everyone *)
+  let cat = flights_only_catalog 2 in
+  let hub : Ir.t =
+    {
+      head =
+        [ { rel = "R1"; args = [ Const (Value.Str "h"); Var "x" ] };
+          { rel = "R2"; args = [ Const (Value.Str "h"); Var "y" ] } ];
+      post =
+        [ { rel = "R1"; args = [ Const (Value.Str "s1"); Var "x" ] };
+          { rel = "R2"; args = [ Const (Value.Str "s2"); Var "y" ] } ];
+      body =
+        Parser.parse_cond
+          "(x) IN (SELECT fno FROM Flights) AND (y) IN (SELECT fno FROM Flights)";
+      binds = [];
+      choose = 1;
+    }
+  in
+  let spoke name rel =
+    translate
+      (Printf.sprintf
+         "SELECT '%s', fno INTO ANSWER %s WHERE (fno) IN (SELECT fno FROM \
+          Flights) AND ('h', fno) IN ANSWER %s CHOOSE 1"
+         name rel rel)
+  in
+  let s1 = spoke "s1" "R1" and s2 = spoke "s2" "R2" in
+  (match Combined.compile [ (1, hub); (2, s1); (3, s2) ] with
+  | [ c ] -> Alcotest.(check (list int)) "one component" [ 1; 2; 3 ] c.member_ids
+  | cs -> Alcotest.failf "expected 1 combined, got %d" (List.length cs));
+  match
+    Combined.evaluate
+      [ (1, hub, ground cat hub); (2, s1, ground cat s1); (3, s2, ground cat s2) ]
+  with
+  | [ (1, Answered _); (2, Answered _); (3, Answered _) ] -> ()
+  | _ -> Alcotest.fail "combined spoke-hub should answer all"
+
+let test_combined_matching_bound () =
+  (* ten queries all posting the same pattern would yield 10^10
+     matchings; the bound must keep compilation finite *)
+  let cat = flights_only_catalog 1 in
+  let qs =
+    List.init 10 (fun i ->
+        (i, translate (pair_query (Printf.sprintf "u%d" i) "u0")))
+  in
+  let combineds = Combined.compile ~max_matchings:8 qs in
+  Alcotest.(check bool) "bounded" true (List.length combineds <= 8);
+  ignore cat
+
+let prop_combined_agrees_with_search =
+  (* Both strategies implement the same declarative semantics: on
+     random pairing workloads they must answer exactly the same set of
+     queries (the chosen values may differ — both are legal
+     nondeterministic choices). *)
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 1 10) (int_range 0 7)))
+  in
+  QCheck2.Test.make ~name:"combined and search answer the same queries"
+    ~count:100 gen
+    (fun (n_flights, partner_prefs) ->
+      let cat = flights_only_catalog n_flights in
+      let queries =
+        List.mapi
+          (fun i pref ->
+            let me = Printf.sprintf "u%d" i in
+            let partner =
+              Printf.sprintf "u%d" (pref mod List.length partner_prefs)
+            in
+            let q = translate (pair_query me partner) in
+            (i, q, ground cat q))
+          partner_prefs
+      in
+      let classify results =
+        List.map
+          (fun (qid, o) ->
+            ( qid,
+              match o with
+              | Coordinate.Answered _ -> `A
+              | Coordinate.Empty -> `E
+              | Coordinate.No_partner -> `N ))
+          results
+      in
+      classify (Coordinate.evaluate queries)
+      = classify (Combined.evaluate queries))
+
+(* --- property: coordination soundness --- *)
+
+let prop_coordination_sound =
+  (* Random pairing workloads: whatever the evaluator answers, the
+     chosen groundings must mutually satisfy each other's
+     postconditions (the defining property of a coordinating set). *)
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 1 12) (int_range 0 7)))
+  in
+  QCheck2.Test.make ~name:"answered sets are coordinating sets" ~count:100 gen
+    (fun (n_flights, partner_prefs) ->
+      let cat = flights_only_catalog n_flights in
+      (* build queries: user i wants to fly with user (pref i) *)
+      let queries =
+        List.mapi
+          (fun i pref ->
+            let me = Printf.sprintf "u%d" i in
+            let partner = Printf.sprintf "u%d" (pref mod List.length partner_prefs) in
+            let q = translate (pair_query me partner) in
+            (i, q, ground cat q))
+          partner_prefs
+      in
+      let results = Coordinate.evaluate queries in
+      let answered =
+        List.filter_map
+          (fun (_, o) ->
+            match o with
+            | Coordinate.Answered g -> Some g
+            | _ -> None)
+          results
+      in
+      let heads = List.concat_map (fun (g : Ground.grounding) -> g.g_head) answered in
+      List.for_all
+        (fun (g : Ground.grounding) ->
+          List.for_all (fun p -> List.exists (fun h -> h = p) heads) g.g_post)
+        answered)
+
+let () =
+  Alcotest.run "entangle"
+    [ ( "translate",
+        [ Alcotest.test_case "mickey" `Quick test_translate_mickey;
+          Alcotest.test_case "host resolution" `Quick test_translate_host_resolution;
+          Alcotest.test_case "AS @var binds" `Quick test_translate_binds;
+          Alcotest.test_case "unsafe unbound var" `Quick test_translate_unsafe_unbound_var;
+          Alcotest.test_case "IN ANSWER under OR" `Quick test_translate_rejects_in_answer_under_or;
+          Alcotest.test_case "unbound host" `Quick test_translate_unbound_host ] );
+      ( "ground",
+        [ Alcotest.test_case "mickey (Fig 7)" `Quick test_ground_mickey;
+          Alcotest.test_case "minnie join (Fig 7)" `Quick test_ground_minnie_join;
+          Alcotest.test_case "filter" `Quick test_ground_filter_condition;
+          Alcotest.test_case "dedup" `Quick test_ground_dedup;
+          Alcotest.test_case "empty" `Quick test_ground_empty;
+          Alcotest.test_case "limit" `Quick test_ground_limit ] );
+      ( "coordinate",
+        [ Alcotest.test_case "mickey-minnie (Fig 1)" `Quick test_coordinate_mickey_minnie;
+          Alcotest.test_case "alone: no partner" `Quick test_coordinate_alone_no_partner;
+          Alcotest.test_case "empty success" `Quick test_coordinate_empty_success;
+          Alcotest.test_case "donald blocked" `Quick test_structural_blocking_donald;
+          Alcotest.test_case "blocking cascades" `Quick test_structural_blocking_cascades;
+          Alcotest.test_case "cycle" `Quick test_coordinate_cycle;
+          Alcotest.test_case "spoke-hub" `Quick test_coordinate_spoke_hub;
+          Alcotest.test_case "partial answering" `Quick test_coordinate_partial_answering;
+          Alcotest.test_case "asymmetric choice" `Quick test_coordinate_asymmetric_choice ] );
+      ( "combined",
+        [ Alcotest.test_case "compile pair" `Quick test_combined_compile_pair;
+          Alcotest.test_case "mickey-minnie" `Quick test_combined_mickey_minnie;
+          Alcotest.test_case "no partner / empty" `Quick test_combined_no_partner_and_empty;
+          Alcotest.test_case "cycle" `Quick test_combined_cycle;
+          Alcotest.test_case "spoke-hub multi-head" `Quick test_combined_spoke_hub_multihead;
+          Alcotest.test_case "matching bound" `Quick test_combined_matching_bound ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_coordination_sound; prop_combined_agrees_with_search ] ) ]

@@ -1,0 +1,236 @@
+(* Tests for interactive entangled transactions (the §4 "Interactivity"
+   extension): statement-at-a-time sessions, online partner matching,
+   group commit across sessions, widowed-transaction prevention. *)
+
+open Ent_storage
+open Ent_core
+
+let fresh_hub () =
+  let catalog = Catalog.create () in
+  let engine = Ent_txn.Engine.create ~wal:true catalog in
+  ignore
+    (Ent_txn.Engine.create_table engine "Flights"
+       (Schema.make [ { name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ]));
+  ignore
+    (Ent_txn.Engine.create_table engine "Bookings"
+       (Schema.make [ { name = "who"; ty = T_str }; { name = "fno"; ty = T_int } ]));
+  for i = 1 to 3 do
+    ignore (Ent_txn.Engine.load engine "Flights" [| Value.Int i; Value.Str "LA" |])
+  done;
+  (engine, Interactive.create_hub engine)
+
+let entangled_query me partner =
+  Printf.sprintf
+    "SELECT '%s', fno AS @fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+     Flights WHERE dest='LA') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+    me partner
+
+let bookings engine =
+  let access = Ent_sql.Eval.direct_access (Ent_txn.Engine.catalog engine) in
+  match
+    Ent_sql.Eval.exec_stmt access (Ent_sql.Eval.fresh_env ())
+      (Ent_sql.Parser.parse_stmt "SELECT who, fno FROM Bookings")
+  with
+  | Ent_sql.Eval.Rows rows -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_classical_session () =
+  let engine, hub = fresh_hub () in
+  let s = Interactive.start hub in
+  (match Interactive.execute s "INSERT INTO Bookings VALUES ('solo', 1)" with
+  | Interactive.Affected 1 -> ()
+  | _ -> Alcotest.fail "insert");
+  (match Interactive.execute s "SELECT fno FROM Bookings WHERE who = 'solo'" with
+  | Interactive.Rows [ [| Value.Int 1 |] ] -> ()
+  | _ -> Alcotest.fail "read own write");
+  (match Interactive.commit s with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "solo commit should be immediate");
+  Alcotest.(check int) "booking persisted" 1 (List.length (bookings engine))
+
+let test_online_coordination () =
+  let engine, hub = fresh_hub () in
+  let mickey = Interactive.start hub in
+  let minnie = Interactive.start hub in
+  (* Mickey asks first: no partner online yet. *)
+  (match Interactive.execute mickey (entangled_query "Mickey" "Minnie") with
+  | Interactive.Parked -> ()
+  | _ -> Alcotest.fail "mickey should park");
+  Alcotest.(check int) "one parked" 1 (Interactive.parked_count hub);
+  (* Minnie arrives: both answered immediately. *)
+  (match Interactive.execute minnie (entangled_query "Minnie" "Mickey") with
+  | Interactive.Answered [ ("R", [ Value.Str "Minnie"; fno ]) ] ->
+    (* Mickey sees the same flight at his next poll. *)
+    (match Interactive.poll mickey with
+    | Interactive.Answered [ ("R", [ Value.Str "Mickey"; fno' ]) ] ->
+      Alcotest.(check string) "same flight" (Value.to_string fno)
+        (Value.to_string fno')
+    | _ -> Alcotest.fail "mickey not answered")
+  | _ -> Alcotest.fail "minnie should be answered immediately");
+  (* They book and commit; commit is grouped. *)
+  ignore (Interactive.execute mickey "INSERT INTO Bookings VALUES ('Mickey', @fno)");
+  ignore (Interactive.execute minnie "INSERT INTO Bookings VALUES ('Minnie', @fno)");
+  (match Interactive.commit mickey with
+  | Interactive.Commit_pending -> ()
+  | _ -> Alcotest.fail "mickey must wait for minnie");
+  (match Interactive.commit minnie with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "group should commit now");
+  (match Interactive.poll mickey with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "mickey committed too");
+  Alcotest.(check int) "both bookings" 2 (List.length (bookings engine))
+
+let test_cancel_while_parked () =
+  let _, hub = fresh_hub () in
+  let mickey = Interactive.start hub in
+  ignore (Interactive.execute mickey (entangled_query "Mickey" "Minnie"));
+  Interactive.cancel mickey;
+  (match Interactive.poll mickey with
+  | Interactive.Aborted _ -> ()
+  | _ -> Alcotest.fail "cancelled session should be aborted");
+  Alcotest.(check int) "nothing parked" 0 (Interactive.parked_count hub);
+  (* A later partner parks instead of matching the cancelled query. *)
+  let minnie = Interactive.start hub in
+  match Interactive.execute minnie (entangled_query "Minnie" "Mickey") with
+  | Interactive.Parked -> ()
+  | _ -> Alcotest.fail "minnie should park (mickey is gone)"
+
+let test_widow_prevention_interactive () =
+  let engine, hub = fresh_hub () in
+  let mickey = Interactive.start hub in
+  let minnie = Interactive.start hub in
+  ignore (Interactive.execute mickey (entangled_query "Mickey" "Minnie"));
+  ignore (Interactive.execute minnie (entangled_query "Minnie" "Mickey"));
+  ignore (Interactive.execute mickey "INSERT INTO Bookings VALUES ('Mickey', @fno)");
+  (* Minnie changes her mind after entangling. *)
+  Interactive.cancel minnie;
+  (match Interactive.poll mickey with
+  | Interactive.Aborted _ -> ()
+  | _ -> Alcotest.fail "mickey must be aborted with his partner");
+  Alcotest.(check int) "no orphan booking" 0 (List.length (bookings engine))
+
+let test_blocked_statement_retry () =
+  let _, hub = fresh_hub () in
+  let writer = Interactive.start hub in
+  ignore (Interactive.execute writer "UPDATE Flights SET dest = 'SF' WHERE fno = 1");
+  let reader = Interactive.start hub in
+  (* full scan needs a table S lock; writer holds IX *)
+  (match Interactive.execute reader "SELECT fno FROM Flights" with
+  | Interactive.Blocked -> ()
+  | _ -> Alcotest.fail "reader should block");
+  (match Interactive.commit writer with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "writer commits");
+  match Interactive.poll reader with
+  | Interactive.Rows rows -> Alcotest.(check int) "reader retried" 3 (List.length rows)
+  | _ -> Alcotest.fail "reader should succeed after writer commit"
+
+let test_empty_answer_interactive () =
+  (* partner present but no acceptable common value: both proceed with
+     NULL bindings (Appendix B empty success) *)
+  let _, hub = fresh_hub () in
+  let a = Interactive.start hub in
+  let b = Interactive.start hub in
+  let q me partner =
+    Printf.sprintf
+      "SELECT '%s', fno AS @fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM \
+       Flights WHERE dest='Mars') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+      me partner
+  in
+  ignore (Interactive.execute a (q "a" "b"));
+  (match Interactive.execute b (q "b" "a") with
+  | Interactive.Answered [] -> ()
+  | _ -> Alcotest.fail "empty success for b");
+  match Hashtbl.find_opt (Interactive.env b) "fno" with
+  | Some Value.Null -> ()
+  | _ -> Alcotest.fail "null binding"
+
+let test_three_way_cycle_interactive () =
+  let engine, hub = fresh_hub () in
+  ignore engine;
+  let users = [ "a"; "b"; "c" ] in
+  let sessions = List.map (fun _ -> Interactive.start hub) users in
+  let next i = List.nth users ((i + 1) mod 3) in
+  List.iteri
+    (fun i s ->
+      let r = Interactive.execute s (entangled_query (List.nth users i) (next i)) in
+      if i < 2 then
+        match r with
+        | Interactive.Parked -> ()
+        | _ -> Alcotest.fail "early members park"
+      else
+        match r with
+        | Interactive.Answered _ -> ()
+        | _ -> Alcotest.fail "cycle should close on the last arrival")
+    sessions;
+  List.iter
+    (fun s ->
+      match Interactive.poll s with
+      | Interactive.Answered _ -> ()
+      | _ -> Alcotest.fail "all members answered")
+    sessions
+
+let test_api_misuse () =
+  let _, hub = fresh_hub () in
+  let s = Interactive.start hub in
+  ignore (Interactive.execute s "INSERT INTO Bookings VALUES ('x', 1)");
+  ignore (Interactive.commit s);
+  (* executing on a finished session is a programming error *)
+  (try
+     ignore (Interactive.execute s "SELECT fno FROM Flights");
+     Alcotest.fail "execute after commit accepted"
+   with Invalid_argument _ -> ());
+  (* committing again is idempotent, polling reports Committed *)
+  (match Interactive.commit s with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "re-commit should report Committed");
+  (* executing while parked is rejected (poll instead) *)
+  let p = Interactive.start hub in
+  ignore (Interactive.execute p (entangled_query "P" "Q"));
+  (try
+     ignore (Interactive.execute p "SELECT fno FROM Flights");
+     Alcotest.fail "execute while parked accepted"
+   with Invalid_argument _ -> ());
+  Interactive.cancel p
+
+let test_parse_error_aborts_session () =
+  let _, hub = fresh_hub () in
+  let s = Interactive.start hub in
+  (match Interactive.execute s "SELEKT nonsense" with
+  | Interactive.Aborted _ -> ()
+  | _ -> Alcotest.fail "garbage should abort the session");
+  match Interactive.poll s with
+  | Interactive.Aborted _ -> ()
+  | _ -> Alcotest.fail "stays aborted"
+
+let test_constraint_in_interactive () =
+  let engine, hub = fresh_hub () in
+  Ent_txn.Engine.add_constraint engine ~name:"max-one-booking" (fun catalog ->
+      match Ent_storage.Catalog.find catalog "Bookings" with
+      | Some t -> Ent_storage.Table.cardinal t <= 1
+      | None -> true);
+  let a = Interactive.start hub in
+  ignore (Interactive.execute a "INSERT INTO Bookings VALUES ('a', 1)");
+  (match Interactive.commit a with
+  | Interactive.Committed -> ()
+  | _ -> Alcotest.fail "first booking fine");
+  let b = Interactive.start hub in
+  ignore (Interactive.execute b "INSERT INTO Bookings VALUES ('b', 2)");
+  match Interactive.commit b with
+  | Interactive.Aborted _ -> ()
+  | _ -> Alcotest.fail "second booking must violate"
+
+let () =
+  Alcotest.run "interactive"
+    [ ( "sessions",
+        [ Alcotest.test_case "classical" `Quick test_classical_session;
+          Alcotest.test_case "online coordination" `Quick test_online_coordination;
+          Alcotest.test_case "cancel while parked" `Quick test_cancel_while_parked;
+          Alcotest.test_case "widow prevention" `Quick test_widow_prevention_interactive;
+          Alcotest.test_case "blocked retry" `Quick test_blocked_statement_retry;
+          Alcotest.test_case "empty answer" `Quick test_empty_answer_interactive;
+          Alcotest.test_case "three-way cycle" `Quick test_three_way_cycle_interactive;
+          Alcotest.test_case "api misuse" `Quick test_api_misuse;
+          Alcotest.test_case "parse error aborts" `Quick test_parse_error_aborts_session;
+          Alcotest.test_case "constraints" `Quick test_constraint_in_interactive ] ) ]

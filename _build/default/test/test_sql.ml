@@ -1,0 +1,701 @@
+(* Tests for the SQL dialect: lexer, parser (on the paper's own
+   queries), pretty-printer round-trips, and the evaluator over the
+   Figure 1 database. *)
+
+open Ent_storage
+open Ent_sql
+
+(* --- paper fixtures --- *)
+
+let mickey_query =
+  "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation\n\
+   WHERE (fno, fdate) IN\n\
+  \  (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+   AND ('Minnie', fno, fdate) IN ANSWER Reservation\n\
+   CHOOSE 1"
+
+let minnie_query =
+  "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation\n\
+   WHERE (fno, fdate) IN\n\
+  \  (SELECT F.fno, F.fdate FROM Flights F, Airlines A WHERE\n\
+  \   F.dest='LA' AND F.fno = A.fno AND A.airline = 'United')\n\
+   AND ('Mickey', fno, fdate) IN ANSWER Reservation\n\
+   CHOOSE 1"
+
+let figure2_transaction =
+  "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+   SELECT 'Mickey', fno, fdate AS @ArrivalDay\n\
+   INTO ANSWER FlightRes\n\
+   WHERE (fno, fdate) IN\n\
+  \  (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+   AND ('Minnie', fno, fdate) IN ANSWER FlightRes\n\
+   CHOOSE 1;\n\
+   SET @StayLength = '2011-05-06' - @ArrivalDay;\n\
+   SELECT 'Mickey', hid, @ArrivalDay, @StayLength\n\
+   INTO ANSWER HotelRes\n\
+   WHERE (hid) IN (SELECT hid FROM Hotels WHERE location='LA')\n\
+   AND ('Minnie', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes\n\
+   CHOOSE 1;\n\
+   COMMIT;"
+
+let nosocial_transaction =
+  "BEGIN TRANSACTION;\n\
+   SELECT @uid, @hometown FROM User WHERE uid=36513;\n\
+   SELECT @fid FROM Flight WHERE source=@hometown AND destination='FAT';\n\
+   INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);\n\
+   COMMIT;"
+
+(* --- lexer --- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT 'it''s', @x, 42 <> fno;" in
+  Alcotest.(check int) "token count" 10 (Array.length toks);
+  (match toks.(1) with
+  | Lexer.Str_lit s -> Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "expected string literal");
+  match toks.(3) with
+  | Lexer.Host_var v -> Alcotest.(check string) "host var" "x" v
+  | _ -> Alcotest.fail "expected host var"
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "SELECT x -- a comment\nFROM t" in
+  Alcotest.(check int) "comment skipped" 5 (Array.length toks)
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "'unterminated");
+     Alcotest.fail "unterminated string accepted"
+   with Lexer.Lex_error _ -> ());
+  try
+    ignore (Lexer.tokenize "a # b");
+    Alcotest.fail "stray char accepted"
+  with Lexer.Lex_error _ -> ()
+
+(* --- parser --- *)
+
+let test_parse_mickey () =
+  match Parser.parse_stmt mickey_query with
+  | Ast.Entangled e ->
+    Alcotest.(check string) "answer relation" "Reservation" e.into;
+    Alcotest.(check int) "choose" 1 e.choose;
+    Alcotest.(check int) "projection arity" 3 (List.length e.eprojs);
+    (match e.ewhere with
+    | Ast.And (Ast.In_select (vars, sub), Ast.In_answer (post, rel)) ->
+      Alcotest.(check int) "bound vars" 2 (List.length vars);
+      Alcotest.(check int) "subquery from" 1 (List.length sub.from);
+      Alcotest.(check int) "postcondition arity" 3 (List.length post);
+      Alcotest.(check string) "postcondition relation" "Reservation" rel
+    | _ -> Alcotest.fail "unexpected WHERE shape")
+  | _ -> Alcotest.fail "expected entangled statement"
+
+let test_parse_minnie_join () =
+  match Parser.parse_stmt minnie_query with
+  | Ast.Entangled e -> (
+    match e.ewhere with
+    | Ast.And (Ast.In_select (_, sub), _) ->
+      Alcotest.(check int) "join width" 2 (List.length sub.from);
+      let aliases = List.map snd sub.from in
+      Alcotest.(check (list string)) "aliases" [ "F"; "A" ] aliases
+    | _ -> Alcotest.fail "unexpected WHERE shape")
+  | _ -> Alcotest.fail "expected entangled statement"
+
+let test_parse_figure2 () =
+  let p = Parser.parse_program figure2_transaction in
+  (match p.timeout with
+  | Some seconds ->
+    Alcotest.(check (float 0.01)) "2 days" 172800.0 seconds
+  | None -> Alcotest.fail "timeout missing");
+  Alcotest.(check int) "statements" 3 (List.length p.body);
+  match p.body with
+  | [ Ast.Entangled flight; Ast.Set_var ("StayLength", _); Ast.Entangled hotel ] ->
+    Alcotest.(check string) "flight rel" "FlightRes" flight.into;
+    Alcotest.(check string) "hotel rel" "HotelRes" hotel.into;
+    (* fdate AS @ArrivalDay host binding *)
+    let binds =
+      List.filter_map (fun (pr : Ast.proj) -> pr.pbind) flight.eprojs
+    in
+    Alcotest.(check (list string)) "flight binds" [ "ArrivalDay" ] binds
+  | _ -> Alcotest.fail "unexpected statement shapes"
+
+let test_parse_nosocial () =
+  let p = Parser.parse_program nosocial_transaction in
+  Alcotest.(check bool) "no timeout" true (p.timeout = None);
+  match p.body with
+  | [ Ast.Select s1; Ast.Select _; Ast.Insert { table; _ } ] ->
+    Alcotest.(check string) "reserve" "Reserve" table;
+    (* bare @uid, @hometown projections parse as host-var expressions;
+       the evaluator desugars unbound ones into column bindings *)
+    (match List.map (fun (pr : Ast.proj) -> pr.pexpr) s1.projs with
+    | [ Ast.Host "uid"; Ast.Host "hometown" ] -> ()
+    | _ -> Alcotest.fail "expected host-var projections")
+  | _ -> Alcotest.fail "unexpected statement shapes"
+
+let test_parse_script () =
+  let script =
+    "CREATE TABLE T (a INT, b STRING);\n\
+     INSERT INTO T VALUES (1, 'x');\n\
+     BEGIN TRANSACTION;\nSELECT a FROM T;\nCOMMIT;\n\
+     DELETE FROM T WHERE a = 1;"
+  in
+  match Parser.parse_script script with
+  | [ Parser.Stmt (Ast.Create_table _);
+      Parser.Stmt (Ast.Insert _);
+      Parser.Program _;
+      Parser.Stmt (Ast.Delete _) ] -> ()
+  | items ->
+    Alcotest.failf "unexpected script shape (%d items)" (List.length items)
+
+let test_parse_operators_precedence () =
+  (match Parser.parse_cond "a = 1 AND b = 2 OR c = 3" with
+  | Ast.Or (Ast.And _, Ast.Cmp _) -> ()
+  | _ -> Alcotest.fail "AND should bind tighter than OR");
+  match Parser.parse_cond "NOT a = 1 AND b = 2" with
+  | Ast.And (Ast.Not _, Ast.Cmp _) -> ()
+  | _ -> Alcotest.fail "NOT should bind tighter than AND"
+
+let test_parse_arith () =
+  match Parser.parse_stmt "SET @x = 1 + 2 * 3" with
+  | Ast.Set_var ("x", Ast.Binop (Add, Ast.Lit (Int 1), Ast.Binop (Mul, _, _))) -> ()
+  | _ -> Alcotest.fail "precedence of * over +"
+
+let test_parse_errors () =
+  let expect_fail input =
+    try
+      ignore (Parser.parse_stmt input);
+      Alcotest.failf "accepted: %s" input
+    with Parser.Parse_error _ -> ()
+  in
+  expect_fail "SELECT";
+  expect_fail "SELECT a FROM";
+  expect_fail "INSERT INTO";
+  expect_fail "SELECT 'x' INTO ANSWER R WHERE a = 1";
+  (* missing CHOOSE *)
+  expect_fail "SELECT a FROM t WHERE (a, b) IN (1, 2)";
+  expect_fail "UPDATE t SET";
+  expect_fail "CREATE TABLE t (a WIBBLE)"
+
+let test_roundtrip_fixed () =
+  let inputs =
+    [ mickey_query;
+      minnie_query;
+      "SELECT a, b FROM t, u AS v WHERE t.a = v.b LIMIT 3";
+      "INSERT INTO Reserve (uid, fid) VALUES (3, @fid)";
+      "UPDATE t SET a = (a + 1) WHERE a < 10";
+      "DELETE FROM t WHERE NOT (a = 1)";
+      "SET @x = ('2011-05-06' - @d)" ]
+  in
+  List.iter
+    (fun input ->
+      let ast = Parser.parse_stmt input in
+      let printed = Pretty.stmt_to_string ast in
+      let ast' = Parser.parse_stmt printed in
+      let printed' = Pretty.stmt_to_string ast' in
+      Alcotest.(check string) ("roundtrip: " ^ input) printed printed')
+    inputs
+
+(* --- evaluator over the Figure 1 database --- *)
+
+let date y m d = Value.date_of_ymd ~y ~m ~d
+
+let figure1_catalog () =
+  let cat = Catalog.create () in
+  let flights =
+    Catalog.create_table cat "Flights"
+      (Schema.make
+         [ { name = "fno"; ty = T_int };
+           { name = "fdate"; ty = T_date };
+           { name = "dest"; ty = T_str } ])
+  in
+  let airlines =
+    Catalog.create_table cat "Airlines"
+      (Schema.make
+         [ { name = "fno"; ty = T_int }; { name = "airline"; ty = T_str } ])
+  in
+  List.iter
+    (fun row -> ignore (Table.insert flights row))
+    [ [| Value.Int 122; date 2011 5 3; Value.Str "LA" |];
+      [| Value.Int 123; date 2011 5 4; Value.Str "LA" |];
+      [| Value.Int 124; date 2011 5 3; Value.Str "LA" |];
+      [| Value.Int 235; date 2011 5 5; Value.Str "Paris" |] ];
+  List.iter
+    (fun row -> ignore (Table.insert airlines row))
+    [ [| Value.Int 122; Value.Str "United" |];
+      [| Value.Int 123; Value.Str "United" |];
+      [| Value.Int 124; Value.Str "USAir" |];
+      [| Value.Int 235; Value.Str "Delta" |] ];
+  cat
+
+let run_select cat input =
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  match Parser.parse_stmt input with
+  | Ast.Select sel -> (env, Eval.select_rows access env sel)
+  | _ -> Alcotest.fail "expected a SELECT"
+
+let test_eval_simple_select () =
+  let cat = figure1_catalog () in
+  let _, rows = run_select cat "SELECT fno FROM Flights WHERE dest = 'LA'" in
+  Alcotest.(check int) "LA flights" 3 (List.length rows);
+  let fnos = List.map (fun r -> r.(0)) rows in
+  Alcotest.(check bool) "contains 122" true
+    (List.exists (Value.equal (Int 122)) fnos)
+
+let test_eval_join () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat
+      "SELECT F.fno FROM Flights F, Airlines A WHERE F.dest='LA' AND F.fno = \
+       A.fno AND A.airline = 'United'"
+  in
+  let fnos = List.sort Value.compare (List.map (fun r -> r.(0)) rows) in
+  Alcotest.(check (list string))
+    "united LA flights" [ "122"; "123" ]
+    (List.map Value.to_string fnos)
+
+let test_eval_in_subquery () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat
+      "SELECT fno FROM Airlines WHERE (fno) IN (SELECT fno FROM Flights WHERE \
+       dest = 'Paris')"
+  in
+  Alcotest.(check int) "paris airline rows" 1 (List.length rows)
+
+let test_eval_limit_and_binding () =
+  let cat = figure1_catalog () in
+  let env, rows =
+    run_select cat "SELECT fno AS @f FROM Flights WHERE dest = 'LA' LIMIT 1"
+  in
+  Alcotest.(check int) "limited" 1 (List.length rows);
+  match Hashtbl.find_opt env "f" with
+  | Some (Value.Int 122) -> ()
+  | Some v -> Alcotest.failf "bound wrong value %s" (Value.to_string v)
+  | None -> Alcotest.fail "host var not bound"
+
+let test_eval_empty_binds_null () =
+  let cat = figure1_catalog () in
+  let env, rows =
+    run_select cat "SELECT fno AS @f FROM Flights WHERE dest = 'Nowhere'"
+  in
+  Alcotest.(check int) "empty" 0 (List.length rows);
+  match Hashtbl.find_opt env "f" with
+  | Some Value.Null -> ()
+  | _ -> Alcotest.fail "expected Null binding on empty result"
+
+let test_eval_insert_update_delete () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let exec input = Eval.exec_stmt access env (Parser.parse_stmt input) in
+  (match exec "INSERT INTO Airlines VALUES (125, 'United')" with
+  | Eval.Affected 1 -> ()
+  | _ -> Alcotest.fail "insert failed");
+  (match exec "UPDATE Airlines SET airline = 'Delta' WHERE fno = 125" with
+  | Eval.Affected 1 -> ()
+  | _ -> Alcotest.fail "update failed");
+  (match exec "DELETE FROM Airlines WHERE airline = 'Delta'" with
+  | Eval.Affected 2 -> () (* 235 and the updated 125 *)
+  | Eval.Affected n -> Alcotest.failf "deleted %d" n
+  | _ -> Alcotest.fail "delete failed");
+  let _, rows = run_select cat "SELECT fno FROM Airlines" in
+  Alcotest.(check int) "remaining airlines" 3 (List.length rows)
+
+let test_eval_host_vars_flow () =
+  (* The Appendix D NoSocial transaction shape, statement by statement. *)
+  let cat = Catalog.create () in
+  let user =
+    Catalog.create_table cat "User"
+      (Schema.make [ { name = "uid"; ty = T_int }; { name = "hometown"; ty = T_str } ])
+  in
+  let flight =
+    Catalog.create_table cat "Flight"
+      (Schema.make
+         [ { name = "source"; ty = T_str };
+           { name = "destination"; ty = T_str };
+           { name = "fid"; ty = T_int } ])
+  in
+  let reserve =
+    Catalog.create_table cat "Reserve"
+      (Schema.make [ { name = "uid"; ty = T_int }; { name = "fid"; ty = T_int } ])
+  in
+  ignore (Table.insert user [| Value.Int 36513; Value.Str "ITH" |]);
+  ignore (Table.insert flight [| Value.Str "ITH"; Value.Str "FAT"; Value.Int 77 |]);
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let exec input = ignore (Eval.exec_stmt access env (Parser.parse_stmt input)) in
+  exec "SELECT @uid, @hometown FROM User WHERE uid=36513";
+  exec "SELECT @fid FROM Flight WHERE source=@hometown AND destination='FAT'";
+  exec "INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid)";
+  Alcotest.(check int) "reservation made" 1 (Table.cardinal reserve);
+  match Table.get reserve 0 with
+  | Some row ->
+    Alcotest.(check string) "uid" "36513" (Value.to_string (Tuple.get row 0));
+    Alcotest.(check string) "fid" "77" (Value.to_string (Tuple.get row 1))
+  | None -> Alcotest.fail "row missing"
+
+let test_eval_index_fast_path_agrees () =
+  let cat = figure1_catalog () in
+  let flights = Catalog.find_exn cat "Flights" in
+  let q = "SELECT fno FROM Flights WHERE dest = 'LA'" in
+  let _, before = run_select cat q in
+  Table.add_index flights ~positions:[ Schema.index_of (Table.schema flights) "dest" ];
+  let _, after = run_select cat q in
+  Alcotest.(check int) "same cardinality" (List.length before) (List.length after)
+
+let test_eval_date_arithmetic_in_sql () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  Hashtbl.replace env "ArrivalDay" (date 2011 5 3);
+  (match
+     Eval.exec_stmt access env
+       (Parser.parse_stmt "SET @StayLength = '2011-05-06' - @ArrivalDay")
+   with
+  | Eval.Affected 0 -> ()
+  | _ -> Alcotest.fail "SET failed");
+  match Hashtbl.find_opt env "StayLength" with
+  | Some (Value.Int 3) -> ()
+  | _ -> Alcotest.fail "stay length wrong"
+
+let test_eval_errors () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let expect_fail input =
+    try
+      ignore (Eval.exec_stmt access env (Parser.parse_stmt input));
+      Alcotest.failf "accepted: %s" input
+    with Eval.Eval_error _ -> ()
+  in
+  expect_fail "SELECT nope FROM Flights";
+  expect_fail "SELECT fno FROM NoSuchTable";
+  expect_fail "SELECT @undefined_var FROM Flights";
+  expect_fail "INSERT INTO Flights VALUES (1, 2)";
+  expect_fail mickey_query (* entangled queries don't run classically *)
+
+let test_eval_null_semantics () =
+  let cat = Catalog.create () in
+  let t =
+    Catalog.create_table cat "T"
+      (Schema.make [ { name = "a"; ty = T_int }; { name = "b"; ty = T_int } ])
+  in
+  ignore (Table.insert t [| Value.Int 1; Value.Null |]);
+  ignore (Table.insert t [| Value.Int 2; Value.Int 5 |]);
+  let rows input =
+    match run_select cat input with
+    | _, rows -> rows
+  in
+  (* comparisons with NULL are never true, in either direction *)
+  Alcotest.(check int) "b = NULL matches nothing" 0
+    (List.length (rows "SELECT a FROM T WHERE b = NULL"));
+  Alcotest.(check int) "b <> 5 excludes null" 0
+    (List.length (rows "SELECT a FROM T WHERE b <> 5 AND a = 1"));
+  Alcotest.(check int) "between skips null" 1
+    (List.length (rows "SELECT a FROM T WHERE b BETWEEN 0 AND 10"));
+  (* aggregates ignore NULLs; COUNT-star does not *)
+  (match rows "SELECT COUNT(*), COUNT(b), SUM(b) FROM T" with
+  | [ [| Value.Int 2; Value.Int 1; Value.Int 5 |] ] -> ()
+  | _ -> Alcotest.fail "null aggregation");
+  match rows "SELECT MIN(b) FROM T WHERE a = 1" with
+  | [ [| Value.Null |] ] -> ()
+  | _ -> Alcotest.fail "min of all-null group is null"
+
+(* --- extended SQL: aggregates, grouping, ordering --- *)
+
+let test_eval_aggregates () =
+  let cat = figure1_catalog () in
+  let _, rows = run_select cat "SELECT COUNT(*) FROM Flights" in
+  (match rows with
+  | [ [| Value.Int 4 |] ] -> ()
+  | _ -> Alcotest.fail "count(*)");
+  let _, rows = run_select cat "SELECT MIN(fno), MAX(fno), SUM(fno) FROM Flights" in
+  (match rows with
+  | [ [| Value.Int 122; Value.Int 235; Value.Int 604 |] ] -> ()
+  | _ -> Alcotest.fail "min/max/sum");
+  let _, rows =
+    run_select cat "SELECT COUNT(*) FROM Flights WHERE dest = 'Mars'"
+  in
+  match rows with
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "empty group still yields one row"
+
+let test_eval_group_by () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat
+      "SELECT dest, COUNT(*) FROM Flights GROUP BY dest ORDER BY dest"
+  in
+  match rows with
+  | [ [| Value.Str "LA"; Value.Int 3 |]; [| Value.Str "Paris"; Value.Int 1 |] ] -> ()
+  | _ -> Alcotest.fail "group by dest"
+
+let test_eval_order_by_desc_limit () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat "SELECT fno FROM Flights ORDER BY fno DESC LIMIT 2"
+  in
+  match rows with
+  | [ [| Value.Int 235 |]; [| Value.Int 124 |] ] -> ()
+  | _ -> Alcotest.fail "order by desc with limit"
+
+let test_eval_distinct () =
+  let cat = figure1_catalog () in
+  let _, rows = run_select cat "SELECT DISTINCT dest FROM Flights" in
+  Alcotest.(check int) "two destinations" 2 (List.length rows)
+
+let test_eval_in_list_and_between () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat "SELECT fno FROM Flights WHERE fno IN (123, 235, 999)"
+  in
+  Alcotest.(check int) "in list" 2 (List.length rows);
+  let _, rows =
+    run_select cat "SELECT fno FROM Flights WHERE fno BETWEEN 123 AND 235"
+  in
+  Alcotest.(check int) "between" 3 (List.length rows)
+
+let test_eval_avg () =
+  let cat = figure1_catalog () in
+  let _, rows = run_select cat "SELECT AVG(fno) FROM Airlines" in
+  match rows with
+  | [ [| Value.Int 151 |] ] -> () (* (122+123+124+235)/4 = 151 *)
+  | _ -> Alcotest.fail "avg"
+
+let test_agg_outside_projection_rejected () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  try
+    ignore
+      (Eval.exec_stmt access (Eval.fresh_env ())
+         (Parser.parse_stmt "DELETE FROM Flights WHERE fno = COUNT(*)"));
+    Alcotest.fail "aggregate accepted in WHERE"
+  with Eval.Eval_error _ -> ()
+
+let test_order_by_multiple_keys () =
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat "SELECT fdate, fno FROM Flights ORDER BY fdate DESC, fno"
+  in
+  match List.map (fun r -> Value.to_string r.(1)) rows with
+  | [ "235"; "123"; "122"; "124" ] -> ()
+  | other -> Alcotest.failf "wrong order: %s" (String.concat "," other)
+
+let test_correlated_subquery () =
+  (* the inner query references the outer row's column explicitly *)
+  let cat = figure1_catalog () in
+  let _, rows =
+    run_select cat
+      "SELECT A.fno FROM Airlines A WHERE (A.fno) IN (SELECT fno FROM Flights \
+       WHERE fno = A.fno AND dest = 'LA')"
+  in
+  Alcotest.(check int) "three LA airlines" 3 (List.length rows)
+
+let test_bang_equals () =
+  match Parser.parse_cond "a != 1" with
+  | Ast.Cmp (Ne, _, _) -> ()
+  | _ -> Alcotest.fail "!= should parse as <>"
+
+let test_create_index_and_drop () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let exec input = Eval.exec_stmt access env (Parser.parse_stmt input) in
+  (match exec "CREATE INDEX ON Flights (dest)" with
+  | Eval.Created -> ()
+  | _ -> Alcotest.fail "create index");
+  (* indexed plan now probes instead of scanning *)
+  (match Parser.parse_stmt "SELECT fno FROM Flights WHERE dest = 'LA'" with
+  | Ast.Select sel ->
+    Alcotest.(check string) "explain probes" "PROBE Flights ON (dest)"
+      (Eval.explain access sel)
+  | _ -> assert false);
+  (try
+     ignore (exec "CREATE INDEX ON Flights (nope)");
+     Alcotest.fail "bad column accepted"
+   with Eval.Eval_error _ -> ());
+  (match exec "DROP TABLE Airlines" with
+  | Eval.Created -> ()
+  | _ -> Alcotest.fail "drop");
+  try
+    ignore (exec "SELECT fno FROM Airlines");
+    Alcotest.fail "dropped table still queryable"
+  with Eval.Eval_error _ -> ()
+
+let test_ordered_index_range_queries () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let exec input = Eval.exec_stmt access env (Parser.parse_stmt input) in
+  let q = "SELECT fno FROM Flights WHERE fno BETWEEN 123 AND 235 ORDER BY fno" in
+  let before =
+    match exec q with
+    | Eval.Rows rows -> rows
+    | _ -> Alcotest.fail "rows"
+  in
+  (match exec "CREATE ORDERED INDEX ON Flights (fno)" with
+  | Eval.Created -> ()
+  | _ -> Alcotest.fail "create ordered index");
+  (* the plan switches from scan to range... *)
+  (match Parser.parse_stmt q with
+  | Ast.Select sel ->
+    Alcotest.(check string) "explain" "RANGE Flights ON (fno)\nSORT"
+      (Eval.explain access sel)
+  | _ -> assert false);
+  (* ...and the results are unchanged *)
+  let after =
+    match exec q with
+    | Eval.Rows rows -> rows
+    | _ -> Alcotest.fail "rows"
+  in
+  Alcotest.(check bool) "same rows" true (before = after);
+  (* inequality probes too *)
+  (match exec "SELECT fno FROM Flights WHERE fno > 124" with
+  | Eval.Rows [ [| Value.Int 235 |] ] -> ()
+  | _ -> Alcotest.fail "gt probe");
+  try
+    ignore (exec "CREATE ORDERED INDEX ON Flights (fno, fdate)");
+    Alcotest.fail "multi-column ordered index accepted"
+  with Parser.Parse_error _ -> ()
+
+let test_explain_shapes () =
+  let cat = figure1_catalog () in
+  let access = Eval.direct_access cat in
+  let plan input =
+    match Parser.parse_stmt input with
+    | Ast.Select sel -> Eval.explain access sel
+    | _ -> assert false
+  in
+  Alcotest.(check string) "plain scan" "SCAN Flights"
+    (plan "SELECT fno FROM Flights");
+  Alcotest.(check string) "join probe"
+    "SCAN Flights AS F\nPROBE Airlines ON (fno) AS A"
+    (plan "SELECT F.fno FROM Flights F, Airlines A WHERE F.fno = A.fno");
+  Alcotest.(check string) "agg + sort"
+    "SCAN Flights\nGROUP\nAGGREGATE\nSORT"
+    (plan "SELECT dest, COUNT(*) FROM Flights GROUP BY dest ORDER BY dest")
+
+let test_extended_roundtrips () =
+  List.iter
+    (fun input ->
+      let ast = Parser.parse_stmt input in
+      let printed = Pretty.stmt_to_string ast in
+      let printed' = Pretty.stmt_to_string (Parser.parse_stmt printed) in
+      Alcotest.(check string) ("roundtrip: " ^ input) printed printed')
+    [ "SELECT DISTINCT dest FROM Flights ORDER BY dest DESC LIMIT 3";
+      "SELECT dest, COUNT(*), AVG(fno) FROM Flights GROUP BY dest";
+      "SELECT fno FROM Flights WHERE fno IN (1, 2, 3)";
+      "SELECT fno FROM Flights WHERE fno BETWEEN 1 AND 9 ORDER BY fno" ]
+
+(* --- property: parser/printer round-trip on generated statements --- *)
+
+let gen_ident =
+  QCheck2.Gen.(
+    map
+      (fun (c, rest) -> Printf.sprintf "%c%s" c rest)
+      (pair (char_range 'a' 'z')
+         (string_size ~gen:(char_range 'a' 'z') (int_range 0 6))))
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun i -> Ast.Lit (Value.Int i)) (int_range 0 99);
+            map (fun s -> Ast.Lit (Value.Str s)) gen_ident;
+            map (fun v -> Ast.Host v) gen_ident;
+            map (fun c -> Ast.Col (None, c)) gen_ident ]
+      else
+        oneof
+          [ self 0;
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ])
+              (self (n / 2)) (self (n / 2)) ])
+
+let gen_stmt =
+  let open QCheck2.Gen in
+  oneof
+    [ map2
+        (fun t vs -> Ast.Insert { table = t; columns = None; values = vs })
+        gen_ident
+        (list_size (int_range 1 4) gen_expr);
+      map2 (fun v e -> Ast.Set_var (v, e)) gen_ident gen_expr;
+      map3
+        (fun t col e ->
+          Ast.Update { table = t; set = [ (col, e) ]; where = Ast.True })
+        gen_ident gen_ident gen_expr;
+      map (fun t -> Ast.Delete { table = t; where = Ast.True }) gen_ident ]
+
+let prop_parser_total =
+  (* The parser must be total: random input either parses or raises
+     Parse_error/Lex_error — never anything else, never diverges. *)
+  let fragment_gen =
+    QCheck2.Gen.(
+      oneofl
+        [ "SELECT"; "FROM"; "WHERE"; "IN"; "ANSWER"; "CHOOSE"; "AND"; "OR";
+          "BEGIN"; "TRANSACTION"; "COMMIT"; "INSERT"; "INTO"; "VALUES";
+          "GROUP"; "BY"; "ORDER"; "LIMIT"; "("; ")"; ","; ";"; "="; "<";
+          "@x"; "'str'"; "42"; "tbl"; "col"; "*"; "-"; "BETWEEN"; "COUNT" ])
+  in
+  QCheck2.Test.make ~name:"parser is total on keyword soup" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 25) fragment_gen)
+    (fun fragments ->
+      let input = String.concat " " fragments in
+      match Parser.parse_script input with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round-trip" ~count:300 gen_stmt
+    (fun stmt ->
+      let printed = Pretty.stmt_to_string stmt in
+      let reparsed = Parser.parse_stmt printed in
+      Pretty.stmt_to_string reparsed = printed)
+
+let () =
+  Alcotest.run "sql"
+    [ ( "lexer",
+        [ Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors ] );
+      ( "parser",
+        [ Alcotest.test_case "mickey entangled" `Quick test_parse_mickey;
+          Alcotest.test_case "minnie join" `Quick test_parse_minnie_join;
+          Alcotest.test_case "figure 2 transaction" `Quick test_parse_figure2;
+          Alcotest.test_case "appendix D nosocial" `Quick test_parse_nosocial;
+          Alcotest.test_case "script" `Quick test_parse_script;
+          Alcotest.test_case "precedence" `Quick test_parse_operators_precedence;
+          Alcotest.test_case "arith precedence" `Quick test_parse_arith;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "round-trips" `Quick test_roundtrip_fixed ] );
+      ( "eval",
+        [ Alcotest.test_case "simple select" `Quick test_eval_simple_select;
+          Alcotest.test_case "join" `Quick test_eval_join;
+          Alcotest.test_case "IN subquery" `Quick test_eval_in_subquery;
+          Alcotest.test_case "limit + binding" `Quick test_eval_limit_and_binding;
+          Alcotest.test_case "empty binds null" `Quick test_eval_empty_binds_null;
+          Alcotest.test_case "write statements" `Quick test_eval_insert_update_delete;
+          Alcotest.test_case "host var flow" `Quick test_eval_host_vars_flow;
+          Alcotest.test_case "index fast path" `Quick test_eval_index_fast_path_agrees;
+          Alcotest.test_case "date arithmetic" `Quick test_eval_date_arithmetic_in_sql;
+          Alcotest.test_case "errors" `Quick test_eval_errors ] );
+      ( "extended-sql",
+        [ Alcotest.test_case "null semantics" `Quick test_eval_null_semantics;
+          Alcotest.test_case "aggregates" `Quick test_eval_aggregates;
+          Alcotest.test_case "group by" `Quick test_eval_group_by;
+          Alcotest.test_case "order by desc + limit" `Quick test_eval_order_by_desc_limit;
+          Alcotest.test_case "distinct" `Quick test_eval_distinct;
+          Alcotest.test_case "in list / between" `Quick test_eval_in_list_and_between;
+          Alcotest.test_case "avg" `Quick test_eval_avg;
+          Alcotest.test_case "aggregate misuse" `Quick test_agg_outside_projection_rejected;
+          Alcotest.test_case "order by multiple keys" `Quick test_order_by_multiple_keys;
+          Alcotest.test_case "correlated subquery" `Quick test_correlated_subquery;
+          Alcotest.test_case "bang equals" `Quick test_bang_equals;
+          Alcotest.test_case "create index / drop" `Quick test_create_index_and_drop;
+          Alcotest.test_case "ordered index ranges" `Quick test_ordered_index_range_queries;
+          Alcotest.test_case "explain" `Quick test_explain_shapes;
+          Alcotest.test_case "round-trips" `Quick test_extended_roundtrips ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_total ] ) ]

@@ -1,0 +1,272 @@
+(* Tests for the evaluation workloads: the social graph substitute, the
+   travel world, the six Appendix D workloads, and the Figure 6(c)
+   coordination structures. *)
+
+open Ent_core
+open Ent_workload
+
+let committed m id = Manager.outcome m id = Some Scheduler.Committed
+
+let submit_all world programs =
+  List.map (Manager.submit world.Travel.manager) programs
+
+let drain world = Manager.drain world.Travel.manager
+
+(* --- social graph --- *)
+
+let test_graph_generation () =
+  let g = Social_graph.generate ~seed:7 ~users:200 ~edges_per_node:3 () in
+  Alcotest.(check int) "users" 200 (Social_graph.users g);
+  (* reciprocity *)
+  for u = 0 to 199 do
+    List.iter
+      (fun v ->
+        if not (List.mem u (Social_graph.friends g v)) then
+          Alcotest.failf "edge %d-%d not reciprocated" u v)
+      (Social_graph.friends g u)
+  done;
+  (* heavy tail: max degree well above the average *)
+  let degrees = List.init 200 (Social_graph.degree g) in
+  let max_deg = List.fold_left max 0 degrees in
+  let avg = float_of_int (List.fold_left ( + ) 0 degrees) /. 200.0 in
+  Alcotest.(check bool) "hub exists" true (float_of_int max_deg > 2.5 *. avg);
+  (* determinism *)
+  let g' = Social_graph.generate ~seed:7 ~users:200 ~edges_per_node:3 () in
+  Alcotest.(check int) "same edge count" (Social_graph.edge_count g)
+    (Social_graph.edge_count g')
+
+let test_graph_parse_edges () =
+  let text = "# comment\n10\t20\n20\t30\n10\t20\n" in
+  let g = Social_graph.parse_edges text in
+  Alcotest.(check int) "three nodes" 3 (Social_graph.users g);
+  Alcotest.(check int) "four directed edges" 4 (Social_graph.edge_count g);
+  Alcotest.(check (list int)) "friends of remapped 20" [ 0; 2 ]
+    (Social_graph.friends g 1)
+
+let test_load_edges_file () =
+  let path = Filename.temp_file "snap" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# Directed graph\n# FromNodeId\tToNodeId\n0\t1\n1\t2\n2\t0\n";
+      close_out oc;
+      let g = Social_graph.load_edges path in
+      Alcotest.(check int) "three users" 3 (Social_graph.users g);
+      Alcotest.(check int) "triangle reciprocated" 6 (Social_graph.edge_count g))
+
+let test_nth_friend () =
+  let g = Social_graph.generate ~seed:1 ~users:50 ~edges_per_node:2 () in
+  match Social_graph.nth_friend g 10 3 with
+  | Some v -> Alcotest.(check bool) "is a friend" true (List.mem v (Social_graph.friends g 10))
+  | None -> Alcotest.fail "user 10 should have friends"
+
+(* --- travel world --- *)
+
+let test_world_build () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let m = world.manager in
+  Alcotest.(check int) "users loaded" 50
+    (List.length (Manager.query m "SELECT uid FROM User"));
+  Alcotest.(check int) "flights are a complete digraph" 20
+    (List.length (Manager.query m "SELECT fid FROM Flight"));
+  Alcotest.(check bool) "hometown never equals destination" true
+    (Travel.hometown world 3 <> Travel.destination_for world 3 ~salt:0)
+
+(* --- workloads --- *)
+
+let test_no_social_commits () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let ids = submit_all world (Gen.batch world ~transactional:true No_social ~n:10 ~tag_base:0) in
+  drain world;
+  Alcotest.(check bool) "all commit" true
+    (List.for_all (committed world.manager) ids);
+  Alcotest.(check int) "ten reservations" 10 (Travel.reservations world)
+
+let test_social_commits () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let ids = submit_all world (Gen.batch world ~transactional:true Social ~n:10 ~tag_base:0) in
+  drain world;
+  Alcotest.(check bool) "all commit" true (List.for_all (committed world.manager) ids);
+  Alcotest.(check int) "ten reservations" 10 (Travel.reservations world)
+
+let test_entangled_pairs_commit () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let ids =
+    submit_all world (Gen.batch world ~transactional:true Entangled ~n:10 ~tag_base:0)
+  in
+  drain world;
+  Alcotest.(check bool) "all commit" true (List.for_all (committed world.manager) ids);
+  Alcotest.(check int) "ten reservations" 10 (Travel.reservations world);
+  let s = Manager.stats world.manager in
+  Alcotest.(check int) "five entangle events" 5 s.entangle_events
+
+let test_entangled_pair_agrees_on_destination () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let programs = Gen.batch world ~transactional:true Entangled ~n:2 ~tag_base:42 in
+  let ids = submit_all world programs in
+  drain world;
+  match List.map (Manager.answers_of world.manager) ids with
+  | [ [ (_, [ _; _; d1 ]) ]; [ (_, [ _; _; d2 ]) ] ] ->
+    Alcotest.(check string) "same destination"
+      (Ent_storage.Value.to_string d1) (Ent_storage.Value.to_string d2)
+  | _ -> Alcotest.fail "unexpected answer shapes"
+
+let test_q_variants_commit () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let ids =
+    submit_all world (Gen.batch world ~transactional:false Entangled ~n:6 ~tag_base:0)
+    @ submit_all world (Gen.batch world ~transactional:false No_social ~n:4 ~tag_base:50)
+  in
+  drain world;
+  Alcotest.(check bool) "all commit" true (List.for_all (committed world.manager) ids);
+  Alcotest.(check int) "ten reservations" 10 (Travel.reservations world)
+
+let test_q_cheaper_than_t () =
+  (* the -Q variant of the same workload must finish earlier in
+     simulated time (no transaction overhead) *)
+  let run transactional =
+    let config =
+      { Scheduler.default_config with connections = 10; trigger = Scheduler.Every_arrivals 10 }
+    in
+    let world = Travel.build ~users:100 ~cities:5 ~config () in
+    ignore (submit_all world (Gen.batch world ~transactional No_social ~n:100 ~tag_base:0));
+    drain world;
+    Manager.now world.manager
+  in
+  let t_time = run true and q_time = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "Q (%f) < T (%f)" q_time t_time)
+    true (q_time < t_time)
+
+let test_lonely_stay_pending () =
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let ids = submit_all world (Gen.lonely world ~n:3 ~tag_base:0) in
+  drain world;
+  Alcotest.(check bool) "none committed" true
+    (List.for_all (fun id -> not (committed world.manager id)) ids);
+  Alcotest.(check int) "all dormant" 3
+    (List.length (Scheduler.dormant (Manager.scheduler world.manager)))
+
+let test_spoke_hub_commits () =
+  List.iter
+    (fun set_size ->
+      let config =
+        { Scheduler.default_config with trigger = Scheduler.Manual }
+      in
+      let world = Travel.build ~users:60 ~cities:6 ~config () in
+      let ids = submit_all world (Gen.spoke_hub world ~set_size ~tag_base:1) in
+      Manager.run_once world.manager;
+      Manager.drain world.manager;
+      Alcotest.(check bool)
+        (Printf.sprintf "spoke-hub size %d commits" set_size)
+        true
+        (List.for_all (committed world.manager) ids))
+    [ 2; 3; 5; 8 ]
+
+let test_cycle_commits () =
+  List.iter
+    (fun set_size ->
+      let config =
+        { Scheduler.default_config with trigger = Scheduler.Manual }
+      in
+      let world = Travel.build ~users:60 ~cities:12 ~config () in
+      let ids = submit_all world (Gen.cycle world ~set_size ~tag_base:1) in
+      Manager.run_once world.manager;
+      Manager.drain world.manager;
+      Alcotest.(check bool)
+        (Printf.sprintf "cycle size %d commits" set_size)
+        true
+        (List.for_all (committed world.manager) ids))
+    [ 2; 3; 4; 6; 9 ]
+
+let test_q_retry_resumes_not_restarts () =
+  (* A -Q transaction's committed statements survive a repool: when its
+     partner arrives a run later, the pre-query INSERT must not run a
+     second time. *)
+  let world = Travel.build ~users:50 ~cities:5 () in
+  let m = world.manager in
+  Manager.define_table m "Markers" [ ("who", Ent_storage.Schema.T_str) ];
+  let q_program me _partner =
+    Program.of_string ~transactional:false
+      (Printf.sprintf
+         "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\n\
+          INSERT INTO Markers VALUES ('%s');\n\
+          SELECT %d, 9, dst AS @destination INTO ANSWER Meet\n\
+          WHERE (dst) IN (SELECT destination FROM Flight WHERE source='%s')\n\
+          AND (%d, 9, dst) IN ANSWER Meet\n\
+          CHOOSE 1;\n\
+          INSERT INTO Reserve (uid, fid) VALUES (%d, 0);\n\
+          COMMIT;"
+         me
+         (if me = "early" then 1 else 2)
+         (Travel.hometown world 1)
+         (if me = "early" then 2 else 1)
+         (if me = "early" then 1 else 2))
+  in
+  let early = Manager.submit m (q_program "early" "late") in
+  Manager.drain m;  (* early waits: its marker is already committed *)
+  Alcotest.(check int) "marker committed while waiting" 1
+    (List.length (Manager.query m "SELECT who FROM Markers"));
+  let late = Manager.submit m (q_program "late" "early") in
+  Manager.drain m;
+  Alcotest.(check bool) "both done" true
+    (Manager.outcome m early = Some Scheduler.Committed
+    && Manager.outcome m late = Some Scheduler.Committed);
+  Alcotest.(check int) "exactly two markers (no re-execution)" 2
+    (List.length (Manager.query m "SELECT who FROM Markers"));
+  Alcotest.(check int) "two bookings" 2 (Travel.reservations world)
+
+(* --- properties --- *)
+
+let prop_entangled_batches_always_commit =
+  QCheck2.Test.make ~name:"entangled batches fully commit" ~count:20
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 1 20))
+    (fun (pairs, f) ->
+      let config =
+        { Scheduler.default_config with trigger = Scheduler.Every_arrivals f }
+      in
+      let world = Travel.build ~users:80 ~cities:5 ~config () in
+      let ids =
+        submit_all world
+          (Gen.batch world ~transactional:true Entangled ~n:(2 * pairs) ~tag_base:0)
+      in
+      drain world;
+      List.for_all (committed world.manager) ids)
+
+let prop_graph_reciprocal =
+  QCheck2.Test.make ~name:"generated graphs are reciprocal" ~count:30
+    QCheck2.Gen.(pair (int_range 2 120) (int_range 1 6))
+    (fun (users, epn) ->
+      let g = Social_graph.generate ~seed:3 ~users ~edges_per_node:epn () in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v -> List.mem u (Social_graph.friends g v))
+            (Social_graph.friends g u))
+        (List.init users Fun.id))
+
+let () =
+  Alcotest.run "workload"
+    [ ( "graph",
+        [ Alcotest.test_case "generation" `Quick test_graph_generation;
+          Alcotest.test_case "parse edges" `Quick test_graph_parse_edges;
+          Alcotest.test_case "load edges file" `Quick test_load_edges_file;
+          Alcotest.test_case "nth friend" `Quick test_nth_friend ] );
+      ( "world",
+        [ Alcotest.test_case "build" `Quick test_world_build ] );
+      ( "workloads",
+        [ Alcotest.test_case "no-social" `Quick test_no_social_commits;
+          Alcotest.test_case "social" `Quick test_social_commits;
+          Alcotest.test_case "entangled pairs" `Quick test_entangled_pairs_commit;
+          Alcotest.test_case "destination agreement" `Quick
+            test_entangled_pair_agrees_on_destination;
+          Alcotest.test_case "q variants" `Quick test_q_variants_commit;
+          Alcotest.test_case "q cheaper than t" `Quick test_q_cheaper_than_t;
+          Alcotest.test_case "q retry resumes" `Quick test_q_retry_resumes_not_restarts;
+          Alcotest.test_case "lonely pending" `Quick test_lonely_stay_pending;
+          Alcotest.test_case "spoke-hub" `Quick test_spoke_hub_commits;
+          Alcotest.test_case "cycle" `Quick test_cycle_commits ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_entangled_batches_always_commit; prop_graph_reciprocal ] ) ]
