@@ -215,7 +215,7 @@ let ablation_isolation () =
                 { p.ast with
                   body =
                     List.filteri (fun j _ -> j < 2) p.ast.body
-                    @ [ Ent_sql.Ast.Rollback ] }
+                    @ [ (Ent_sql.Ast.Rollback, Ent_sql.Ast.no_pos) ] }
               in
               Program.make ~label:(p.label ^ "-abort") ast
             else p)

@@ -1,0 +1,158 @@
+(* entlint — static analysis for entangled-transaction programs and a
+   checker for recorded schedule histories.
+
+     entlint lint program.sql other.sql      # static lint passes
+     entlint lint --workload entangled-t     # lint generated workload programs
+     entlint check history.txt               # Appendix C requirements on a schedule
+     entlint record script.sql               # run a script, check the recorded schedule
+
+   Exit codes: 0 clean, 1 findings/anomalies, 2 bad input. *)
+
+open Ent_analysis
+
+let read_input = function
+  | Some path -> Driver.read_file path
+  | None -> Ok (In_channel.input_all stdin)
+
+let fail_input msg =
+  prerr_endline msg;
+  2
+
+(* --- lint --- *)
+
+let lint_main files workload n strict =
+  let inputs =
+    let file_inputs =
+      List.fold_left
+        (fun acc path ->
+          match acc with
+          | Error _ -> acc
+          | Ok acc -> (
+            match Driver.inputs_of_file path with
+            | Ok inputs -> Ok (acc @ inputs)
+            | Error msg -> Error msg))
+        (Ok []) files
+    in
+    match file_inputs, workload with
+    | Error msg, _ -> Error msg
+    | Ok acc, None ->
+      if acc = [] && files = [] then
+        Error "nothing to lint: give program files or --workload NAME"
+      else Ok acc
+    | Ok acc, Some name -> (
+      match Driver.workload_inputs ~n name with
+      | Ok inputs -> Ok (acc @ inputs)
+      | Error msg -> Error msg)
+  in
+  match inputs with
+  | Error msg -> fail_input msg
+  | Ok inputs ->
+    let findings = Lint.run inputs in
+    Format.printf "%a%!" Driver.render_findings findings;
+    Driver.exit_code ~strict findings
+
+(* --- check --- *)
+
+let serializability_of = function
+  | "auto" -> Ok `Auto
+  | "on" -> Ok `On
+  | "off" -> Ok `Off
+  | s -> Error (Printf.sprintf "unknown serializability mode %S (auto|on|off)" s)
+
+let check_main path serializability =
+  match serializability_of serializability with
+  | Error msg -> fail_input msg
+  | Ok serializability -> (
+    match Result.bind (read_input path) Driver.history_of_text with
+    | Error msg -> fail_input msg
+    | Ok history ->
+      let report = Histcheck.check ~serializability history in
+      Format.printf "%a@.%!" Histcheck.pp report;
+      if Histcheck.ok report then 0 else 1)
+
+(* --- record --- *)
+
+let record_main path isolation frequency serializability print_history =
+  match serializability_of serializability with
+  | Error msg -> fail_input msg
+  | Ok serializability -> (
+    match
+      Result.bind (read_input path) (Driver.record_script ~isolation ~frequency)
+    with
+    | Error msg -> fail_input msg
+    | Ok history ->
+      if print_history then
+        Format.printf "%a@." Ent_schedule.History.pp history;
+      let report = Histcheck.check ~serializability history in
+      Format.printf "%a@.%!" Histcheck.pp report;
+      if Histcheck.ok report then 0 else 1)
+
+(* --- command line --- *)
+
+open Cmdliner
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Program script files to lint.")
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~docv:"NAME"
+         ~doc:(Printf.sprintf "Lint the generated programs of a workload: %s."
+                 (String.concat ", " Driver.workload_names)))
+
+let size =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N"
+         ~doc:"Batch or structure size for --workload.")
+
+let strict =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Exit nonzero on warnings too, not only errors.")
+
+let history_file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"HISTORY"
+         ~doc:"Schedule history file (stdin when omitted), in the notation \
+               of Appendix C: R1(x) RG1(Flights) W1(Reserve[5]) E1{1,2} C1 A2.")
+
+let script_file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SCRIPT"
+         ~doc:"SQL script to execute (stdin when omitted).")
+
+let serializability =
+  Arg.(value & opt string "auto" & info [ "serializability" ] ~docv:"MODE"
+         ~doc:"Check oracle-serializability: auto (only when exact), on, off.")
+
+let isolation =
+  Arg.(value & opt string "full" & info [ "isolation" ]
+         ~doc:"Isolation level for record: full, no-group-commit, \
+               no-grounding-locks, read-uncommitted.")
+
+let frequency =
+  Arg.(value & opt int 1 & info [ "frequency"; "f" ]
+         ~doc:"Run frequency for record: start a run after this many arrivals.")
+
+let print_history =
+  Arg.(value & flag & info [ "print-history" ]
+         ~doc:"Print the recorded schedule before the report.")
+
+let lint_cmd =
+  let doc = "statically analyse entangled-transaction programs" in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint_main $ files $ workload $ size $ strict)
+
+let check_cmd =
+  let doc = "check a schedule history against the Appendix C requirements" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const check_main $ history_file $ serializability)
+
+let record_cmd =
+  let doc = "execute a script, record its schedule, and check it" in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const record_main $ script_file $ isolation $ frequency
+          $ serializability $ print_history)
+
+let main =
+  let doc = "static analyzer and schedule checker for entangled transactions" in
+  Cmd.group (Cmd.info "entlint" ~version:"1.0.0" ~doc)
+    [ lint_cmd; check_cmd; record_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -57,7 +57,7 @@ let run_script path connections frequency isolation_name show_tables verbose =
       List.iter
         (fun item ->
           match item with
-          | Ent_sql.Parser.Stmt stmt ->
+          | Ent_sql.Parser.Stmt (stmt, _) ->
             ignore (Ent_sql.Eval.exec_stmt access env stmt)
           | Ent_sql.Parser.Program ast ->
             incr count;

@@ -1,0 +1,35 @@
+-- The paper's running example (Section 2 / Figure 1) as a script:
+-- Mickey and Minnie book the same flight to LA via entangled queries.
+-- Lint-clean: consistent lock order, no writes to grounding tables,
+-- satisfiable bodies.
+
+CREATE TABLE Flights (fno INT, fdate DATE, dest STRING);
+CREATE TABLE Airlines (fno INT, airline STRING);
+CREATE TABLE Bookings (passenger STRING, fno INT, fdate DATE);
+
+INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+INSERT INTO Flights VALUES (124, '2011-05-03', 'LA');
+INSERT INTO Flights VALUES (235, '2011-05-05', 'Paris');
+INSERT INTO Airlines VALUES (122, 'United');
+INSERT INTO Airlines VALUES (123, 'United');
+INSERT INTO Airlines VALUES (124, 'USAir');
+INSERT INTO Airlines VALUES (235, 'Delta');
+
+BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
+SELECT 'Mickey', fno AS @fno, fdate AS @fdate INTO ANSWER Reservation
+WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest = 'LA')
+AND ('Minnie', fno, fdate) IN ANSWER Reservation
+CHOOSE 1;
+INSERT INTO Bookings VALUES ('Mickey', @fno, @fdate);
+COMMIT;
+
+BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
+SELECT 'Minnie', fno AS @fno, fdate AS @fdate INTO ANSWER Reservation
+WHERE (fno, fdate) IN
+  (SELECT F.fno, F.fdate FROM Flights F, Airlines A
+   WHERE F.dest = 'LA' AND F.fno = A.fno AND A.airline = 'United')
+AND ('Mickey', fno, fdate) IN ANSWER Reservation
+CHOOSE 1;
+INSERT INTO Bookings VALUES ('Minnie', @fno, @fdate);
+COMMIT;

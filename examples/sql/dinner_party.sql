@@ -1,0 +1,26 @@
+-- Two friends coordinate a restaurant booking: each requires the
+-- other's presence via an entangled query over the same Tables
+-- relation, then records their own reservation. Lint-clean.
+
+CREATE TABLE Restaurants (rid INT, city STRING, seats INT);
+CREATE TABLE Reservations (guest STRING, rid INT);
+
+INSERT INTO Restaurants VALUES (1, 'Ithaca', 4);
+INSERT INTO Restaurants VALUES (2, 'Ithaca', 2);
+INSERT INTO Restaurants VALUES (3, 'Dryden', 6);
+
+BEGIN TRANSACTION WITH TIMEOUT 1 HOURS;
+SELECT 'Alice', rid AS @rid INTO ANSWER Dinner
+WHERE (rid) IN (SELECT rid FROM Restaurants WHERE city = 'Ithaca' AND seats >= 2)
+AND ('Bob', rid) IN ANSWER Dinner
+CHOOSE 1;
+INSERT INTO Reservations VALUES ('Alice', @rid);
+COMMIT;
+
+BEGIN TRANSACTION WITH TIMEOUT 1 HOURS;
+SELECT 'Bob', rid AS @rid INTO ANSWER Dinner
+WHERE (rid) IN (SELECT rid FROM Restaurants WHERE city = 'Ithaca')
+AND ('Alice', rid) IN ANSWER Dinner
+CHOOSE 1;
+INSERT INTO Reservations VALUES ('Bob', @rid);
+COMMIT;

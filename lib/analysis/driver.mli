@@ -1,0 +1,39 @@
+(** Everything the [entlint] executable does, behind a library API so
+    the CLI paths are testable: loading programs from scripts or
+    workload generators, parsing and recording histories, rendering
+    findings, computing exit codes. *)
+
+(** Parse a script into lint inputs. Transaction blocks become
+    transactional programs labelled [txn-N]; consecutive bare
+    statements containing an entangled query become a non-transactional
+    [autocommit-N] program (the -Q shape); pure bootstrap groups are
+    dropped. Errors carry [source:line:col:]. *)
+val inputs_of_script : source:string -> string -> (Lint.input list, string) result
+
+val inputs_of_file : string -> (Lint.input list, string) result
+val read_file : string -> (string, string) result
+
+val workload_names : string list
+
+(** Generate the programs of a named evaluation workload (over a small
+    travel world) as lint inputs. [n] is the batch/structure size. *)
+val workload_inputs : ?n:int -> string -> (Lint.input list, string) result
+
+(** Parse the textual schedule notation ({!Histparse}). *)
+val history_of_text : string -> (Ent_schedule.History.t, string) result
+
+val isolation_of_name : string -> (Ent_core.Isolation.t, string) result
+
+(** Execute a script under a {!Ent_schedule.Recorder} and return the
+    schedule of the transactions that terminated. *)
+val record_script :
+  ?isolation:string ->
+  ?frequency:int ->
+  string ->
+  (Ent_schedule.History.t, string) result
+
+(** All findings, then a [N errors, M warnings] summary line. *)
+val render_findings : Format.formatter -> Finding.t list -> unit
+
+(** [0] clean, [1] error findings (any finding under [strict]). *)
+val exit_code : ?strict:bool -> Finding.t list -> int

@@ -1,0 +1,48 @@
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  source : string;
+  program : string;
+  at : Ent_sql.Ast.pos;
+  message : string;
+  witness : string list;
+}
+
+let make ?(source = "") ?(program = "") ?(at = Ent_sql.Ast.no_pos)
+    ?(witness = []) ~code ~severity message =
+  { code; severity; source; program; at; message; witness }
+
+let is_error t = t.severity = Error
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+(* Sort order: source file, then position, then code — the order a
+   reader scans a file in. *)
+let compare a b =
+  let c = String.compare a.source b.source in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (a.at.line, a.at.col) (b.at.line, b.at.col) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.program b.program in
+      if c <> 0 then c else String.compare a.code b.code
+
+let pp ppf t =
+  let where =
+    match t.source, t.at with
+    | "", at when at = Ent_sql.Ast.no_pos -> ""
+    | "", at -> Format.asprintf "%a: " Ent_sql.Ast.pp_pos at
+    | src, at when at = Ent_sql.Ast.no_pos -> src ^ ": "
+    | src, at -> Format.asprintf "%s:%a: " src Ent_sql.Ast.pp_pos at
+  in
+  let prog = if t.program = "" then "" else Printf.sprintf " (%s)" t.program in
+  Format.fprintf ppf "%s%s: [%s]%s %s" where (severity_name t.severity) t.code
+    prog t.message;
+  List.iter (fun line -> Format.fprintf ppf "@\n    %s" line) t.witness

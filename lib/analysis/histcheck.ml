@@ -1,0 +1,169 @@
+open Ent_schedule
+
+type violation = {
+  code : string;
+  requirement : string;
+  witness : string;
+}
+
+type report = {
+  ops : int;
+  txns : int list;
+  committed : int list;
+  aborted : int list;
+  validity : string list;
+  violations : violation list;
+  level : [ `Full | `No_widow | `Loose ];
+  serializable : bool option;
+}
+
+let obj_str x = Format.asprintf "%a" History.pp_obj x
+
+(* Requirement C.3 with a witness: a committed transaction read an
+   object after an aborted one wrote it. Anomaly.find_dirty_read_witness
+   is looser (any reader), so filter to committed readers here. *)
+let find_read_from_aborted history =
+  let aborted = History.aborted history in
+  let committed = History.committed history in
+  let rec scan = function
+    | [] -> None
+    | History.Write (i, x) :: rest when List.mem i aborted -> (
+      let found =
+        List.find_map
+          (fun (op : History.op) ->
+            match op with
+            | Read (j, y) | Ground_read (j, y) | Quasi_read (j, y)
+              when j <> i && List.mem j committed && History.overlaps x y ->
+              Some (i, j, x, y)
+            | _ -> None)
+          rest
+      in
+      match found with
+      | Some _ -> found
+      | None -> scan rest)
+    | _ :: rest -> scan rest
+  in
+  scan (History.expand_quasi_reads history)
+
+let entangle_event_of history a c =
+  List.find_map
+    (fun (op : History.op) ->
+      match op with
+      | Entangle (k, participants)
+        when List.mem a participants && List.mem c participants -> Some k
+      | _ -> None)
+    history
+
+let check ?(serializability = `Auto) history =
+  let validity = History.validity_errors history in
+  let committed = History.committed history in
+  let aborted = History.aborted history in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (match Conflict.find_cycle (Conflict.of_schedule (History.expand_quasi_reads history)) with
+  | Some cycle ->
+    add
+      {
+        code = "conflict-cycle";
+        requirement = "C.2 (no cycles)";
+        witness =
+          String.concat " -> " (List.map (fun i -> "T" ^ string_of_int i) cycle)
+          ^ " -> T"
+          ^ string_of_int (List.hd cycle);
+      }
+  | None -> ());
+  (match find_read_from_aborted history with
+  | Some (writer, reader, x, y) ->
+    add
+      {
+        code = "read-from-aborted";
+        requirement = "C.3 (no read from aborted)";
+        witness =
+          Printf.sprintf
+            "T%d read %s after aborted T%d wrote %s (dirty read)" reader
+            (obj_str y) writer (obj_str x);
+      }
+  | None -> ());
+  (match Anomaly.find_widowed history with
+  | Some (a, c) ->
+    let event =
+      match entangle_event_of history a c with
+      | Some k -> Printf.sprintf "entanglement E%d" k
+      | None -> "an entanglement"
+    in
+    add
+      {
+        code = "widowed";
+        requirement = "C.4 (no widowed transactions)";
+        witness =
+          Printf.sprintf "%s joins T%d (aborted) with T%d (committed)" event a
+            c;
+      }
+  | None -> ());
+  (match Anomaly.find_unrepeatable_quasi_read history with
+  | Some (txn, x) ->
+    add
+      {
+        code = "unrepeatable-quasi-read";
+        requirement = "quasi-read stability (Figure 3b)";
+        witness =
+          Printf.sprintf
+            "T%d quasi-read %s, another transaction wrote it, and T%d then \
+             read it again"
+            txn (obj_str x) txn;
+      }
+  | None -> ());
+  let serializable =
+    let compute () = Some (Abstract.oracle_serializable history) in
+    match serializability with
+    | `Off -> None
+    | `On -> compute ()
+    | `Auto ->
+      (* The oracle falls back from exhaustive permutation search to a
+         single topological order above 7 committed transactions, which
+         can under-approximate — only report when it is exact. *)
+      if List.length committed <= 7 then compute () else None
+  in
+  {
+    ops = List.length history;
+    txns = History.txns history;
+    committed;
+    aborted;
+    validity;
+    violations = List.rev !violations;
+    level = Anomaly.level history;
+    serializable;
+  }
+
+let ok r =
+  r.validity = [] && r.violations = [] && r.serializable <> Some false
+
+let pp_level ppf = function
+  | `Full -> Format.pp_print_string ppf "full (entangled-isolated, C.5)"
+  | `No_widow -> Format.pp_print_string ppf "no-widow"
+  | `Loose -> Format.pp_print_string ppf "loose"
+
+let pp ppf r =
+  Format.fprintf ppf "history: %d ops, %d transactions (%d committed, %d aborted)@\n"
+    r.ops (List.length r.txns)
+    (List.length r.committed)
+    (List.length r.aborted);
+  (match r.validity with
+  | [] -> Format.fprintf ppf "validity (C.1): ok@\n"
+  | errs ->
+    Format.fprintf ppf "validity (C.1): %d error%s@\n" (List.length errs)
+      (if List.length errs = 1 then "" else "s");
+    List.iter (fun e -> Format.fprintf ppf "    %s@\n" e) errs);
+  (match r.violations with
+  | [] -> Format.fprintf ppf "anomalies: none@\n"
+  | vs ->
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "anomaly [%s] violates %s:@\n    %s@\n" v.code
+          v.requirement v.witness)
+      vs);
+  Format.fprintf ppf "isolation level: %a@\n" pp_level r.level;
+  match r.serializable with
+  | None -> Format.fprintf ppf "oracle-serializable: not checked"
+  | Some true -> Format.fprintf ppf "oracle-serializable: yes"
+  | Some false -> Format.fprintf ppf "oracle-serializable: NO"

@@ -1,0 +1,99 @@
+module History = Ent_schedule.History
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Strip '#' comments, then split on whitespace. *)
+let words input =
+  String.split_on_char '\n' input
+  |> List.concat_map (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t'))
+  |> List.filter (fun w -> w <> "")
+
+let int_of ~what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "expected an integer %s, got %S" what s
+
+(* [name] or [name[i]] *)
+let obj_of s =
+  match String.index_opt s '[' with
+  | None ->
+    if s = "" then fail "empty object name";
+    History.Table s
+  | Some i ->
+    if String.length s < i + 3 || s.[String.length s - 1] <> ']' then
+      fail "malformed row object %S (expected name[index])" s;
+    let name = String.sub s 0 i in
+    let idx = String.sub s (i + 1) (String.length s - i - 2) in
+    History.Row (name, int_of ~what:(Printf.sprintf "row index in %S" s) idx)
+
+(* R1(x)  RG1(x)  RQ1(x)  W1(x)  E1{1,2}  C1  A1 *)
+let op_of w =
+  let body_of prefix =
+    let n = String.length prefix in
+    if String.length w > n && String.sub w 0 n = prefix then
+      Some (String.sub w n (String.length w - n))
+    else None
+  in
+  let txn_and_obj kind body =
+    match String.index_opt body '(' with
+    | Some i when String.length body > i + 1 && body.[String.length body - 1] = ')'
+      ->
+      let txn = int_of ~what:"transaction id" (String.sub body 0 i) in
+      let obj = obj_of (String.sub body (i + 1) (String.length body - i - 2)) in
+      (txn, obj)
+    | _ -> fail "malformed %s operation %S (expected %sN(obj))" kind w kind
+  in
+  (* Longest prefix first: RG / RQ before R. *)
+  match body_of "RG" with
+  | Some body ->
+    let txn, obj = txn_and_obj "RG" body in
+    History.Ground_read (txn, obj)
+  | None -> (
+    match body_of "RQ" with
+    | Some body ->
+      let txn, obj = txn_and_obj "RQ" body in
+      History.Quasi_read (txn, obj)
+    | None -> (
+      match body_of "R" with
+      | Some body ->
+        let txn, obj = txn_and_obj "R" body in
+        History.Read (txn, obj)
+      | None -> (
+        match body_of "W" with
+        | Some body ->
+          let txn, obj = txn_and_obj "W" body in
+          History.Write (txn, obj)
+        | None -> (
+          match body_of "E" with
+          | Some body -> (
+            match String.index_opt body '{' with
+            | Some i when body.[String.length body - 1] = '}' ->
+              let event = int_of ~what:"entanglement id" (String.sub body 0 i) in
+              let inner = String.sub body (i + 1) (String.length body - i - 2) in
+              let participants =
+                String.split_on_char ',' inner
+                |> List.filter (fun s -> s <> "")
+                |> List.map (int_of ~what:"participant id")
+              in
+              if participants = [] then
+                fail "entanglement %S has no participants" w;
+              History.Entangle (event, participants)
+            | _ -> fail "malformed entanglement %S (expected EN{i,j})" w)
+          | None -> (
+            match body_of "C" with
+            | Some body -> History.Commit (int_of ~what:"transaction id" body)
+            | None -> (
+              match body_of "A" with
+              | Some body -> History.Abort (int_of ~what:"transaction id" body)
+              | None -> fail "unrecognised operation %S" w))))))
+
+let parse input : History.t = List.map op_of (words input)

@@ -1,0 +1,12 @@
+(** Parser for the textual schedule notation that
+    {!Ent_schedule.History.pp} prints (§C.1 / Figure 3):
+
+    {v R1(x)  RG1(Flights)  RQ2(Flights)  W1(Reserve[5])  E1{1,2}  C1  A2 v}
+
+    Operations are separated by whitespace; ['#'] starts a comment that
+    runs to end of line. A bare object name parses as a table-granule
+    object and [name[i]] as a row. *)
+
+exception Parse_error of string
+
+val parse : string -> Ent_schedule.History.t

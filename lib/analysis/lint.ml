@@ -1,0 +1,389 @@
+module Ast = Ent_sql.Ast
+
+type input = {
+  source : string;
+  program : Ent_core.Program.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Entangled-query sanity: unsatisfiable bodies, range restriction,
+   CHOOSE bounds. The variable-binding rules mirror Ir.cond_bound_vars /
+   Ir.answer_vars so the lint predicts exactly what Ir.validate and the
+   evaluator will reject at run time — plus the purely semantic cases
+   (contradictory constraints) they cannot see.                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_vars (e : Ast.expr) =
+  match e with
+  | Lit _ | Host _ -> []
+  | Col (None, v) -> [ v ]
+  | Col (Some _, _) -> []
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Agg _ -> []
+
+let rec post_vars (c : Ast.cond) =
+  match c with
+  | In_answer (exprs, _) -> List.concat_map expr_vars exprs
+  | And (a, b) | Or (a, b) -> post_vars a @ post_vars b
+  | Not a -> post_vars a
+  | True | Cmp _ | In_select _ | In_list _ | Between _ -> []
+
+(* A variable is bound when a body atom ranges over it (IN (SELECT ..))
+   or an equality pins it to a constant — same rule as the IR. *)
+let rec bound_vars (c : Ast.cond) =
+  match c with
+  | And (a, b) -> bound_vars a @ bound_vars b
+  | In_select (exprs, _) -> List.concat_map expr_vars exprs
+  | Cmp (Eq, Col (None, v), (Lit _ | Host _))
+  | Cmp (Eq, (Lit _ | Host _), Col (None, v)) -> [ v ]
+  | True | Cmp _ | Or _ | Not _ | In_list _ | Between _ | In_answer _ -> []
+
+let check_entangled ~source ~label ~at (e : Ast.entangled_select) =
+  let finding ?witness ~code ~severity msg =
+    Finding.make ~source ~program:label ~at ?witness ~code ~severity msg
+  in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let pred = Pred.of_cond ~owns:(fun q -> q = None) e.ewhere in
+  (match Pred.unsat_witness pred with
+  | Some why ->
+    add
+      (finding ~code:"unsat-entangled" ~severity:Finding.Error
+         ~witness:[ why ]
+         (Printf.sprintf
+            "entangled query into ANSWER %s has an unsatisfiable grounding \
+             body: no candidate answer exists, so coordination can never \
+             succeed"
+            e.into))
+  | None -> ());
+  let answer =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (p : Ast.proj) -> expr_vars p.pexpr) e.eprojs
+      @ post_vars e.ewhere)
+  in
+  let bound = bound_vars e.ewhere in
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then
+        add
+          (finding ~code:"degenerate-entangled" ~severity:Finding.Error
+             (Printf.sprintf
+                "answer variable %s is not bound by any body atom (range \
+                 restriction): no IN (SELECT ...) ranges over it and no \
+                 equality pins it to a constant"
+                v)))
+    answer;
+  if e.choose <> 1 then
+    add
+      (finding ~code:"choose-unsupported" ~severity:Finding.Error
+         (Printf.sprintf
+            "CHOOSE %d is not supported by the evaluator (only CHOOSE 1)"
+            e.choose));
+  (* Static candidate bound: only claimed when every head variable has a
+     finite candidate set, since distinct answer tuples are valuations
+     of exactly those variables. *)
+  let head_vars =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (p : Ast.proj) -> expr_vars p.pexpr) e.eprojs)
+  in
+  (if e.choose > 1 && not (Pred.unsat pred) then
+     let counts = List.map (fun v -> (v, Pred.count pred v)) head_vars in
+     if List.for_all (fun (_, c) -> c <> None) counts then
+       let bound =
+         List.fold_left
+           (fun acc (_, c) -> acc * Option.value ~default:1 c)
+           1 counts
+       in
+       if bound < e.choose then
+         add
+           (finding ~code:"choose-bound" ~severity:Finding.Error
+              ~witness:
+                (List.map
+                   (fun (v, c) ->
+                     Printf.sprintf "variable %s: at most %d candidate value%s"
+                       v
+                       (Option.value ~default:1 c)
+                       (if Option.value ~default:1 c = 1 then "" else "s"))
+                   counts)
+              (Printf.sprintf
+                 "CHOOSE %d exceeds the static candidate bound of %d distinct \
+                  answer tuple%s: the query can never be satisfied"
+                 e.choose bound
+                 (if bound = 1 then "" else "s"))));
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Widowed-transaction risk (Requirement C.4): once a transaction has
+   coordinated, aborting it — or invalidating the premise its partner
+   grounded on — widows the partner.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_widow_risk ~source (summary : Summary.t) =
+  let label = summary.program.label in
+  let entangled_before = ref [] in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  List.iter
+    (fun (ss : Summary.stmt_summary) ->
+      (match ss.stmt with
+      | Ast.Rollback ->
+        List.iter
+          (fun (eat, into, _grounds) ->
+            add
+              (Finding.make ~source ~program:label ~at:ss.at ~code:"widow-risk"
+                 ~severity:Finding.Error
+                 ~witness:
+                   [
+                     Format.asprintf
+                       "entangled query into ANSWER %s at %a precedes the \
+                        ROLLBACK"
+                       into Ast.pp_pos eat;
+                   ]
+                 "ROLLBACK after an entangled query: aborting after \
+                  coordination widows the partner transaction (Requirement \
+                  C.4) — under group commit the whole group must abort with \
+                  it"))
+          !entangled_before
+      | _ ->
+        List.iter
+          (fun (a : Summary.access) ->
+            if a.mode = Summary.Write then
+              List.iter
+                (fun (eat, into, grounds) ->
+                  List.iter
+                    (fun (g : Summary.access) ->
+                      if g.table = a.table && Pred.may_overlap g.pred a.pred
+                      then
+                        add
+                          (Finding.make ~source ~program:label ~at:ss.at
+                             ~code:"widow-risk" ~severity:Finding.Warning
+                             ~witness:
+                               [
+                                 Format.asprintf
+                                   "grounding read of %s by the entangled \
+                                    query into ANSWER %s at %a" g.table into
+                                   Ast.pp_pos eat;
+                               ]
+                             (Printf.sprintf
+                                "writes table %s after an entangled query \
+                                 grounded on it: the write can invalidate \
+                                 the premise the partner coordinated on"
+                                a.table)))
+                    grounds)
+                !entangled_before)
+          ss.accesses);
+      match ss.stmt with
+      | Ast.Entangled e ->
+        entangled_before :=
+          (ss.at, e.into, ss.accesses) :: !entangled_before
+      | _ -> ())
+    summary.stmts;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* -Q-style hazard: entangled queries in autocommit programs.          *)
+(* ------------------------------------------------------------------ *)
+
+let check_autocommit ~source (summary : Summary.t) =
+  if summary.program.transactional then []
+  else
+    List.filter_map
+      (fun (ss : Summary.stmt_summary) ->
+        match ss.stmt with
+        | Ast.Entangled e ->
+          Some
+            (Finding.make ~source ~program:summary.program.label ~at:ss.at
+               ~code:"autocommit-entangle" ~severity:Finding.Warning
+               (Printf.sprintf
+                  "entangled query into ANSWER %s outside a transaction \
+                   (-Q style): coordination and the statements that use its \
+                   answer commit separately, so a partner failure in between \
+                   leaves this program's effects committed on a dead premise"
+                  e.into))
+        | _ -> None)
+      summary.stmts
+
+(* ------------------------------------------------------------------ *)
+(* Potential deadlock: cycles in the static lock-order graph under
+   Strict 2PL. An edge u -> v for program P means P still holds a lock
+   on u when it requests one on v; a cycle whose consecutive edges come
+   from different programs, conflict in mode, and overlap in predicate
+   is a schedule in which every participant can block on the next.     *)
+(* ------------------------------------------------------------------ *)
+
+type edge = {
+  eu : string;
+  ev : string;
+  prog : int;
+  mu : [ `S | `X ];
+  pu : Pred.t;
+  posu : Ast.pos;
+  mv : [ `S | `X ];
+  pv : Pred.t;
+  posv : Ast.pos;
+}
+
+let lock_ge a b =
+  match a, b with
+  | `X, _ -> true
+  | `S, `S -> true
+  | `S, `X -> false
+
+let modes_conflict a b = not (a = `S && b = `S)
+
+let edges_of_sequence prog seq =
+  let seq = Array.of_list seq in
+  let n = Array.length seq in
+  (* A request blocks only if the lock is not already held with
+     sufficient mode (re-reads are free; S-to-X is an upgrade). *)
+  let real_request j =
+    let tj, mj, _, _ = seq.(j) in
+    let already = ref false in
+    for k = 0 to j - 1 do
+      let tk, mk, _, _ = seq.(k) in
+      if tk = tj && lock_ge mk mj then already := true
+    done;
+    not !already
+  in
+  let edges = ref [] in
+  for j = 0 to n - 1 do
+    if real_request j then
+      for i = 0 to j - 1 do
+        let tu, mu, pu, posu = seq.(i) in
+        let tv, mv, pv, posv = seq.(j) in
+        if tu <> tv then
+          edges := { eu = tu; ev = tv; prog; mu; pu; posu; mv; pv; posv } :: !edges
+      done
+  done;
+  List.rev !edges
+
+(* Two consecutive cycle edges [e1: _ -> t] then [e2: t -> _]: e1's
+   program is waiting for t, which e2's program holds. *)
+let compat e1 e2 =
+  e1.prog <> e2.prog
+  && modes_conflict e1.mv e2.mu
+  && Pred.may_overlap e1.pv e2.pu
+
+let max_cycle_len = 4
+
+let find_lock_cycles edges =
+  let out : (string, edge list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt out e.eu) in
+      Hashtbl.replace out e.eu (l @ [ e ]))
+    edges;
+  let tables =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.eu; e.ev ]) edges)
+  in
+  let cycles = ref [] in
+  let on_path : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun start ->
+      (* Canonical form: the start table is the cycle's smallest, so
+         each cycle is discovered exactly once per rotation. *)
+      let rec dfs path current =
+        if List.length path < max_cycle_len then
+          List.iter
+            (fun e ->
+              let ok_prev =
+                match path with
+                | [] -> true
+                | prev :: _ -> compat prev e
+              in
+              if ok_prev then
+                if e.ev = start then (
+                  let cycle = List.rev (e :: path) in
+                  match cycle with
+                  | first :: _ -> if compat e first then cycles := cycle :: !cycles
+                  | [] -> ())
+                else if String.compare e.ev start > 0
+                        && not (Hashtbl.mem on_path e.ev)
+                then begin
+                  Hashtbl.replace on_path e.ev ();
+                  dfs (e :: path) e.ev;
+                  Hashtbl.remove on_path e.ev
+                end)
+            (Option.value ~default:[] (Hashtbl.find_opt out current))
+      in
+      dfs [] start)
+    tables;
+  List.rev !cycles
+
+let check_deadlocks (inputs : input list) =
+  let summaries =
+    List.filter (fun (i : input) -> i.program.transactional) inputs
+    |> List.map (fun (i : input) -> (i, Summary.of_program i.program))
+  in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun idx (_, s) -> edges_of_sequence idx (Summary.lock_sequence s))
+         summaries)
+  in
+  let cycles = find_lock_cycles edges in
+  let arr = Array.of_list summaries in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.filter_map
+    (fun cycle ->
+      let progs = List.sort_uniq Int.compare (List.map (fun e -> e.prog) cycle) in
+      let tables = List.sort_uniq String.compare (List.map (fun e -> e.eu) cycle) in
+      let key =
+        String.concat "," (List.map string_of_int progs)
+        ^ "|" ^ String.concat "," tables
+      in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        let label_of p = (snd arr.(p)).Summary.program.label in
+        let source_of p = (fst arr.(p)).source in
+        let order =
+          String.concat " -> " (List.map (fun e -> e.eu) cycle)
+          ^ " -> "
+          ^ (List.hd cycle).eu
+        in
+        let witness =
+          List.map
+            (fun e ->
+              Format.asprintf "%s: acquires %a(%s) at %a, then requests %a(%s) at %a"
+                (label_of e.prog) Summary.pp_lock e.mu e.eu Ast.pp_pos e.posu
+                Summary.pp_lock e.mv e.ev Ast.pp_pos e.posv)
+            cycle
+        in
+        let first = List.hd cycle in
+        Some
+          (Finding.make ~source:(source_of first.prog)
+             ~program:(label_of first.prog) ~at:first.posu
+             ~code:"potential-deadlock" ~severity:Finding.Error ~witness
+             (Printf.sprintf
+                "potential deadlock under strict 2PL: circular lock order %s \
+                 between programs %s"
+                order
+                (String.concat ", " (List.map label_of progs))))
+      end)
+    cycles
+
+(* ------------------------------------------------------------------ *)
+
+let check_program (i : input) =
+  let summary = Summary.of_program i.program in
+  let entangled =
+    List.concat_map
+      (fun (ss : Summary.stmt_summary) ->
+        match ss.stmt with
+        | Ast.Entangled e ->
+          check_entangled ~source:i.source ~label:i.program.label ~at:ss.at e
+        | _ -> [])
+      summary.stmts
+  in
+  let widow =
+    if i.program.transactional then check_widow_risk ~source:i.source summary
+    else []
+  in
+  entangled @ widow @ check_autocommit ~source:i.source summary
+
+let run inputs =
+  let per_program = List.concat_map check_program inputs in
+  let deadlocks = check_deadlocks inputs in
+  List.sort Finding.compare (per_program @ deadlocks)

@@ -82,7 +82,7 @@ let counting_access (costs : Ent_sim.Cost.t) task (access : Ent_sql.Eval.access)
         access.delete name id);
   }
 
-let statements task = (task.program.ast : Ent_sql.Ast.program).body
+let statements task = Ent_sql.Ast.statements task.program.ast
 
 (* -Q workloads: every statement is its own transaction. The commit
    costs a log flush only when the statement actually wrote (MySQL

@@ -11,7 +11,7 @@ type state =
 type session = {
   hub : hub;
   id : int;
-  mutable txn : int;
+  txn : int;
   env : Ent_sql.Eval.env;
   mutable state : state;
   mutable received : Ir.ground_atom list;

@@ -39,4 +39,4 @@ let entangled_count t =
          match s with
          | Entangled _ -> true
          | _ -> false)
-       t.ast.body)
+       (Ent_sql.Ast.statements t.ast))

@@ -109,7 +109,7 @@ let find_unrepeatable_quasi_read schedule =
     expanded;
   !result
 
-let find_dirty_read schedule =
+let find_dirty_read_witness schedule =
   let aborted = History.aborted schedule in
   let rec scan = function
     | [] -> None
@@ -118,7 +118,7 @@ let find_dirty_read schedule =
         List.find_map
           (fun op ->
             match reads_of op with
-            | Some (j, y) when j <> i && History.overlaps x y -> Some (i, j)
+            | Some (j, y) when j <> i && History.overlaps x y -> Some (i, j, y)
             | _ -> None)
           rest
       in
@@ -128,6 +128,9 @@ let find_dirty_read schedule =
     | _ :: rest -> scan rest
   in
   scan (History.expand_quasi_reads schedule)
+
+let find_dirty_read schedule =
+  Option.map (fun (i, j, _) -> (i, j)) (find_dirty_read_witness schedule)
 
 
 type report = {

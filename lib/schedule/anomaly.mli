@@ -40,6 +40,9 @@ val find_unrepeatable_quasi_read : History.t -> (int * History.obj) option
     by a transaction that had not yet terminated (and later aborted). *)
 val find_dirty_read : History.t -> (int * int) option
 
+(** As {!find_dirty_read}, also naming the object the reader observed. *)
+val find_dirty_read_witness : History.t -> (int * int * History.obj) option
+
 (** Which anomaly classes a schedule exhibits — the basis for the
     paper's relaxed isolation levels (§3.3.1: lower levels permit "a
     specific subset of the above anomalies"). *)

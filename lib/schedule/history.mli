@@ -57,5 +57,6 @@ val validity_errors : t -> string list
     preserved. *)
 val expand_quasi_reads : t -> t
 
+val pp_obj : Format.formatter -> obj -> unit
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

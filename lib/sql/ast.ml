@@ -4,6 +4,20 @@
 
 open Ent_storage
 
+(** A source position (1-based line and column). Statements parsed from
+    text carry the position of their first token; hand-built ASTs use
+    {!no_pos}. *)
+type pos = {
+  line : int;
+  col : int;
+}
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p =
+  if p = no_pos then Format.pp_print_string ppf "-"
+  else Format.fprintf ppf "%d:%d" p.line p.col
+
 type binop = Add | Sub | Mul | Div
 
 type agg_fn = Count | Sum | Min | Max | Avg
@@ -76,8 +90,12 @@ type stmt =
 
 (** A transaction block. [timeout] is in seconds of simulated time;
     [None] means no timeout (the transaction waits indefinitely for
-    partners). *)
+    partners). Each statement carries the source position of its first
+    token ({!no_pos} for hand-built programs), so lint findings and
+    error messages can point back into the program text. *)
 type program = {
   timeout : float option;
-  body : stmt list;
+  body : (stmt * pos) list;
 }
+
+let statements (p : program) = List.map fst p.body

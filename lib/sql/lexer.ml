@@ -31,8 +31,21 @@ let is_digit c = c >= '0' && c <= '9'
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
-  let emit tok = tokens := tok :: !tokens in
   let pos = ref 0 in
+  let line = ref 1 in
+  let bol = ref 0 in  (* offset of the current line's first character *)
+  let pos_at offset = { Ast.line = !line; col = offset - !bol + 1 } in
+  let error at fmt =
+    Format.kasprintf
+      (fun s ->
+        raise (Lex_error (Format.asprintf "%a: %s" Ast.pp_pos at s)))
+      fmt
+  in
+  let emit at tok = tokens := (tok, at) :: !tokens in
+  let newline () =
+    incr line;
+    bol := !pos + 1
+  in
   let peek k = if !pos + k < n then Some input.[!pos + k] else None in
   let read_while pred =
     let start = !pos in
@@ -43,25 +56,30 @@ let tokenize input =
   in
   while !pos < n do
     let c = input.[!pos] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    let at = pos_at !pos in
+    if c = '\n' then begin
+      newline ();
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if c = '-' && peek 1 = Some '-' then begin
       while !pos < n && input.[!pos] <> '\n' do
         incr pos
       done
     end
-    else if is_ident_start c then emit (Ident (read_while is_ident_char))
-    else if is_digit c then emit (Int_lit (int_of_string (read_while is_digit)))
+    else if is_ident_start c then emit at (Ident (read_while is_ident_char))
+    else if is_digit c then emit at (Int_lit (int_of_string (read_while is_digit)))
     else if c = '@' then begin
       incr pos;
       let name = read_while is_ident_char in
-      if name = "" then raise (Lex_error "empty host variable name");
-      emit (Host_var name)
+      if name = "" then error at "empty host variable name";
+      emit at (Host_var name)
     end
     else if c = '\'' then begin
       incr pos;
       let buf = Buffer.create 16 in
       let rec go () =
-        if !pos >= n then raise (Lex_error "unterminated string literal")
+        if !pos >= n then error at "unterminated string literal"
         else if input.[!pos] = '\'' then
           if peek 1 = Some '\'' then begin
             Buffer.add_char buf '\'';
@@ -70,45 +88,46 @@ let tokenize input =
           end
           else incr pos
         else begin
+          if input.[!pos] = '\n' then newline ();
           Buffer.add_char buf input.[!pos];
           incr pos;
           go ()
         end
       in
       go ();
-      emit (Str_lit (Buffer.contents buf))
+      emit at (Str_lit (Buffer.contents buf))
     end
     else begin
       let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
       match two with
       | "<>" | "!=" ->
-        emit Ne;
+        emit at Ne;
         pos := !pos + 2
       | "<=" ->
-        emit Le;
+        emit at Le;
         pos := !pos + 2
       | ">=" ->
-        emit Ge;
+        emit at Ge;
         pos := !pos + 2
       | _ ->
         (match c with
-        | '(' -> emit Lparen
-        | ')' -> emit Rparen
-        | ',' -> emit Comma
-        | ';' -> emit Semi
-        | '.' -> emit Dot
-        | '*' -> emit Star
-        | '+' -> emit Plus
-        | '-' -> emit Minus
-        | '/' -> emit Slash
-        | '=' -> emit Eq
-        | '<' -> emit Lt
-        | '>' -> emit Gt
-        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)));
+        | '(' -> emit at Lparen
+        | ')' -> emit at Rparen
+        | ',' -> emit at Comma
+        | ';' -> emit at Semi
+        | '.' -> emit at Dot
+        | '*' -> emit at Star
+        | '+' -> emit at Plus
+        | '-' -> emit at Minus
+        | '/' -> emit at Slash
+        | '=' -> emit at Eq
+        | '<' -> emit at Lt
+        | '>' -> emit at Gt
+        | _ -> error at "unexpected character %C" c);
         incr pos
     end
   done;
-  emit Eof;
+  emit (pos_at !pos) Eof;
   Array.of_list (List.rev !tokens)
 
 let pp_token ppf = function

@@ -23,10 +23,13 @@ type token =
   | Eof
 
 exception Lex_error of string
+(** The message starts with the [line:col] position of the offending
+    character. *)
 
-(** [tokenize s] lexes a full input. Comments run from [--] to end of
+(** [tokenize s] lexes a full input; every token carries the source
+    position of its first character. Comments run from [--] to end of
     line. @raise Lex_error on an unterminated string or a stray
     character. *)
-val tokenize : string -> token array
+val tokenize : string -> (token * Ast.pos) array
 
 val pp_token : Format.formatter -> token -> unit

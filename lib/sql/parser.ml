@@ -4,15 +4,23 @@ exception Parse_error of string
 
 type item =
   | Program of Ast.program
-  | Stmt of Ast.stmt
+  | Stmt of Ast.stmt * Ast.pos
 
 type state = {
-  tokens : Lexer.token array;
+  tokens : (Lexer.token * Ast.pos) array;
   mutable pos : int;
 }
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
-let peek st = st.tokens.(st.pos)
+(* Errors carry the position of the token the parser is looking at
+   (clamped: an error raised right after consuming Eof points at it). *)
+let fail st fmt =
+  let at = snd st.tokens.(min st.pos (Array.length st.tokens - 1)) in
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Format.asprintf "%a: %s" Ast.pp_pos at s)))
+    fmt
+
+let peek st = fst st.tokens.(st.pos)
+let peek_pos st = snd st.tokens.(st.pos)
 let advance st = st.pos <- st.pos + 1
 
 let next st =
@@ -28,11 +36,11 @@ let at_keyword st kw = keyword_eq kw (peek st)
 
 let eat_keyword st kw =
   if at_keyword st kw then advance st
-  else fail "expected %s, got %a" kw Lexer.pp_token (peek st)
+  else fail st "expected %s, got %a" kw Lexer.pp_token (peek st)
 
 let eat_tok st tok name =
   if peek st = tok then advance st
-  else fail "expected %s, got %a" name Lexer.pp_token (peek st)
+  else fail st "expected %s, got %a" name Lexer.pp_token (peek st)
 
 let opt_keyword st kw =
   if at_keyword st kw then begin
@@ -44,7 +52,7 @@ let opt_keyword st kw =
 let parse_ident st =
   match next st with
   | Lexer.Ident s -> s
-  | tok -> fail "expected identifier, got %a" Lexer.pp_token tok
+  | tok -> fail st "expected identifier, got %a" Lexer.pp_token tok
 
 (* --- expressions --- *)
 
@@ -78,7 +86,7 @@ and parse_primary_expr st =
   | Lexer.Minus -> (
     match next st with
     | Lexer.Int_lit i -> Ast.Lit (Value.Int (-i))
-    | tok -> fail "expected integer after '-', got %a" Lexer.pp_token tok)
+    | tok -> fail st "expected integer after '-', got %a" Lexer.pp_token tok)
   | Lexer.Str_lit s -> (
     (* Date literals are written as strings, as in the paper. *)
     match Value.parse_date s with
@@ -104,7 +112,7 @@ and parse_primary_expr st =
     advance st;
     let arg =
       if peek st = Lexer.Star then begin
-        if fn <> Ast.Count then fail "only COUNT may take *";
+        if fn <> Ast.Count then fail st "only COUNT may take *";
         advance st;
         None
       end
@@ -123,7 +131,7 @@ and parse_primary_expr st =
     let e = parse_expr st in
     eat_tok st Lexer.Rparen ")";
     e
-  | tok -> fail "expected expression, got %a" Lexer.pp_token tok
+  | tok -> fail st "expected expression, got %a" Lexer.pp_token tok
 
 (* --- conditions --- *)
 
@@ -135,7 +143,7 @@ let index_after_paren_group st =
   let rec go i depth =
     if i >= n then None
     else
-      match st.tokens.(i) with
+      match fst st.tokens.(i) with
       | Lexer.Lparen -> go (i + 1) (depth + 1)
       | Lexer.Rparen -> if depth = 1 then Some (i + 1) else go (i + 1) (depth - 1)
       | _ -> go (i + 1) depth
@@ -158,7 +166,7 @@ and parse_cond_atom st =
   match peek st with
   | Lexer.Lparen -> (
     match index_after_paren_group st with
-    | Some after when keyword_eq "IN" st.tokens.(after) ->
+    | Some after when keyword_eq "IN" (fst st.tokens.(after)) ->
       (* "(e1, ..., ek) IN ..." *)
       advance st;
       let exprs = parse_expr_list st in
@@ -200,7 +208,7 @@ and parse_cmp_tail st lhs =
     | Lexer.Le -> Ast.Le
     | Lexer.Gt -> Ast.Gt
     | Lexer.Ge -> Ast.Ge
-    | tok -> fail "expected comparison operator, got %a" Lexer.pp_token tok
+    | tok -> fail st "expected comparison operator, got %a" Lexer.pp_token tok
   in
   Ast.Cmp (op, lhs, parse_expr st)
 
@@ -226,7 +234,7 @@ and parse_in_tail st exprs =
         let values = parse_expr_list st in
         eat_tok st Lexer.Rparen ")";
         Ast.In_list (e, values)
-      | _ -> fail "tuple IN requires a subquery or ANSWER relation"
+      | _ -> fail st "tuple IN requires a subquery or ANSWER relation"
     end
   end
 
@@ -240,7 +248,7 @@ and parse_proj st =
   if opt_keyword st "AS" then
     match next st with
     | Lexer.Host_var v -> { Ast.pexpr = e; pbind = Some v }
-    | tok -> fail "expected @var after AS, got %a" Lexer.pp_token tok
+    | tok -> fail st "expected @var after AS, got %a" Lexer.pp_token tok
   else { Ast.pexpr = e; pbind = None }
 
 and parse_proj_list st =
@@ -313,7 +321,7 @@ and parse_select_after_keyword st =
     if opt_keyword st "LIMIT" then
       match next st with
       | Lexer.Int_lit i -> Some i
-      | tok -> fail "expected integer after LIMIT, got %a" Lexer.pp_token tok
+      | tok -> fail st "expected integer after LIMIT, got %a" Lexer.pp_token tok
     else None
   in
   { Ast.distinct; projs; from; where; group_by; order_by; limit }
@@ -354,7 +362,7 @@ and parse_select_tail st ~distinct ~projs =
     if opt_keyword st "LIMIT" then
       match next st with
       | Lexer.Int_lit i -> Some i
-      | tok -> fail "expected integer after LIMIT, got %a" Lexer.pp_token tok
+      | tok -> fail st "expected integer after LIMIT, got %a" Lexer.pp_token tok
     else None
   in
   { Ast.distinct; projs; from; where; group_by; order_by; limit }
@@ -365,13 +373,13 @@ and parse_entangled_after_into st projs =
   eat_keyword st "ANSWER";
   let into = parse_ident st in
   if peek st = Lexer.Comma then
-    fail "multiple INTO ANSWER relations are only supported in the IR API";
+    fail st "multiple INTO ANSWER relations are only supported in the IR API";
   let ewhere = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
   eat_keyword st "CHOOSE";
   let choose =
     match next st with
     | Lexer.Int_lit i when i >= 1 -> i
-    | tok -> fail "expected positive integer after CHOOSE, got %a" Lexer.pp_token tok
+    | tok -> fail st "expected positive integer after CHOOSE, got %a" Lexer.pp_token tok
   in
   { Ast.eprojs = projs; into; ewhere; choose }
 
@@ -426,14 +434,14 @@ let parse_delete st =
   let where = if opt_keyword st "WHERE" then parse_cond_or st else Ast.True in
   Ast.Delete { table; where }
 
-let col_type_of_name name =
+let col_type_of_name st name =
   match String.uppercase_ascii name with
   | "INT" | "INTEGER" -> Schema.T_int
   | "STRING" | "VARCHAR" | "TEXT" | "CHAR" -> Schema.T_str
   | "DATE" -> Schema.T_date
   | "BOOL" | "BOOLEAN" -> Schema.T_bool
   | "ANY" -> Schema.T_any
-  | _ -> fail "unknown column type %s" name
+  | _ -> fail st "unknown column type %s" name
 
 let parse_create st =
   let ordered = opt_keyword st "ORDERED" in
@@ -452,17 +460,17 @@ let parse_create st =
     let columns = cols () in
     eat_tok st Lexer.Rparen ")";
     if ordered && List.length columns <> 1 then
-      fail "ordered indexes cover exactly one column";
+      fail st "ordered indexes cover exactly one column";
     Ast.Create_index { table; columns; ordered }
   end
   else begin
-  if ordered then fail "ORDERED only applies to CREATE INDEX";
+  if ordered then fail st "ORDERED only applies to CREATE INDEX";
   eat_keyword st "TABLE";
   let table = parse_ident st in
   eat_tok st Lexer.Lparen "(";
   let rec cols () =
     let name = parse_ident st in
-    let ty = col_type_of_name (parse_ident st) in
+    let ty = col_type_of_name st (parse_ident st) in
     if peek st = Lexer.Comma then begin
       advance st;
       (name, ty) :: cols ()
@@ -479,7 +487,7 @@ let parse_set st =
   | Lexer.Host_var v ->
     eat_tok st Lexer.Eq "=";
     Ast.Set_var (v, parse_expr st)
-  | tok -> fail "expected @var after SET, got %a" Lexer.pp_token tok
+  | tok -> fail st "expected @var after SET, got %a" Lexer.pp_token tok
 
 let parse_statement st =
   match peek st with
@@ -490,7 +498,7 @@ let parse_statement st =
       let distinct = opt_keyword st "DISTINCT" in
       let projs = parse_proj_list st in
       if opt_keyword st "INTO" then begin
-        if distinct then fail "DISTINCT is not meaningful on an entangled query";
+        if distinct then fail st "DISTINCT is not meaningful on an entangled query";
         Ast.Entangled (parse_entangled_after_into st projs)
       end
       else begin
@@ -506,19 +514,19 @@ let parse_statement st =
       Ast.Drop_table (parse_ident st)
     | "SET" -> parse_set st
     | "ROLLBACK" -> Ast.Rollback
-    | other -> fail "unexpected statement keyword %s" other)
-  | tok -> fail "expected statement, got %a" Lexer.pp_token tok
+    | other -> fail st "unexpected statement keyword %s" other)
+  | tok -> fail st "expected statement, got %a" Lexer.pp_token tok
 
 (* --- transaction blocks & scripts --- *)
 
-let timeout_seconds amount unit_name =
+let timeout_seconds st amount unit_name =
   let amount = float_of_int amount in
   match String.uppercase_ascii unit_name with
   | "SECOND" | "SECONDS" -> amount
   | "MINUTE" | "MINUTES" -> amount *. 60.
   | "HOUR" | "HOURS" -> amount *. 3600.
   | "DAY" | "DAYS" -> amount *. 86400.
-  | other -> fail "unknown timeout unit %s" other
+  | other -> fail st "unknown timeout unit %s" other
 
 let parse_program_after_begin st =
   eat_keyword st "TRANSACTION";
@@ -526,8 +534,8 @@ let parse_program_after_begin st =
     if opt_keyword st "WITH" then begin
       eat_keyword st "TIMEOUT";
       match next st with
-      | Lexer.Int_lit amount -> Some (timeout_seconds amount (parse_ident st))
-      | tok -> fail "expected integer after TIMEOUT, got %a" Lexer.pp_token tok
+      | Lexer.Int_lit amount -> Some (timeout_seconds st amount (parse_ident st))
+      | tok -> fail st "expected integer after TIMEOUT, got %a" Lexer.pp_token tok
     end
     else None
   in
@@ -539,9 +547,10 @@ let parse_program_after_begin st =
       []
     end
     else begin
+      let at = peek_pos st in
       let s = parse_statement st in
       eat_tok st Lexer.Semi ";";
-      s :: stmts ()
+      (s, at) :: stmts ()
     end
   in
   { Ast.timeout; body = stmts () }
@@ -552,7 +561,7 @@ let expect_eof st =
   if peek st = Lexer.Semi then advance st;
   match peek st with
   | Lexer.Eof -> ()
-  | tok -> fail "trailing input: %a" Lexer.pp_token tok
+  | tok -> fail st "trailing input: %a" Lexer.pp_token tok
 
 let parse_stmt input =
   let st = make_state input in
@@ -566,7 +575,7 @@ let parse_program input =
   let p = parse_program_after_begin st in
   (match peek st with
   | Lexer.Eof -> ()
-  | tok -> fail "trailing input after COMMIT: %a" Lexer.pp_token tok);
+  | tok -> fail st "trailing input after COMMIT: %a" Lexer.pp_token tok);
   p
 
 let parse_script input =
@@ -584,12 +593,13 @@ let parse_script input =
         Program p :: items ()
       end
       else begin
+        let at = peek_pos st in
         let s = parse_statement st in
         (match peek st with
         | Lexer.Semi -> advance st
         | Lexer.Eof -> ()
-        | tok -> fail "expected ';', got %a" Lexer.pp_token tok);
-        Stmt s :: items ()
+        | tok -> fail st "expected ';', got %a" Lexer.pp_token tok);
+        Stmt (s, at) :: items ()
       end
   in
   items ()

@@ -1,12 +1,14 @@
 (** Recursive-descent parser for the SQL dialect of {!Ast}. *)
 
 exception Parse_error of string
+(** The message starts with the [line:col] position of the token the
+    parser was looking at. *)
 
 (** One top-level item of a script: an explicit transaction block or a
     bare statement (to be run as its own transaction, "autocommit"). *)
 type item =
   | Program of Ast.program
-  | Stmt of Ast.stmt
+  | Stmt of Ast.stmt * Ast.pos  (** position of the statement's first token *)
 
 (** Parse a single statement (no trailing input allowed besides an
     optional [;]). *)

@@ -148,7 +148,7 @@ let pp_program ppf (p : Ast.program) =
   | Some seconds -> Format.fprintf ppf " WITH TIMEOUT %d SECONDS" (int_of_float seconds)
   | None -> ());
   Format.fprintf ppf ";@\n";
-  List.iter (fun s -> Format.fprintf ppf "%a;@\n" pp_stmt s) p.body;
+  List.iter (fun (s, _) -> Format.fprintf ppf "%a;@\n" pp_stmt s) p.body;
   Format.fprintf ppf "COMMIT;"
 
 let stmt_to_string s = Format.asprintf "%a" pp_stmt s

@@ -1,0 +1,14 @@
+-- Seeded -Q-style hazard: an entangled query outside any transaction
+-- block. The coordination and the INSERT that uses its answer commit
+-- separately, so a partner failure in between leaves a booking on a
+-- dead premise.
+
+CREATE TABLE Flights (fno INT, dest STRING);
+CREATE TABLE Reserve (name STRING, fno INT);
+INSERT INTO Flights VALUES (122, 'LA');
+
+SELECT 'Mickey', fno AS @fno INTO ANSWER R
+WHERE (fno) IN (SELECT fno FROM Flights WHERE dest = 'LA')
+AND ('Minnie', fno) IN ANSWER R
+CHOOSE 1;
+INSERT INTO Reserve VALUES ('Mickey', @fno);

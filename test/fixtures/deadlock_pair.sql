@@ -1,0 +1,16 @@
+-- Seeded potential deadlock: the two transactions update the same
+-- rows of Flights and Reserve in opposite orders, so under strict 2PL
+-- each can hold the lock the other needs.
+
+CREATE TABLE Flights (fno INT, dest STRING);
+CREATE TABLE Reserve (name STRING, fno INT);
+
+BEGIN TRANSACTION;
+UPDATE Flights SET dest = 'LA' WHERE fno = 1;
+UPDATE Reserve SET fno = 2 WHERE name = 'Mickey';
+COMMIT;
+
+BEGIN TRANSACTION;
+UPDATE Reserve SET fno = 3 WHERE name = 'Mickey';
+UPDATE Flights SET dest = 'NY' WHERE fno = 1;
+COMMIT;

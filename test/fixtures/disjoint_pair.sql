@@ -1,0 +1,16 @@
+-- Same opposite-order shape as deadlock_pair.sql, but the predicates
+-- are disjoint on both tables: the transactions touch different rows,
+-- so no lock wait can arise and the lint must stay quiet.
+
+CREATE TABLE Flights (fno INT, dest STRING);
+CREATE TABLE Reserve (name STRING, fno INT);
+
+BEGIN TRANSACTION;
+UPDATE Flights SET dest = 'LA' WHERE fno = 1;
+UPDATE Reserve SET fno = 2 WHERE name = 'Mickey';
+COMMIT;
+
+BEGIN TRANSACTION;
+UPDATE Reserve SET fno = 3 WHERE name = 'Minnie';
+UPDATE Flights SET dest = 'NY' WHERE fno = 2;
+COMMIT;

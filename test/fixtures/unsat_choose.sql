@@ -1,0 +1,24 @@
+-- Seeded degenerate entangled queries.
+--
+-- txn-1: the grounding body requires fno = 122 AND fno = 123 at once —
+-- unsatisfiable, coordination can never succeed.
+-- txn-2: CHOOSE 3 over a body whose head variable has at most two
+-- candidate values (and k > 1 is unsupported by the evaluator anyway).
+
+CREATE TABLE Flights (fno INT, dest STRING);
+
+BEGIN TRANSACTION;
+SELECT 'Mickey', fno AS @fno INTO ANSWER R
+WHERE (fno) IN (SELECT fno FROM Flights WHERE dest = 'LA')
+AND fno = 122 AND fno = 123
+AND ('Minnie', fno) IN ANSWER R
+CHOOSE 1;
+COMMIT;
+
+BEGIN TRANSACTION;
+SELECT 'Donald', fno AS @fno INTO ANSWER R2
+WHERE (fno) IN (SELECT fno FROM Flights WHERE dest = 'LA')
+AND fno IN (122, 123)
+AND ('Daffy', fno) IN ANSWER R2
+CHOOSE 3;
+COMMIT;

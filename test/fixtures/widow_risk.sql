@@ -1,0 +1,15 @@
+-- Seeded widowed-transaction risks (Requirement C.4): after the
+-- entangled query coordinates, the DELETE invalidates the rows the
+-- partner grounded on, and the ROLLBACK aborts a transaction whose
+-- partner already built on its premise.
+
+CREATE TABLE Flights (fno INT, dest STRING);
+
+BEGIN TRANSACTION;
+SELECT 'Mickey', fno AS @fno INTO ANSWER R
+WHERE (fno) IN (SELECT fno FROM Flights WHERE dest = 'LA')
+AND ('Minnie', fno) IN ANSWER R
+CHOOSE 1;
+DELETE FROM Flights WHERE dest = 'LA';
+ROLLBACK;
+COMMIT;

@@ -28,7 +28,9 @@ let run_workload ~pairs ~with_rollbacks =
             let ast : Ent_sql.Ast.program =
               {
                 p.ast with
-                body = List.filteri (fun j _ -> j < 2) p.ast.body @ [ Ent_sql.Ast.Rollback ];
+                body =
+                  List.filteri (fun j _ -> j < 2) p.ast.body
+                  @ [ (Ent_sql.Ast.Rollback, Ent_sql.Ast.no_pos) ];
               }
             in
             Program.make ~label:(p.label ^ "-abort") ast

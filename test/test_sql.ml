@@ -51,10 +51,10 @@ let test_lexer_basics () =
   let toks = Lexer.tokenize "SELECT 'it''s', @x, 42 <> fno;" in
   Alcotest.(check int) "token count" 10 (Array.length toks);
   (match toks.(1) with
-  | Lexer.Str_lit s -> Alcotest.(check string) "escaped quote" "it's" s
+  | Lexer.Str_lit s, _ -> Alcotest.(check string) "escaped quote" "it's" s
   | _ -> Alcotest.fail "expected string literal");
   match toks.(3) with
-  | Lexer.Host_var v -> Alcotest.(check string) "host var" "x" v
+  | Lexer.Host_var v, _ -> Alcotest.(check string) "host var" "x" v
   | _ -> Alcotest.fail "expected host var"
 
 let test_lexer_comments () =
@@ -106,7 +106,7 @@ let test_parse_figure2 () =
     Alcotest.(check (float 0.01)) "2 days" 172800.0 seconds
   | None -> Alcotest.fail "timeout missing");
   Alcotest.(check int) "statements" 3 (List.length p.body);
-  match p.body with
+  match Ast.statements p with
   | [ Ast.Entangled flight; Ast.Set_var ("StayLength", _); Ast.Entangled hotel ] ->
     Alcotest.(check string) "flight rel" "FlightRes" flight.into;
     Alcotest.(check string) "hotel rel" "HotelRes" hotel.into;
@@ -120,7 +120,7 @@ let test_parse_figure2 () =
 let test_parse_nosocial () =
   let p = Parser.parse_program nosocial_transaction in
   Alcotest.(check bool) "no timeout" true (p.timeout = None);
-  match p.body with
+  match Ast.statements p with
   | [ Ast.Select s1; Ast.Select _; Ast.Insert { table; _ } ] ->
     Alcotest.(check string) "reserve" "Reserve" table;
     (* bare @uid, @hometown projections parse as host-var expressions;
@@ -138,10 +138,10 @@ let test_parse_script () =
      DELETE FROM T WHERE a = 1;"
   in
   match Parser.parse_script script with
-  | [ Parser.Stmt (Ast.Create_table _);
-      Parser.Stmt (Ast.Insert _);
+  | [ Parser.Stmt (Ast.Create_table _, _);
+      Parser.Stmt (Ast.Insert _, { line = 2; col = 1 });
       Parser.Program _;
-      Parser.Stmt (Ast.Delete _) ] -> ()
+      Parser.Stmt (Ast.Delete _, { line = 6; col = 1 }) ] -> ()
   | items ->
     Alcotest.failf "unexpected script shape (%d items)" (List.length items)
 
