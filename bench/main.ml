@@ -9,16 +9,70 @@
 
    Usage:
      dune exec bench/main.exe                  # everything
-     dune exec bench/main.exe -- fig6a         # one experiment
-     BENCH_TXNS=10000 dune exec bench/main.exe # paper-scale run *)
+     dune exec bench/main.exe -- fig6a fig6c   # some experiments
+     BENCH_TXNS=10000 dune exec bench/main.exe # paper-scale run
+
+   With --metrics [FILE.json], the Figure 6 experiments additionally
+   write machine-readable BENCH_fig6{a,b,c}.json documents (series plus
+   a per-cell Obs snapshot; schema in EXPERIMENTS.md / Ent_obs.Schema)
+   and a final Obs snapshot goes to FILE.json (default metrics.json).
+   "validate FILE..." checks BENCH_*.json documents against the schema
+   and exits nonzero on the first violation — CI's bench-smoke gate. *)
 
 open Ent_core
 open Ent_workload
+module Obs = Ent_obs.Obs
+module Json = Ent_obs.Json
 
 let txns_total =
   match Sys.getenv_opt "BENCH_TXNS" with
   | Some s -> (try int_of_string s with _ -> 2000)
   | None -> 2000
+
+(* --- machine-readable results --- *)
+
+let metrics_enabled = ref false
+let metrics_path = ref "metrics.json"
+
+(* Run one benchmark cell against a clean registry so the attached
+   snapshot measures this cell only. *)
+let cell_metrics f =
+  Obs.reset ();
+  let v = f () in
+  (v, Obs.snapshot_json ())
+
+let point ~x (time, snap) =
+  Json.Obj
+    [ ("x", Json.Int x); ("time_s", Json.Float time); ("metrics", snap) ]
+
+let bench_doc ~figure ~x_label series =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Ent_obs.Schema.version);
+      ("figure", Json.Str figure);
+      ("bench_txns", Json.Int txns_total);
+      ("x_label", Json.Str x_label);
+      ("unit", Json.Str "simulated_seconds");
+      ( "series",
+        Json.List
+          (List.map
+             (fun (name, points) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("points", Json.List (List.rev !points)) ])
+             series) );
+    ]
+
+let write_doc ~figure ~x_label series =
+  if !metrics_enabled then begin
+    let path = Printf.sprintf "BENCH_%s.json" figure in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string (bench_doc ~figure ~x_label series));
+        output_char oc '\n');
+    Printf.printf "wrote %s\n%!" path
+  end
 
 let world_users = 500
 let world_cities = 12
@@ -56,6 +110,14 @@ let run_workload ~connections ~frequency ~transactional kind ~n =
       | Gen.Entangled -> "entangled");
   Manager.now world.manager
 
+let fig6a_workloads =
+  [ ("NoSocial-T", (true, Gen.No_social));
+    ("Social-T", (true, Gen.Social));
+    ("Entangled-T", (true, Gen.Entangled));
+    ("NoSocial-Q", (false, Gen.No_social));
+    ("Social-Q", (false, Gen.Social));
+    ("Entangled-Q", (false, Gen.Entangled)) ]
+
 let fig6a () =
   heading
     (Printf.sprintf
@@ -63,18 +125,24 @@ let fig6a () =
         %d transactions per cell, run frequency 100" txns_total);
   Printf.printf "%8s %12s %12s %12s %12s %12s %12s\n" "conns" "NoSocial-T"
     "Social-T" "Entangled-T" "NoSocial-Q" "Social-Q" "Entangled-Q";
+  let series = List.map (fun (name, _) -> (name, ref [])) fig6a_workloads in
   List.iter
     (fun connections ->
-      let cell transactional kind =
-        run_workload ~connections ~frequency:100 ~transactional kind ~n:txns_total
-      in
-      Printf.printf "%8d %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n%!"
-        connections
-        (cell true Gen.No_social) (cell true Gen.Social)
-        (cell true Gen.Entangled)
-        (cell false Gen.No_social) (cell false Gen.Social)
-        (cell false Gen.Entangled))
-    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+      Printf.printf "%8d" connections;
+      List.iter
+        (fun (name, (transactional, kind)) ->
+          let cell =
+            cell_metrics (fun () ->
+                run_workload ~connections ~frequency:100 ~transactional kind
+                  ~n:txns_total)
+          in
+          let points = List.assoc name series in
+          points := point ~x:connections cell :: !points;
+          Printf.printf " %12.2f%!" (fst cell))
+        fig6a_workloads;
+      Printf.printf "\n%!")
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  write_doc ~figure:"fig6a" ~x_label:"connections" series
 
 (* --- Figure 6(b): time vs pending transactions, per run frequency --- *)
 
@@ -114,11 +182,23 @@ let fig6b () =
        "Figure 6(b): total time (simulated s) vs pending transactions p\n\
         %d entangled transactions per cell" n);
   Printf.printf "%8s %12s %12s %12s\n" "p" "f=1" "f=10" "f=50";
+  let frequencies = [ 1; 10; 50 ] in
+  let series =
+    List.map (fun f -> (Printf.sprintf "f=%d" f, ref [])) frequencies
+  in
   List.iter
     (fun p ->
-      let cell frequency = run_pending ~p ~frequency ~n in
-      Printf.printf "%8d %12.2f %12.2f %12.2f\n%!" p (cell 1) (cell 10) (cell 50))
-    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+      Printf.printf "%8d" p;
+      List.iter
+        (fun frequency ->
+          let cell = cell_metrics (fun () -> run_pending ~p ~frequency ~n) in
+          let points = List.assoc (Printf.sprintf "f=%d" frequency) series in
+          points := point ~x:p cell :: !points;
+          Printf.printf " %12.2f%!" (fst cell))
+        frequencies;
+      Printf.printf "\n%!")
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  write_doc ~figure:"fig6b" ~x_label:"pending" series
 
 (* --- Figure 6(c): time vs coordinating-set size, per structure --- *)
 
@@ -168,15 +248,27 @@ let fig6c () =
         ~%d transactions per cell" total);
   Printf.printf "%8s %16s %16s %16s %16s\n" "size" "Spoke-hub f=10"
     "Spoke-hub f=50" "Cycle f=10" "Cycle f=50";
+  let cells =
+    [ ("Spoke-hub f=10", (`Spoke_hub, 10)); ("Spoke-hub f=50", (`Spoke_hub, 50));
+      ("Cycle f=10", (`Cycle, 10)); ("Cycle f=50", (`Cycle, 50)) ]
+  in
+  let series = List.map (fun (name, _) -> (name, ref [])) cells in
   List.iter
     (fun set_size ->
-      let cell structure frequency =
-        run_structured ~structure ~set_size ~frequency ~total_txns:total
-      in
-      Printf.printf "%8d %16.2f %16.2f %16.2f %16.2f\n%!" set_size
-        (cell `Spoke_hub 10) (cell `Spoke_hub 50)
-        (cell `Cycle 10) (cell `Cycle 50))
-    [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+      Printf.printf "%8d" set_size;
+      List.iter
+        (fun (name, (structure, frequency)) ->
+          let cell =
+            cell_metrics (fun () ->
+                run_structured ~structure ~set_size ~frequency ~total_txns:total)
+          in
+          let points = List.assoc name series in
+          points := point ~x:set_size cell :: !points;
+          Printf.printf " %16.2f%!" (fst cell))
+        cells;
+      Printf.printf "\n%!")
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  write_doc ~figure:"fig6c" ~x_label:"set_size" series
 
 (* --- Ablations over the design choices of §4 --- *)
 
@@ -459,21 +551,63 @@ let microbenches () =
          in
          Printf.printf "%-40s %16.1f\n%!" name ns)
 
-let () =
-  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  let run name f =
-    match which with
-    | None -> f ()
-    | Some w when w = name -> f ()
-    | Some _ -> ()
+let validate files =
+  let ok =
+    List.fold_left
+      (fun ok file ->
+        match Ent_obs.Schema.validate_file file with
+        | Ok () ->
+          Printf.printf "%s: ok\n%!" file;
+          ok
+        | Error errs ->
+          List.iter (fun e -> Printf.eprintf "%s: %s\n%!" file e) errs;
+          false
+        | exception Sys_error msg ->
+          Printf.eprintf "%s\n%!" msg;
+          false)
+      true files
   in
-  Printf.printf "entangled-transactions benchmark harness (BENCH_TXNS=%d)\n"
-    txns_total;
-  run "fig6a" fig6a;
-  run "fig6b" fig6b;
-  run "fig6c" fig6c;
-  run "ablation-isolation" ablation_isolation;
-  run "ablation-frequency" ablation_run_frequency;
-  run "ablation-search" ablation_coordination_search;
-  run "ablation-strategy" ablation_evaluation_strategy;
-  run "micro" microbenches
+  exit (if ok then 0 else 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "validate" :: files ->
+    if files = [] then begin
+      prerr_endline "usage: main.exe validate BENCH_*.json...";
+      exit 2
+    end;
+    validate files
+  | _ :: args ->
+    let selected = ref [] in
+    let rec parse = function
+      | [] -> ()
+      | "--metrics" :: rest ->
+        metrics_enabled := true;
+        (match rest with
+        | path :: rest' when Filename.check_suffix path ".json" ->
+          metrics_path := path;
+          parse rest'
+        | _ -> parse rest)
+      | name :: rest ->
+        selected := name :: !selected;
+        parse rest
+    in
+    parse args;
+    let run name f =
+      if !selected = [] || List.mem name !selected then f ()
+    in
+    Printf.printf "entangled-transactions benchmark harness (BENCH_TXNS=%d)\n"
+      txns_total;
+    run "fig6a" fig6a;
+    run "fig6b" fig6b;
+    run "fig6c" fig6c;
+    run "ablation-isolation" ablation_isolation;
+    run "ablation-frequency" ablation_run_frequency;
+    run "ablation-search" ablation_coordination_search;
+    run "ablation-strategy" ablation_evaluation_strategy;
+    run "micro" microbenches;
+    if !metrics_enabled then begin
+      Obs.write_snapshot !metrics_path;
+      Printf.printf "wrote %s (final-phase Obs snapshot)\n%!" !metrics_path
+    end
+  | [] -> ()

@@ -17,7 +17,14 @@ let isolation_of_string = function
   | "read-uncommitted" -> Ok Isolation.read_uncommitted
   | s -> Error (`Msg (Printf.sprintf "unknown isolation level %S" s))
 
-let run_script path connections frequency isolation_name show_tables verbose =
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Ent_obs.Obs.write_snapshot path;
+    Printf.eprintf "wrote metrics snapshot to %s\n%!" path
+
+let run_script path connections frequency isolation_name show_tables verbose
+    metrics trace =
   match isolation_of_string isolation_name with
   | Error (`Msg msg) ->
     prerr_endline msg;
@@ -41,6 +48,7 @@ let run_script path connections frequency isolation_name show_tables verbose =
       Printf.eprintf "lex error: %s\n" msg;
       2
     | items ->
+      if trace then Ent_obs.Obs.set_tracing true;
       let config =
         {
           Scheduler.default_config with
@@ -107,6 +115,7 @@ let run_script path connections frequency isolation_name show_tables verbose =
                         (Ent_storage.Tuple.to_list row))))
               t)
         show_tables;
+      write_metrics metrics;
       0)
 
 (* --- interactive mode ---
@@ -241,10 +250,20 @@ let show =
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print answer tuples.")
 
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write an Obs metrics snapshot (JSON) to $(docv) on exit.")
+
+let trace =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Enable span tracing; spans are included in the --metrics \
+               snapshot.")
+
 let run_cmd =
   let doc = "execute a script of classical and entangled transactions" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_script $ path $ connections $ frequency $ isolation $ show $ verbose)
+    Term.(const run_script $ path $ connections $ frequency $ isolation $ show
+          $ verbose $ metrics $ trace)
 
 let repl_cmd =
   let doc =

@@ -27,6 +27,7 @@ type task = {
   mutable work : float;
   mutable conn : int;
   mutable answers : Ir.ground_atom list;
+  mutable entangled_since : float option;
 }
 
 let make_task ~task_id ~arrival (program : Program.t) =
@@ -44,6 +45,7 @@ let make_task ~task_id ~arrival (program : Program.t) =
     work = 0.0;
     conn = -1;
     answers = [];
+    entangled_since = None;
   }
 
 let start engine (costs : Ent_sim.Cost.t) task =
@@ -184,6 +186,7 @@ let reset_for_retry task =
   task.txn <- -1;
   task.status <- Runnable;
   task.pending <- None;
+  task.entangled_since <- None;
   (* -T programs were rolled back entirely and restart from the top.
      -Q programs committed statement by statement: that progress is
      durable, so a retry resumes at the statement that blocked. *)

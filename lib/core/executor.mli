@@ -34,6 +34,9 @@ type task = {
   mutable work : float;  (** simulated seconds accumulated since last drained *)
   mutable conn : int;  (** connection index, -1 when unassigned *)
   mutable answers : Ir.ground_atom list;  (** answer tuples received, newest first *)
+  mutable entangled_since : float option;
+      (** simulated time the task reached [Waiting_entangled], for the
+          core.entangle.blocked_s metric; cleared on answer/reset *)
 }
 
 val make_task :

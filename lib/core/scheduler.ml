@@ -1,4 +1,18 @@
 open Ent_entangle
+module Obs = Ent_obs.Obs
+
+let m_runs = Obs.counter "core.scheduler.runs"
+let m_submitted = Obs.counter "core.scheduler.submitted"
+let m_timeouts = Obs.counter "core.scheduler.timeouts"
+let m_deadlocks = Obs.counter "core.scheduler.deadlocks"
+let m_widow_preventions = Obs.counter "core.scheduler.widow_preventions"
+let m_run_length = Obs.histogram "core.scheduler.run_length"
+let m_group_size = Obs.histogram "core.commit.group_size"
+let m_dormant = Obs.gauge "core.pool.dormant"
+let m_repooled = Obs.counter "core.pool.repooled"
+let m_coord_rounds = Obs.counter "core.coordinate.rounds"
+let m_coord_batch = Obs.histogram "core.coordinate.batch"
+let m_blocked = Obs.histogram "core.entangle.blocked_s"
 
 type trigger =
   | Every_arrivals of int
@@ -173,6 +187,7 @@ let components (answered : (Executor.task * Ground.grounding) list) =
 let repool t (task : Executor.task) =
   Executor.reset_for_retry task;
   t.stats.repooled <- t.stats.repooled + 1;
+  Obs.incr m_repooled;
   t.dormant <- t.dormant @ [ task ]
 
 let fail_or_repool t (task : Executor.task) =
@@ -188,6 +203,7 @@ let fail_or_repool t (task : Executor.task) =
     match task.deadline with
     | Some deadline when now t >= deadline ->
       t.stats.timeouts <- t.stats.timeouts + 1;
+      Obs.incr m_timeouts;
       finalize t task Timed_out
     | _ -> repool t task)
 
@@ -196,9 +212,11 @@ let run_once t =
     let costs = t.config.costs in
     let isolation = t.config.isolation in
     t.stats.runs <- t.stats.runs + 1;
+    Obs.incr m_runs;
     t.arrivals_since_run <- 0;
     Group.reset t.groups;
     let tasks = t.dormant in
+    Obs.observe m_run_length (float_of_int (List.length tasks));
     t.dormant <- [];
     let live = ref tasks in
     let find_by_txn txn =
@@ -217,6 +235,7 @@ let run_once t =
         drain_work t task)
       tasks;
     let commit_group t_ (members : Executor.task list) =
+      Obs.observe m_group_size (float_of_int (List.length members));
       List.iter
         (fun (task : Executor.task) ->
           let wrote = Ent_txn.Engine.savepoint t_.engine task.txn > 0 in
@@ -243,8 +262,12 @@ let run_once t =
           if task.status = Runnable then begin
             Executor.step t.engine isolation costs task;
             drain_work t task;
-            if task.status = Failed Deadlock then
+            if task.status = Waiting_entangled && task.entangled_since = None
+            then task.entangled_since <- Some (now t);
+            if task.status = Failed Deadlock then begin
               t.stats.deadlocks <- t.stats.deadlocks + 1;
+              Obs.incr m_deadlocks
+            end;
             progress := true
           end)
         !live;
@@ -351,6 +374,8 @@ let run_once t =
         in
         if entries <> [] then begin
           t.stats.coordination_rounds <- t.stats.coordination_rounds + 1;
+          Obs.incr m_coord_rounds;
+          Obs.observe m_coord_batch (float_of_int (List.length entries));
           Ent_sim.Pool.barrier t.pool
             (float_of_int (List.length entries) *. costs.c_coord);
           let entry_triples =
@@ -418,6 +443,11 @@ let run_once t =
             (fun ((task : Executor.task), _, _) ->
               match outcome_of task.task_id with
               | Coordinate.Answered _ | Coordinate.Empty ->
+                (match task.entangled_since with
+                | Some since ->
+                  Obs.observe m_blocked (now t -. since);
+                  task.entangled_since <- None
+                | None -> ());
                 Executor.deliver t.engine costs task (outcome_of task.task_id);
                 drain_work t task;
                 progress := true
@@ -433,6 +463,13 @@ let run_once t =
        are recorded; expired timeouts fail permanently. *)
     let leftovers = !live in
     live := [];
+    (* A Ready leftover finished its statements but its group never
+       committed (a partner failed or never arrived): aborting and
+       repooling it here is exactly the widow prevention of §3.4. *)
+    List.iter
+      (fun (task : Executor.task) ->
+        if task.status = Ready then Obs.incr m_widow_preventions)
+      leftovers;
     (* Abort whole entanglement groups together: members share lock
        ownership and may have interleaved writes on the same rows, so
        their merged write log must be undone in one reverse pass. *)
@@ -470,15 +507,18 @@ let run_once t =
         (List.map
            (fun (task : Executor.task) -> Program.to_string task.program)
            t.dormant);
+    Obs.set m_dormant (float_of_int (List.length t.dormant));
     t.last_run_end <- now t
   end
 
 let submit t program =
   let task_id = t.next_task in
   t.next_task <- task_id + 1;
+  Obs.incr m_submitted;
   let task = Executor.make_task ~task_id ~arrival:(now t) program in
   Hashtbl.replace t.task_index task_id task;
   t.dormant <- t.dormant @ [ task ];
+  Obs.set m_dormant (float_of_int (List.length t.dormant));
   t.arrivals_since_run <- t.arrivals_since_run + 1;
   (match t.config.trigger with
   | Every_arrivals f when t.arrivals_since_run >= f -> run_once t

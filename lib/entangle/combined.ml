@@ -129,7 +129,10 @@ let solve_combined ~budget combined groundings_of =
   in
   go [] combined.member_ids
 
+let m_evaluations = Ent_obs.Obs.counter "entangle.combined.evaluations"
+
 let evaluate ?(max_matchings = 64) queries =
+  Ent_obs.Obs.incr m_evaluations;
   let patterns = List.map (fun (qid, ir, _) -> (qid, ir)) queries in
   let blocked = Coordinate.structurally_blocked patterns in
   let combineds = compile ~max_matchings patterns in

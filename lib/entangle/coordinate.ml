@@ -1,3 +1,12 @@
+module Obs = Ent_obs.Obs
+
+let m_evaluations = Obs.counter "entangle.coordinate.evaluations"
+let m_nodes = Obs.counter "entangle.coordinate.nodes_expanded"
+let m_answered = Obs.counter "entangle.coordinate.answered"
+let m_empty = Obs.counter "entangle.coordinate.empty"
+let m_no_partner = Obs.counter "entangle.coordinate.no_partner"
+let m_latency = Obs.histogram "entangle.coordinate.match_latency_us"
+
 type outcome =
   | Answered of Ground.grounding
   | Empty
@@ -44,6 +53,8 @@ let structurally_blocked queries =
 module Atom_tbl = Hashtbl
 
 let evaluate ?(budget = 200_000) queries =
+  Obs.incr m_evaluations;
+  let t_start = Unix.gettimeofday () in
   let blocked = structurally_blocked (List.map (fun (q, ir, _) -> (q, ir)) queries) in
   let participants =
     List.filter (fun (qid, _, _) -> not (List.mem qid blocked)) queries
@@ -127,14 +138,27 @@ let evaluate ?(budget = 200_000) queries =
             false
           end
         in
-        ignore (List.exists try_grounding groundings)
+        ignore (List.exists try_grounding groundings);
+        Obs.incr ~n:!nodes m_nodes
       end)
     participants;
-  List.map
-    (fun (qid, _, _) ->
-      if List.mem qid blocked then (qid, No_partner)
-      else
-        match Hashtbl.find_opt assignment qid with
-        | Some g -> (qid, Answered g)
-        | None -> (qid, Empty))
-    queries
+  let results =
+    List.map
+      (fun (qid, _, _) ->
+        if List.mem qid blocked then (qid, No_partner)
+        else
+          match Hashtbl.find_opt assignment qid with
+          | Some g -> (qid, Answered g)
+          | None -> (qid, Empty))
+      queries
+  in
+  List.iter
+    (fun (_, outcome) ->
+      Obs.incr
+        (match outcome with
+        | Answered _ -> m_answered
+        | Empty -> m_empty
+        | No_partner -> m_no_partner))
+    results;
+  Obs.observe m_latency (1e6 *. (Unix.gettimeofday () -. t_start));
+  results

@@ -1,4 +1,9 @@
 open Ent_storage
+module Obs = Ent_obs.Obs
+
+let m_computes = Obs.counter "entangle.ground.computes"
+let m_valuations = Obs.counter "entangle.ground.valuations"
+let m_size = Obs.histogram "entangle.ground.size"
 
 type grounding = {
   g_head : Ir.ground_atom list;
@@ -102,15 +107,21 @@ let compute ?(limit = 10_000) ~access ~env (query : Ir.t) =
   let groundings = List.map to_grounding valuations in
   (* De-duplicate while keeping first-seen order. *)
   let seen = Hashtbl.create 16 in
-  List.filter
-    (fun g ->
-      let key = (g.g_head, g.g_post) in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.add seen key ();
-        true
-      end)
-    groundings
+  let groundings =
+    List.filter
+      (fun g ->
+        let key = (g.g_head, g.g_post) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      groundings
+  in
+  Obs.incr m_computes;
+  Obs.incr ~n:!explored m_valuations;
+  Obs.observe m_size (float_of_int (List.length groundings));
+  groundings
 
 let pp_ground_atom ppf ((rel, values) : Ir.ground_atom) =
   Format.fprintf ppf "%s(%a)" rel

@@ -1,0 +1,113 @@
+(* Log-scale latency histogram (DDSketch-style).
+
+   Values land in exponential buckets with ratio gamma =
+   (1+alpha)/(1-alpha), which bounds the relative error of any quantile
+   estimate by alpha. Recording is an O(1) hashtable bump, so the
+   histograms can stay on in production paths; the quantile scan is
+   O(buckets) and only runs at snapshot time. *)
+
+type t = {
+  alpha : float;
+  gamma : float;
+  log_gamma : float;
+  buckets : (int, int) Hashtbl.t;  (* bucket index -> count, positives *)
+  mutable zero_count : int;  (* values <= 0 (latencies are nonnegative) *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let default_alpha = 0.01
+
+let create ?(alpha = default_alpha) () =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Hist.create: alpha must be in (0, 1)";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  {
+    alpha;
+    gamma;
+    log_gamma = log gamma;
+    buckets = Hashtbl.create 64;
+    zero_count = 0;
+    count = 0;
+    sum = 0.0;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let alpha t = t.alpha
+
+let bucket_of t v = int_of_float (Float.ceil (log v /. t.log_gamma))
+
+(* Midpoint of bucket [i]: gamma^i covers (gamma^(i-1), gamma^i], report
+   the value with equal relative distance to both ends. *)
+let bucket_value t i = 2.0 *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.0)
+
+let observe t v =
+  if Float.is_finite v then begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v;
+    if v <= 0.0 then t.zero_count <- t.zero_count + 1
+    else begin
+      let b = bucket_of t v in
+      Hashtbl.replace t.buckets b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.buckets b))
+    end
+  end
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else if q <= 0.0 then t.min
+  else if q >= 1.0 then t.max
+  else begin
+    (* rank of the order statistic we are estimating, 1-based *)
+    let rank =
+      1 + int_of_float (Float.round (q *. float_of_int (t.count - 1)))
+    in
+    if rank <= t.zero_count then 0.0
+    else begin
+      let sorted =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold (fun i n acc -> (i, n) :: acc) t.buckets [])
+      in
+      let rec scan seen = function
+        | [] -> t.max
+        | (i, n) :: rest ->
+          if seen + n >= rank then
+            (* clamp so estimates never escape the observed range *)
+            Float.min t.max (Float.max t.min (bucket_value t i))
+          else scan (seen + n) rest
+      in
+      scan t.zero_count sorted
+    end
+  end
+
+let reset t =
+  Hashtbl.reset t.buckets;
+  t.zero_count <- 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+let summary t =
+  let f v = Json.Float (if Float.is_finite v then v else 0.0) in
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", f t.sum);
+      ("mean", f (mean t));
+      ("min", f (if t.count = 0 then 0.0 else t.min));
+      ("max", f (if t.count = 0 then 0.0 else t.max));
+      ("p50", f (quantile t 0.50));
+      ("p95", f (quantile t 0.95));
+      ("p99", f (quantile t 0.99));
+    ]

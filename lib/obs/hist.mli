@@ -1,0 +1,30 @@
+(** Log-scale histogram with bounded-relative-error quantiles.
+
+    Buckets grow geometrically with ratio [(1+alpha)/(1-alpha)], so
+    [quantile] is accurate to a relative error of [alpha] (default 1%)
+    for positive values; zero and negative observations are counted
+    exactly in a dedicated bucket. Recording is O(1). *)
+
+type t
+
+val default_alpha : float
+
+val create : ?alpha:float -> unit -> t
+val alpha : t -> float
+
+val observe : t -> float -> unit
+(** Record one value. Non-finite values are ignored. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) with
+    relative error at most [alpha t] for positive values. Returns 0 on
+    an empty histogram. *)
+
+val reset : t -> unit
+
+val summary : t -> Json.t
+(** [{count, sum, mean, min, max, p50, p95, p99}] (all finite). *)

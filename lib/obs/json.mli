@@ -1,0 +1,31 @@
+(** Minimal JSON value type with a printer and parser.
+
+    Used by the observability layer ({!Obs}) for snapshots and by the
+    benchmark harness for machine-readable results — deliberately tiny
+    so the tree stays free of external JSON dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) serialization.
+    @raise Invalid_argument on non-finite floats. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — total; return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

@@ -1,0 +1,215 @@
+(* Global metrics registry and span tracer.
+
+   Metric names follow "layer.component.metric" (DESIGN.md §3). Hot
+   paths bump counters through [Atomic] — an instrumented site costs
+   one fetch-and-add, cheap enough to stay on by default. Spans carry
+   real bookkeeping (clock reads, ring-buffer writes) and therefore sit
+   behind [set_tracing]; with tracing off, [with_span] is a flag test.
+
+   Everything lives in one process-global registry: instrumentation in
+   lib/txn, lib/storage, lib/entangle and lib/core registers metrics at
+   module initialization and never threads a handle around. *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t }
+type histogram = { h_name : string; hist : Hist.t }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let intern name make describe =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match describe m with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Obs: %s registered with another type" name))
+  | None ->
+    let v, m = make () in
+    Hashtbl.replace registry name m;
+    v
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr ?(n = 1) c = ignore (Atomic.fetch_and_add c.cell n)
+let counter_value c = Atomic.get c.cell
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { g_name = name; value = Atomic.make 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = Atomic.set g.value v
+let gauge_value g = Atomic.get g.value
+
+let histogram ?alpha name =
+  intern name
+    (fun () ->
+      let h = { h_name = name; hist = Hist.create ?alpha () } in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v = Hist.observe h.hist v
+let hist h = h.hist
+
+let counter_name c = c.c_name
+let gauge_name g = g.g_name
+let histogram_name h = h.h_name
+
+(* --- lookups (tests, CLI) --- *)
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some (counter_value c)
+  | _ -> None
+
+let find_gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> Some (gauge_value g)
+  | _ -> None
+
+let find_histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> Some h.hist
+  | _ -> None
+
+(* --- span tracing --- *)
+
+type span_record = {
+  sp_name : string;
+  sp_start : float;  (* seconds, Unix epoch *)
+  sp_dur : float;  (* seconds *)
+  sp_depth : int;  (* nesting level at entry, outermost = 0 *)
+}
+
+let tracing_on = ref false
+let trace_capacity = ref 4096
+let trace_ring : span_record option array ref = ref (Array.make 4096 None)
+let trace_next = ref 0  (* total spans ever recorded *)
+let span_depth = ref 0
+
+let set_tracing on = tracing_on := on
+let tracing () = !tracing_on
+
+let set_trace_capacity n =
+  if n <= 0 then invalid_arg "Obs.set_trace_capacity: capacity must be positive";
+  trace_capacity := n;
+  trace_ring := Array.make n None;
+  trace_next := 0
+
+let record_span sp =
+  let ring = !trace_ring in
+  ring.(!trace_next mod Array.length ring) <- Some sp;
+  trace_next := !trace_next + 1
+
+let with_span name f =
+  if not !tracing_on then f ()
+  else begin
+    let depth = !span_depth in
+    span_depth := depth + 1;
+    let start = Unix.gettimeofday () in
+    let finish () =
+      let stop = Unix.gettimeofday () in
+      span_depth := depth;
+      record_span
+        { sp_name = name; sp_start = start; sp_dur = stop -. start; sp_depth = depth }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () =
+  (* oldest-first; the ring keeps the last [capacity] spans *)
+  let ring = !trace_ring in
+  let cap = Array.length ring in
+  let total = !trace_next in
+  let first = if total > cap then total - cap else 0 in
+  List.filter_map
+    (fun i -> ring.(i mod cap))
+    (List.init (total - first) (fun k -> first + k))
+
+let spans_dropped () =
+  let cap = Array.length !trace_ring in
+  if !trace_next > cap then !trace_next - cap else 0
+
+(* --- snapshot --- *)
+
+let sorted_registry () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+
+let snapshot_json () =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> counters := (name, Json.Int (counter_value c)) :: !counters
+      | Gauge g ->
+        let v = gauge_value g in
+        gauges := (name, Json.Float (if Float.is_finite v then v else 0.0)) :: !gauges
+      | Histogram h -> hists := (name, Hist.summary h.hist) :: !hists)
+    (sorted_registry ());
+  let base =
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+    ]
+  in
+  if not !tracing_on then Json.Obj base
+  else
+    let span_json sp =
+      Json.Obj
+        [
+          ("name", Json.Str sp.sp_name);
+          ("start", Json.Float sp.sp_start);
+          ("dur", Json.Float sp.sp_dur);
+          ("depth", Json.Int sp.sp_depth);
+        ]
+    in
+    Json.Obj
+      (base
+      @ [
+          ("spans", Json.List (List.map span_json (spans ())));
+          ("spans_dropped", Json.Int (spans_dropped ()));
+        ])
+
+let snapshot () = Json.to_string (snapshot_json ())
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Atomic.set c.cell 0
+      | Gauge g -> Atomic.set g.value 0.0
+      | Histogram h -> Hist.reset h.hist)
+    registry;
+  Array.fill !trace_ring 0 (Array.length !trace_ring) None;
+  trace_next := 0;
+  span_depth := 0
+
+let metric_names () = List.map fst (sorted_registry ())
+
+let write_snapshot path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (snapshot ());
+      output_char oc '\n')

@@ -1,0 +1,163 @@
+(* Schema for the machine-readable benchmark artifacts.
+
+   bench/main.exe --metrics writes one document per figure
+   (BENCH_fig6a.json / BENCH_fig6b.json / BENCH_fig6c.json):
+
+     { "schema_version": 1,
+       "figure": "fig6a",
+       "bench_txns": 2000,
+       "x_label": "connections",
+       "unit": "simulated_seconds",
+       "series": [
+         { "name": "NoSocial-T",
+           "points": [ { "x": 10, "time_s": 0.55, "metrics": SNAPSHOT },
+                       ... ] },
+         ... ] }
+
+   where SNAPSHOT is an Obs.snapshot_json taken right after the cell
+   ran (the registry is reset before each cell, so the snapshot is
+   per-cell). CI's bench-smoke job regenerates the documents at reduced
+   scale and feeds them through [validate], which enforces exactly what
+   EXPERIMENTS.md documents: every expected series present, every point
+   finite with a positive time, every point carrying a snapshot, and —
+   across the document — live counters from all four instrumented
+   layers (txn, storage, entangle, core). *)
+
+let version = 1
+
+let expected_series = function
+  | "fig6a" ->
+    Some
+      ( "connections",
+        [ "NoSocial-T"; "Social-T"; "Entangled-T";
+          "NoSocial-Q"; "Social-Q"; "Entangled-Q" ] )
+  | "fig6b" -> Some ("pending", [ "f=1"; "f=10"; "f=50" ])
+  | "fig6c" ->
+    Some
+      ( "set_size",
+        [ "Spoke-hub f=10"; "Spoke-hub f=50"; "Cycle f=10"; "Cycle f=50" ] )
+  | _ -> None
+
+let layers = [ "txn."; "storage."; "entangle."; "core." ]
+
+let validate (doc : Json.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let live_layers = Hashtbl.create 4 in
+  let check_metrics ~where metrics =
+    match metrics with
+    | Json.Obj _ -> (
+      (match Json.member "counters" metrics with
+      | Some (Json.Obj counters) ->
+        List.iter
+          (fun (name, v) ->
+            match Json.to_int_opt v with
+            | Some n when n >= 0 ->
+              if n > 0 then
+                List.iter
+                  (fun prefix ->
+                    if String.starts_with ~prefix name then
+                      Hashtbl.replace live_layers prefix ())
+                  layers
+            | _ -> err "%s: counter %s is not a nonnegative integer" where name)
+          counters
+      | _ -> err "%s: metrics.counters missing or not an object" where);
+      (match Json.member "histograms" metrics with
+      | Some (Json.Obj hists) ->
+        List.iter
+          (fun (name, h) ->
+            match Json.member "count" h with
+            | Some (Json.Int n) when n >= 0 -> ()
+            | _ -> err "%s: histogram %s has no integer count" where name)
+          hists
+      | _ -> err "%s: metrics.histograms missing or not an object" where);
+      match Json.member "gauges" metrics with
+      | Some (Json.Obj _) -> ()
+      | _ -> err "%s: metrics.gauges missing or not an object" where)
+    | _ -> err "%s: metrics is not an object" where
+  in
+  let check_point ~where point =
+    (match Option.bind (Json.member "x" point) Json.to_float_opt with
+    | Some x when Float.is_finite x -> ()
+    | _ -> err "%s: x missing or not finite" where);
+    (match Option.bind (Json.member "time_s" point) Json.to_float_opt with
+    | Some t when Float.is_finite t && t > 0.0 -> ()
+    | Some _ -> err "%s: time_s not finite and positive" where
+    | None -> err "%s: time_s missing" where);
+    match Json.member "metrics" point with
+    | Some metrics -> check_metrics ~where metrics
+    | None -> err "%s: metrics snapshot missing" where
+  in
+  (match Option.bind (Json.member "schema_version" doc) Json.to_int_opt with
+  | Some v when v = version -> ()
+  | Some v -> err "schema_version %d, expected %d" v version
+  | None -> err "schema_version missing");
+  (match Option.bind (Json.member "bench_txns" doc) Json.to_int_opt with
+  | Some n when n > 0 -> ()
+  | _ -> err "bench_txns missing or not positive");
+  (match Option.bind (Json.member "unit" doc) Json.to_string_opt with
+  | Some "simulated_seconds" -> ()
+  | _ -> err "unit missing or not \"simulated_seconds\"");
+  (match Option.bind (Json.member "figure" doc) Json.to_string_opt with
+  | None -> err "figure missing"
+  | Some figure -> (
+    match expected_series figure with
+    | None -> err "unknown figure %S" figure
+    | Some (x_label, expected) -> (
+      (match Option.bind (Json.member "x_label" doc) Json.to_string_opt with
+      | Some l when l = x_label -> ()
+      | _ -> err "x_label missing or not %S" x_label);
+      match Option.bind (Json.member "series" doc) Json.to_list_opt with
+      | None -> err "series missing or not a list"
+      | Some series ->
+        let names =
+          List.filter_map
+            (fun s -> Option.bind (Json.member "name" s) Json.to_string_opt)
+            series
+        in
+        List.iter
+          (fun name ->
+            if not (List.mem name names) then
+              err "%s: series %S missing" figure name)
+          expected;
+        List.iter
+          (fun name ->
+            if not (List.mem name expected) then
+              err "%s: unexpected series %S" figure name)
+          names;
+        List.iter
+          (fun s ->
+            let name =
+              Option.value ~default:"<unnamed>"
+                (Option.bind (Json.member "name" s) Json.to_string_opt)
+            in
+            match Option.bind (Json.member "points" s) Json.to_list_opt with
+            | None | Some [] -> err "series %S: points missing or empty" name
+            | Some points ->
+              List.iteri
+                (fun i p ->
+                  check_point ~where:(Printf.sprintf "series %S point %d" name i) p)
+                points)
+          series)));
+  List.iter
+    (fun prefix ->
+      if not (Hashtbl.mem live_layers prefix) then
+        err "no point has a nonzero %s* counter (layer uninstrumented?)" prefix)
+    layers;
+  match !errors with
+  | [] -> Ok ()
+  | errs -> Error (List.rev errs)
+
+let validate_string s =
+  match Json.of_string s with
+  | doc -> validate doc
+  | exception Json.Parse_error msg -> Error [ "JSON parse error: " ^ msg ]
+
+let validate_file path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_string s

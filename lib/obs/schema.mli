@@ -1,0 +1,17 @@
+(** Validator for the BENCH_fig6*.json benchmark artifacts.
+
+    The document layout is described in EXPERIMENTS.md ("Machine-
+    readable results") and in the comment at the top of schema.ml.
+    CI's bench-smoke job regenerates the artifacts at reduced scale and
+    rejects the build when validation fails. *)
+
+val version : int
+(** Current schema_version. *)
+
+val expected_series : string -> (string * string list) option
+(** [expected_series figure] is [Some (x_label, series_names)] for
+    "fig6a"/"fig6b"/"fig6c", [None] otherwise. *)
+
+val validate : Json.t -> (unit, string list) result
+val validate_string : string -> (unit, string list) result
+val validate_file : string -> (unit, string list) result

@@ -1,3 +1,15 @@
+module Obs = Ent_obs.Obs
+
+let m_inserts = Obs.counter "storage.table.inserts"
+let m_updates = Obs.counter "storage.table.updates"
+let m_deletes = Obs.counter "storage.table.deletes"
+let m_scans = Obs.counter "storage.table.scans"
+let m_rows_read = Obs.counter "storage.table.rows_read"
+let m_index_lookups = Obs.counter "storage.index.lookups"
+let m_scan_lookups = Obs.counter "storage.index.missing_lookups"
+let m_range_lookups = Obs.counter "storage.index.range_lookups"
+let m_range_scans = Obs.counter "storage.index.missing_range_lookups"
+
 type row_id = int
 
 type t = {
@@ -38,6 +50,7 @@ let index_remove t row id =
     t.ordered
 
 let insert t row =
+  Obs.incr m_inserts;
   let row = Tuple.of_array t.schema row in
   let id = t.next_id in
   ensure_capacity t id;
@@ -54,6 +67,7 @@ let delete t id =
   match get t id with
   | None -> None
   | Some row ->
+    Obs.incr m_deletes;
     t.slots.(id) <- None;
     t.live <- t.live - 1;
     index_remove t row id;
@@ -63,6 +77,7 @@ let update t id row =
   match get t id with
   | None -> None
   | Some old ->
+    Obs.incr m_updates;
     let row = Tuple.of_array t.schema row in
     t.slots.(id) <- Some row;
     index_remove t old id;
@@ -95,7 +110,11 @@ let fold f t init =
   iter (fun id row -> acc := f id row !acc) t;
   !acc
 
-let to_list t = List.rev (fold (fun id row acc -> (id, row) :: acc) t [])
+let to_list t =
+  Obs.incr m_scans;
+  let rows = List.rev (fold (fun id row acc -> (id, row) :: acc) t []) in
+  Obs.incr ~n:(List.length rows) m_rows_read;
+  rows
 
 let find_index t positions =
   List.find_opt (fun ix -> Index.positions ix = positions) t.indexes
@@ -109,19 +128,25 @@ let add_index t ~positions =
     t.indexes <- ix :: t.indexes
 
 let lookup t ~positions key =
-  match find_index t positions with
-  | Some ix ->
-    List.filter_map
-      (fun id -> Option.map (fun row -> (id, row)) (get t id))
-      (Index.lookup ix key)
-  | None ->
-    List.rev
-      (fold
-         (fun id row acc ->
-           let projected = List.map (fun i -> Tuple.get row i) positions in
-           if List.equal Value.equal projected key then (id, row) :: acc
-           else acc)
-         t [])
+  let rows =
+    match find_index t positions with
+    | Some ix ->
+      Obs.incr m_index_lookups;
+      List.filter_map
+        (fun id -> Option.map (fun row -> (id, row)) (get t id))
+        (Index.lookup ix key)
+    | None ->
+      Obs.incr m_scan_lookups;
+      List.rev
+        (fold
+           (fun id row acc ->
+             let projected = List.map (fun i -> Tuple.get row i) positions in
+             if List.equal Value.equal projected key then (id, row) :: acc
+             else acc)
+           t [])
+  in
+  Obs.incr ~n:(List.length rows) m_rows_read;
+  rows
 
 let add_ordered_index t ~position =
   if
@@ -137,12 +162,17 @@ let has_ordered_index t ~position =
   List.exists (fun ox -> Ordered_index.position ox = position) t.ordered
 
 let range_lookup t ~position ~lo ~hi =
-  match List.find_opt (fun ox -> Ordered_index.position ox = position) t.ordered with
+  let rows =
+    match
+      List.find_opt (fun ox -> Ordered_index.position ox = position) t.ordered
+    with
   | Some ox ->
+    Obs.incr m_range_lookups;
     List.filter_map
       (fun id -> Option.map (fun row -> (id, row)) (get t id))
       (Ordered_index.range ox ~lo ~hi)
   | None ->
+    Obs.incr m_range_scans;
     let keep v =
       (match lo with
       | Ordered_index.Unbounded -> true
@@ -159,6 +189,9 @@ let range_lookup t ~position ~lo ~hi =
          (fun id row acc ->
            if keep (Tuple.get row position) then (id, row) :: acc else acc)
          t [])
+  in
+  Obs.incr ~n:(List.length rows) m_rows_read;
+  rows
 
 let clear t =
   iter (fun id row -> index_remove t row id) t;

@@ -1,4 +1,13 @@
 open Ent_storage
+module Obs = Ent_obs.Obs
+
+let m_begins = Obs.counter "txn.engine.begins"
+let m_commits = Obs.counter "txn.engine.commits"
+let m_aborts = Obs.counter "txn.engine.aborts"
+let m_blocks = Obs.counter "txn.engine.lock_blocks"
+let m_deadlocks = Obs.counter "txn.engine.deadlock_victims"
+let m_undone = Obs.counter "txn.engine.writes_undone"
+let m_checkpoints = Obs.counter "txn.engine.checkpoints"
 
 exception Blocked of int
 exception Deadlock_victim of int
@@ -92,6 +101,7 @@ let begin_txn t =
     { id; writes = []; write_count = 0; grounding_tables = []; finished = false };
   log_record t (Begin id);
   emit t (Ev_begin id);
+  Obs.incr m_begins;
   id
 
 let is_active t id =
@@ -113,8 +123,11 @@ let acquire t txn_id resource mode =
     | Some _ ->
       (* Break the cycle by sacrificing the requester; the caller must
          abort it, which dequeues the request and releases its locks. *)
+      Obs.incr m_deadlocks;
       raise (Deadlock_victim txn_id)
-    | None -> raise (Blocked txn_id))
+    | None ->
+      Obs.incr m_blocks;
+      raise (Blocked txn_id))
 
 let table_of t name =
   match Catalog.find t.catalog name with
@@ -266,6 +279,7 @@ let rollback_to t txn_id sp =
       | w :: rest ->
         txn.writes <- rest;
         txn.write_count <- txn.write_count - 1;
+        Obs.incr m_undone;
         let table = table_of t w.w_table in
         (match w.w_before, w.w_after with
         | None, Some _ -> ignore (Table.delete table w.w_row)
@@ -293,6 +307,7 @@ let finish t txn =
 
 (* Undo one write (compensation-logged). *)
 let undo_write t txn_id (w : write) =
+  Obs.incr m_undone;
   let table = table_of t w.w_table in
   (match w.w_before, w.w_after with
   | None, Some _ -> ignore (Table.delete table w.w_row)
@@ -333,6 +348,7 @@ let abort_group t txn_ids =
       txn.write_count <- 0;
       log_record t (Abort id);
       emit t (Ev_abort id);
+      Obs.incr m_aborts;
       finish t txn)
     members
 
@@ -340,6 +356,7 @@ let commit t txn_id =
   let txn = find_txn t txn_id in
   log_record t (Commit txn_id);
   emit t (Ev_commit txn_id);
+  Obs.incr m_commits;
   finish t txn
 
 let abort t txn_id =
@@ -347,6 +364,7 @@ let abort t txn_id =
   rollback_to t txn_id 0;
   log_record t (Abort txn_id);
   emit t (Ev_abort txn_id);
+  Obs.incr m_aborts;
   finish t txn
 
 (* Sharp checkpoint: only legal at quiescence. *)
@@ -363,6 +381,7 @@ let checkpoint t =
         (name, schema_columns (Table.schema table), Table.to_list table))
       (Catalog.table_names t.catalog)
   in
+  Obs.incr m_checkpoints;
   log_record t (Checkpoint { tables })
 
 let log_entangle_group t ~event ~members =

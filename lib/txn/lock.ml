@@ -1,3 +1,13 @@
+module Obs = Ent_obs.Obs
+
+(* layer.component.metric, DESIGN.md §3 *)
+let m_requests = Obs.counter "txn.lock.requests"
+let m_granted = Obs.counter "txn.lock.granted"
+let m_waits = Obs.counter "txn.lock.waits"
+let m_releases = Obs.counter "txn.lock.releases"
+let m_wakeups = Obs.counter "txn.lock.wakeups"
+let m_entries = Obs.gauge "txn.lock.entries"
+
 type mode = IS | IX | S | X
 
 type resource =
@@ -77,6 +87,8 @@ let grantable t entry txn need =
   List.for_all (fun (_, m) -> compatible need m) (other_holders t entry txn)
 
 let request t ~txn resource mode =
+  Obs.incr m_requests;
+  Obs.set m_entries (float_of_int (Hashtbl.length t.entries));
   let entry = entry_for t resource in
   let held = List.assoc_opt txn entry.holders in
   let need =
@@ -85,7 +97,9 @@ let request t ~txn resource mode =
     | None -> mode
   in
   match held with
-  | Some h when covers h mode -> Granted
+  | Some h when covers h mode ->
+    Obs.incr m_granted;
+    Granted
   | _ ->
     if List.exists (fun (o, _) -> o = txn) entry.queue then begin
       (* already queued; strengthen the queued mode if needed *)
@@ -93,6 +107,7 @@ let request t ~txn resource mode =
         List.map
           (fun (o, m) -> if o = txn then (o, lub m need) else (o, m))
           entry.queue;
+      Obs.incr m_waits;
       Waiting
     end
     else begin
@@ -104,11 +119,13 @@ let request t ~txn resource mode =
         entry.holders <-
           (txn, need) :: List.filter (fun (o, _) -> o <> txn) entry.holders;
         note_owned t txn resource;
+        Obs.incr m_granted;
         Granted
       end
       else begin
         entry.queue <- entry.queue @ [ (txn, need) ];
         note_owned t txn resource;
+        Obs.incr m_waits;
         Waiting
       end
     end
@@ -132,6 +149,7 @@ let promote_waiters t entry =
   List.rev !granted
 
 let release_all t ~txn =
+  Obs.incr m_releases;
   let resources = Option.value ~default:[] (Hashtbl.find_opt t.owned txn) in
   Hashtbl.remove t.owned txn;
   Hashtbl.remove t.groups txn;
@@ -147,7 +165,10 @@ let release_all t ~txn =
         if entry.holders = [] && entry.queue = [] then
           Hashtbl.remove t.entries resource)
     resources;
-  List.sort_uniq Int.compare !woken
+  Obs.set m_entries (float_of_int (Hashtbl.length t.entries));
+  let woken = List.sort_uniq Int.compare !woken in
+  Obs.incr ~n:(List.length woken) m_wakeups;
+  woken
 
 let holders t resource =
   match Hashtbl.find_opt t.entries resource with

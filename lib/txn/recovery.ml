@@ -1,4 +1,10 @@
 open Ent_storage
+module Obs = Ent_obs.Obs
+
+let m_replays = Obs.counter "txn.recovery.replays"
+let m_records = Obs.counter "txn.recovery.records_replayed"
+let m_survivors = Obs.counter "txn.recovery.survivors"
+let m_group_victims = Obs.counter "txn.recovery.group_victims"
 
 type analysis = {
   committed : int list;
@@ -135,7 +141,11 @@ let analyze records =
 
 let replay records =
   let analysis = analyze records in
+  Obs.incr m_replays;
+  Obs.incr ~n:(List.length analysis.survivors) m_survivors;
+  Obs.incr ~n:(List.length analysis.group_victims) m_group_victims;
   let records = tail_from_checkpoint records in
+  Obs.incr ~n:(List.length records) m_records;
   let survivors = Int_set.of_list analysis.survivors in
   let catalog = Catalog.create () in
   List.iter

@@ -1,4 +1,11 @@
 open Ent_storage
+module Obs = Ent_obs.Obs
+
+let m_appends = Obs.counter "txn.wal.appends"
+let m_compactions = Obs.counter "txn.wal.compactions"
+let m_saves = Obs.counter "txn.wal.saves"
+let m_loads = Obs.counter "txn.wal.loads"
+let m_records = Obs.gauge "txn.wal.records"
 
 type lsn = int
 
@@ -30,6 +37,8 @@ let append t record =
   let lsn = t.len in
   t.log <- record :: t.log;
   t.len <- t.len + 1;
+  Obs.incr m_appends;
+  Obs.set m_records (float_of_int t.len);
   lsn
 
 let records t = List.rev t.log
@@ -51,13 +60,16 @@ let compact t =
   if !last_cp >= 0 then begin
     let kept = List.filteri (fun i _ -> i >= !last_cp) all in
     t.log <- List.rev kept;
-    t.len <- List.length kept
+    t.len <- List.length kept;
+    Obs.incr m_compactions;
+    Obs.set m_records (float_of_int t.len)
   end
 
 
 let magic = "ENTWAL1\n"
 
 let save t path =
+  Obs.incr m_saves;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -66,6 +78,7 @@ let save t path =
       Marshal.to_channel oc (records t) [])
 
 let load path =
+  Obs.incr m_loads;
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)

@@ -1,0 +1,318 @@
+(* Tests for the observability layer (lib/obs): histogram quantiles
+   against a sorted-array oracle, snapshot JSON round-trips, span
+   nesting, the bench-document schema validator, and an integration
+   check that one entangled workload leaves non-zero metrics in every
+   layer of the engine. *)
+
+open Ent_obs
+open Ent_storage
+open Ent_core
+
+(* --- histogram quantiles vs a sorted-array oracle --- *)
+
+let oracle_quantile sorted q =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) idx))
+
+let prop_hist_quantile =
+  QCheck2.Test.make ~name:"histogram quantiles within relative error"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (float_range 1e-3 1e6))
+    (fun values ->
+      let h = Hist.create () in
+      List.iter (Hist.observe h) values;
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let est = Hist.quantile h q in
+          let exact = oracle_quantile sorted q in
+          (* one bucket of slack on top of the advertised error *)
+          Float.abs (est -. exact) <= (3. *. Hist.default_alpha *. exact) +. 1e-9)
+        [ 0.0; 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
+let test_hist_edge_cases () =
+  let h = Hist.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0.0 (Hist.quantile h 0.5);
+  Hist.observe h 0.0;
+  Hist.observe h (-3.0);
+  Hist.observe h Float.nan;
+  Alcotest.(check int) "nan ignored" 2 (Hist.count h);
+  Alcotest.(check (float 0.)) "non-positive bucket" 0.0 (Hist.quantile h 0.99);
+  Hist.reset h;
+  Alcotest.(check int) "reset clears" 0 (Hist.count h)
+
+(* --- snapshot round-trip through the JSON encoder --- *)
+
+let member_exn name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing member %S" name)
+
+let test_snapshot_roundtrip () =
+  Obs.reset ();
+  let c = Obs.counter "test.roundtrip.counter" in
+  let g = Obs.gauge "test.roundtrip.gauge" in
+  let h = Obs.histogram "test.roundtrip.hist" in
+  Obs.incr ~n:41 c;
+  Obs.incr c;
+  Obs.set g 2.5;
+  List.iter (Obs.observe h) [ 1.0; 2.0; 3.0 ];
+  let parsed = Json.of_string (Obs.snapshot ()) in
+  let counters = member_exn "counters" parsed in
+  let gauges = member_exn "gauges" parsed in
+  let hists = member_exn "histograms" parsed in
+  Alcotest.(check (option int)) "counter survives" (Some 42)
+    (Option.bind (Json.member "test.roundtrip.counter" counters)
+       Json.to_int_opt);
+  Alcotest.(check (option (float 0.))) "gauge survives" (Some 2.5)
+    (Option.bind (Json.member "test.roundtrip.gauge" gauges) Json.to_float_opt);
+  let summary = member_exn "test.roundtrip.hist" hists in
+  Alcotest.(check (option int)) "hist count survives" (Some 3)
+    (Option.bind (Json.member "count" summary) Json.to_int_opt);
+  Alcotest.(check (option (float 0.))) "hist sum survives" (Some 6.0)
+    (Option.bind (Json.member "sum" summary) Json.to_float_opt)
+
+let test_registry_interning () =
+  Obs.reset ();
+  let c = Obs.counter "test.intern.c" in
+  Obs.incr c;
+  let c' = Obs.counter "test.intern.c" in
+  Obs.incr c';
+  Alcotest.(check int) "same handle" 2 (Obs.counter_value c);
+  Alcotest.check_raises "type clash rejected"
+    (Invalid_argument "Obs: test.intern.c registered with another type")
+    (fun () -> ignore (Obs.gauge "test.intern.c"))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"json print/parse round-trip on counters"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 0 10) (pair string small_nat))
+    (fun kvs ->
+      let obj =
+        Json.Obj (List.mapi (fun i (k, v) ->
+          (Printf.sprintf "%d.%s" i k, Json.Int v)) kvs)
+      in
+      Json.of_string (Json.to_string obj) = obj)
+
+(* --- span nesting --- *)
+
+let test_span_nesting () =
+  Obs.reset ();
+  Obs.set_tracing true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_tracing false)
+    (fun () ->
+      let r =
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner" (fun () -> 7))
+      in
+      Alcotest.(check int) "result threaded" 7 r;
+      (try Obs.with_span "raises" (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      let spans = Obs.spans () in
+      Alcotest.(check (list (pair string int)))
+        "names and depths, oldest first"
+        [ ("inner", 1); ("outer", 0); ("raises", 0) ]
+        (List.map (fun s -> (s.Obs.sp_name, s.Obs.sp_depth)) spans);
+      List.iter
+        (fun s ->
+          if s.Obs.sp_dur < 0.0 then Alcotest.fail "negative span duration")
+        spans)
+
+let test_spans_off_by_default () =
+  Obs.reset ();
+  Alcotest.(check bool) "tracing off" false (Obs.tracing ());
+  ignore (Obs.with_span "ignored" (fun () -> ()));
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.spans ()))
+
+(* --- bench document schema validation --- *)
+
+let minimal_doc =
+  (* one fig6a document with every required series and a single point *)
+  let snapshot =
+    Json.Obj
+      [ ("counters",
+         Json.Obj
+           [ ("core.scheduler.runs", Json.Int 1);
+             ("entangle.coordinate.answered", Json.Int 1);
+             ("storage.table.inserts", Json.Int 1);
+             ("txn.lock.requests", Json.Int 1) ]);
+        ("gauges", Json.Obj []);
+        ("histograms", Json.Obj []) ]
+  in
+  let series name =
+    Json.Obj
+      [ ("name", Json.Str name);
+        ("points",
+         Json.List
+           [ Json.Obj
+               [ ("x", Json.Int 10);
+                 ("time_s", Json.Float 0.5);
+                 ("metrics", snapshot) ] ]) ]
+  in
+  Json.Obj
+    [ ("schema_version", Json.Int Ent_obs.Schema.version);
+      ("figure", Json.Str "fig6a");
+      ("bench_txns", Json.Int 100);
+      ("x_label", Json.Str "connections");
+      ("unit", Json.Str "simulated_seconds");
+      ("series",
+       Json.List
+         (List.map series
+            [ "NoSocial-T"; "Social-T"; "Entangled-T"; "NoSocial-Q";
+              "Social-Q"; "Entangled-Q" ])) ]
+
+let test_schema_accepts_valid () =
+  match Ent_obs.Schema.validate minimal_doc with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+let test_schema_rejects_invalid () =
+  let broken =
+    match minimal_doc with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "figure" then (k, Json.Str "fig9") else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  (match Ent_obs.Schema.validate broken with
+  | Ok () -> Alcotest.fail "unknown figure accepted"
+  | Error _ -> ());
+  match Ent_obs.Schema.validate (Json.Obj []) with
+  | Ok () -> Alcotest.fail "empty document accepted"
+  | Error _ -> ()
+
+let test_reference_fixtures_valid () =
+  List.iter
+    (fun fig ->
+      let path = Printf.sprintf "fixtures/BENCH_%s.json" fig in
+      match Ent_obs.Schema.validate_file path with
+      | Ok () -> ()
+      | Error errs ->
+        Alcotest.fail (Printf.sprintf "%s: %s" path (String.concat "; " errs)))
+    [ "fig6a"; "fig6b"; "fig6c" ]
+
+(* --- integration: one entangled workload lights up every layer --- *)
+
+let date y m d = Value.date_of_ymd ~y ~m ~d
+
+let obs_manager () =
+  let config =
+    { Scheduler.default_config with trigger = Scheduler.Every_arrivals 4 }
+  in
+  let m = Manager.create ~config () in
+  Manager.define_table m "Flights"
+    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
+  Manager.define_table m "Reserve"
+    [ ("name", Schema.T_str); ("what", Schema.T_str); ("item", Schema.T_int) ];
+  List.iter
+    (fun (fno, d, dest) -> Manager.load_row m "Flights" [ Int fno; d; Str dest ])
+    [ (122, date 2011 5 3, "LA"); (123, date 2011 5 4, "LA") ];
+  m
+
+let flight_program me partner =
+  Printf.sprintf
+    "BEGIN TRANSACTION;\n\
+     SELECT '%s', fno AS @fno, fdate INTO ANSWER FlightRes\n\
+     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
+     AND ('%s', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
+     INSERT INTO Reserve VALUES ('%s', 'flight', @fno);\n\
+     COMMIT;"
+    me partner me
+
+let update_program dest =
+  Printf.sprintf
+    "BEGIN TRANSACTION;\n\
+     UPDATE Flights SET dest = '%s' WHERE fno = 123;\n\
+     COMMIT;"
+    dest
+
+let counter_value name =
+  Option.value ~default:0 (Obs.find_counter name)
+
+let test_entangled_workload_metrics () =
+  Obs.reset ();
+  let m = obs_manager () in
+  let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
+  let minnie = Manager.submit_string m (flight_program "Minnie" "Mickey") in
+  (* two classical writers fighting over the same row force lock waits *)
+  let u1 = Manager.submit_string m (update_program "Paris") in
+  let u2 = Manager.submit_string m (update_program "Tokyo") in
+  Manager.drain m;
+  List.iter
+    (fun (name, id) ->
+      match Manager.outcome m id with
+      | Some Scheduler.Committed -> ()
+      | o ->
+        Alcotest.fail
+          (Printf.sprintf "%s did not commit (%s)" name
+             (match o with
+             | Some Scheduler.Timed_out -> "timed out"
+             | Some Scheduler.Rolled_back -> "rolled back"
+             | Some (Scheduler.Errored e) -> "error: " ^ e
+             | _ -> "pending")))
+    [ ("mickey", mickey); ("minnie", minnie); ("u1", u1); ("u2", u2) ];
+  let nonzero name =
+    if counter_value name = 0 then
+      Alcotest.fail (Printf.sprintf "expected %s > 0" name)
+  in
+  (* the paper's headline metrics: lock waits and partner matches *)
+  nonzero "txn.lock.waits";
+  nonzero "entangle.coordinate.answered";
+  (* every layer contributed *)
+  nonzero "txn.lock.requests";
+  nonzero "txn.engine.commits";
+  nonzero "storage.table.inserts";
+  nonzero "storage.table.rows_read";
+  nonzero "entangle.ground.computes";
+  nonzero "core.scheduler.runs";
+  (match Obs.find_histogram "entangle.coordinate.match_latency_us" with
+  | Some h when Hist.count h > 0 -> ()
+  | _ -> Alcotest.fail "no partner-match latency samples");
+  (match Obs.find_histogram "core.entangle.blocked_s" with
+  | Some h when Hist.count h > 0 -> ()
+  | _ -> Alcotest.fail "no entangled-blocking samples");
+  (* the snapshot of this run passes the layer-coverage check the
+     bench schema applies to every document *)
+  let prefixes = [ "txn."; "storage."; "entangle."; "core." ] in
+  let names = Obs.metric_names () in
+  List.iter
+    (fun p ->
+      if
+        not
+          (List.exists
+             (fun n ->
+               String.length n > String.length p
+               && String.sub n 0 (String.length p) = p
+               && counter_value n > 0)
+             names)
+      then Alcotest.fail (Printf.sprintf "no live metric under %s" p))
+    prefixes
+
+let () =
+  Alcotest.run "obs"
+    [ ( "hist",
+        [ QCheck_alcotest.to_alcotest prop_hist_quantile;
+          Alcotest.test_case "edge cases" `Quick test_hist_edge_cases ] );
+      ( "snapshot",
+        [ Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "interning" `Quick test_registry_interning;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "off by default" `Quick test_spans_off_by_default
+        ] );
+      ( "schema",
+        [ Alcotest.test_case "accepts valid" `Quick test_schema_accepts_valid;
+          Alcotest.test_case "rejects invalid" `Quick
+            test_schema_rejects_invalid;
+          Alcotest.test_case "paper-scale reference fixtures" `Quick
+            test_reference_fixtures_valid ] );
+      ( "integration",
+        [ Alcotest.test_case "entangled workload lights up every layer"
+            `Quick test_entangled_workload_metrics ] ) ]
