@@ -55,13 +55,7 @@ let query t input =
   | _ -> invalid_arg "Manager.query: expected a SELECT"
 
 let recover_records ?config records =
-  let recovered, analysis = Ent_txn.Recovery.replay records in
-  let engine = Ent_txn.Engine.create ~wal:true (Catalog.create ()) in
-  Catalog.iter
-    (fun name table ->
-      ignore (Ent_txn.Engine.create_table engine name (Table.schema table));
-      Table.iter (fun _ row -> ignore (Ent_txn.Engine.load engine name row)) table)
-    recovered;
+  let engine, analysis = Ent_txn.Engine.recover records in
   let fresh = { engine; scheduler = Scheduler.create ?config engine } in
   List.iter
     (fun serialized ->
@@ -89,4 +83,4 @@ let crash_and_recover t =
   | Some wal ->
     recover_records
       ~config:(Scheduler.config t.scheduler)
-      (Ent_txn.Wal.records wal)
+      (Ent_txn.Wal.crash_records wal)

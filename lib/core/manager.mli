@@ -22,6 +22,10 @@ type t
     full isolation, 100 connections, run per arrival). *)
 val create : ?wal:bool -> ?config:Scheduler.config -> unit -> t
 
+(** Wrap an existing engine (e.g. one rebuilt by hand from a crash
+    image) in a fresh manager. *)
+val create_with_engine : ?config:Scheduler.config -> Ent_txn.Engine.t -> t
+
 val engine : t -> Ent_txn.Engine.t
 val scheduler : t -> Scheduler.t
 val catalog : t -> Catalog.t
@@ -60,9 +64,14 @@ val stats : t -> Scheduler.stats
     for tests and examples. *)
 val query : t -> string -> Value.t array list
 
+(** Build a fresh system from a list of log records (a crash image):
+    replays committed work, re-submits the persisted dormant pool. *)
+val recover_records : ?config:Scheduler.config -> Ent_txn.Wal.record list -> t
+
 (** Simulate a crash and recover a fresh system from the WAL: the
-    database is rebuilt from effectively-committed transactions and the
-    dormant pool is repopulated from its last snapshot.
+    database is rebuilt from effectively-committed transactions (a torn
+    final record does not survive) and the dormant pool is repopulated
+    from its last snapshot.
     @raise Invalid_argument when the manager was created without WAL. *)
 val crash_and_recover : t -> t
 

@@ -1,5 +1,15 @@
 open Ent_entangle
 module Obs = Ent_obs.Obs
+module Fault = Ent_fault.Injector
+
+(* Injection points: crashes between scheduler steps and between the
+   individual commits of a group commit (the widow-prevention hot
+   spot), lost dormant-pool snapshots, and forced client timeouts on
+   pooled transactions. *)
+let s_step = Fault.site "core.scheduler.step"
+let s_group_commit = Fault.site "core.scheduler.group_commit"
+let s_pool_snapshot = Fault.site "core.scheduler.pool_snapshot"
+let s_timeout = Fault.site "core.entangle.timeout"
 
 let m_runs = Obs.counter "core.scheduler.runs"
 let m_submitted = Obs.counter "core.scheduler.submitted"
@@ -199,13 +209,22 @@ let fail_or_repool t (task : Executor.task) =
       | Explicit_rollback -> Rolled_back
       | Program_error msg -> Errored msg
       | Deadlock -> assert false)
-  | _ -> (
-    match task.deadline with
-    | Some deadline when now t >= deadline ->
+  | _ ->
+    (* An injected timeout models the client giving up on a pooled
+       transaction, whatever its declared deadline. *)
+    let expired =
+      Fault.drops s_timeout
+      ||
+      match task.deadline with
+      | Some deadline -> now t >= deadline
+      | None -> false
+    in
+    if expired then begin
       t.stats.timeouts <- t.stats.timeouts + 1;
       Obs.incr m_timeouts;
       finalize t task Timed_out
-    | _ -> repool t task)
+    end
+    else repool t task
 
 let run_once t =
   if t.dormant <> [] then begin
@@ -238,6 +257,10 @@ let run_once t =
       Obs.observe m_group_size (float_of_int (List.length members));
       List.iter
         (fun (task : Executor.task) ->
+          (* crash between the member commits of one group: the log
+             keeps a half-committed Entangle_group that recovery must
+             roll back as group victims *)
+          Fault.hit s_group_commit;
           let wrote = Ent_txn.Engine.savepoint t_.engine task.txn > 0 in
           Ent_txn.Engine.commit t_.engine task.txn;
           (* explicit COMMIT is a round trip; the flush is paid only
@@ -260,6 +283,7 @@ let run_once t =
       List.iter
         (fun (task : Executor.task) ->
           if task.status = Runnable then begin
+            Fault.hit s_step;
             Executor.step t.engine isolation costs task;
             drain_work t task;
             if task.status = Waiting_entangled && task.entangled_since = None
@@ -502,7 +526,9 @@ let run_once t =
         end)
       leftovers;
     List.iter (fun task -> fail_or_repool t task) leftovers;
-    if t.config.snapshot_pool then
+    (* A dropped snapshot models the middleware failing to persist its
+       pool state: recovery then falls back to the previous snapshot. *)
+    if t.config.snapshot_pool && not (Fault.drops s_pool_snapshot) then
       Ent_txn.Engine.log_pool_snapshot t.engine
         (List.map
            (fun (task : Executor.task) -> Program.to_string task.program)

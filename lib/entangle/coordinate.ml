@@ -1,4 +1,13 @@
 module Obs = Ent_obs.Obs
+module Fault = Ent_fault.Injector
+
+(* Injection points: a whole coordination round can be abandoned by
+   the middleware, or individual participants can drop out mid-round
+   (a partner disconnecting between grounding and matching). Both
+   resolve to No_partner, sending the affected transactions back to
+   the dormant pool. *)
+let s_round_abort = Fault.site "entangle.coordinate.round_abort"
+let s_partner_drop = Fault.site "entangle.coordinate.partner_drop"
 
 let m_evaluations = Obs.counter "entangle.coordinate.evaluations"
 let m_nodes = Obs.counter "entangle.coordinate.nodes_expanded"
@@ -55,9 +64,20 @@ module Atom_tbl = Hashtbl
 let evaluate ?(budget = 200_000) queries =
   Obs.incr m_evaluations;
   let t_start = Unix.gettimeofday () in
-  let blocked = structurally_blocked (List.map (fun (q, ir, _) -> (q, ir)) queries) in
+  let dropped =
+    if Fault.drops s_round_abort then List.map (fun (qid, _, _) -> qid) queries
+    else
+      List.filter_map
+        (fun (qid, _, _) -> if Fault.drops s_partner_drop then Some qid else None)
+        queries
+  in
+  let live =
+    List.filter (fun (qid, _, _) -> not (List.mem qid dropped)) queries
+  in
+  let blocked = structurally_blocked (List.map (fun (q, ir, _) -> (q, ir)) live) in
+  let blocked = dropped @ blocked in
   let participants =
-    List.filter (fun (qid, _, _) -> not (List.mem qid blocked)) queries
+    List.filter (fun (qid, _, _) -> not (List.mem qid blocked)) live
   in
   (* Index every grounding by each of its head atoms. *)
   let head_index : (Ir.ground_atom, (int * Ground.grounding) list) Atom_tbl.t =

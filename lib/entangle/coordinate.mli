@@ -34,3 +34,11 @@ val evaluate :
 (** The structural participation check alone (exposed for tests):
     returns the qids that would be [No_partner]. *)
 val structurally_blocked : (int * Ir.t) list -> int list
+
+(** Fault-injection points, shared by both evaluation strategies.
+    [s_round_abort] abandons a whole coordination round ([No_partner]
+    for every query); [s_partner_drop] removes a single participant
+    mid-round. Inert unless a fault plan is installed. *)
+val s_round_abort : Ent_fault.Injector.site
+
+val s_partner_drop : Ent_fault.Injector.site

@@ -1,0 +1,86 @@
+(* Fault plans: a finite list of arms, each naming an injection site,
+   the hit count at which it fires (1-based, counted per simulation),
+   and the fault to inject there.
+
+   Plans print/parse as `site@hit=action[,site@hit=action...]` so every
+   harness failure is replayable from a one-line command. *)
+
+type action =
+  | Crash  (* the simulated process dies at the site *)
+  | Torn   (* like Crash, but the in-flight record is half-durable *)
+  | Fail   (* the component reports an error; the process survives *)
+  | Drop   (* the site's effect is silently lost (snapshot, partner) *)
+
+type arm = { site : string; hit : int; action : action }
+type t = arm list
+
+let action_to_string = function
+  | Crash -> "crash"
+  | Torn -> "torn"
+  | Fail -> "fail"
+  | Drop -> "drop"
+
+let action_of_string = function
+  | "crash" -> Some Crash
+  | "torn" -> Some Torn
+  | "fail" -> Some Fail
+  | "drop" -> Some Drop
+  | _ -> None
+
+let arm_to_string a = Printf.sprintf "%s@%d=%s" a.site a.hit (action_to_string a.action)
+
+let to_string = function
+  | [] -> "(none)"
+  | arms -> String.concat "," (List.map arm_to_string arms)
+
+let arm_of_string s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "arm %S: expected site@hit=action" s)
+  | Some at -> (
+    let site = String.sub s 0 at in
+    let rest = String.sub s (at + 1) (String.length s - at - 1) in
+    match String.index_opt rest '=' with
+    | None -> Error (Printf.sprintf "arm %S: expected site@hit=action" s)
+    | Some eq -> (
+      let hit = String.sub rest 0 eq in
+      let action = String.sub rest (eq + 1) (String.length rest - eq - 1) in
+      match int_of_string_opt hit, action_of_string action with
+      | None, _ -> Error (Printf.sprintf "arm %S: hit count %S is not an integer" s hit)
+      | Some h, _ when h < 1 ->
+        Error (Printf.sprintf "arm %S: hit count must be >= 1" s)
+      | _, None ->
+        Error
+          (Printf.sprintf "arm %S: unknown action %S (crash|torn|fail|drop)" s action)
+      | Some hit, Some action when site <> "" -> Ok { site; hit; action }
+      | _ -> Error (Printf.sprintf "arm %S: empty site name" s)))
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "(none)" then Ok []
+  else
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ -> acc
+        | Ok arms -> (
+          match arm_of_string (String.trim part) with
+          | Ok arm -> Ok (arms @ [ arm ])
+          | Error msg -> Error msg))
+      (Ok []) (String.split_on_char ',' s)
+
+(* Random plan over a site profile: (site, hits observed in a
+   fault-free run of the same workload). Only reached sites can fire,
+   and hit counts are drawn within the observed range, so most
+   generated arms actually trigger. *)
+let random rng ~profile ~max_arms =
+  let reached = List.filter (fun (_, n) -> n > 0) profile in
+  if reached = [] || max_arms < 1 then []
+  else
+    let n_arms = 1 + Rng.int rng max_arms in
+    List.init n_arms (fun _ ->
+        let site, hits = Rng.pick rng reached in
+        let hit = 1 + Rng.int rng hits in
+        let action =
+          Rng.weighted rng [ (6, Crash); (1, Torn); (2, Fail); (2, Drop) ]
+        in
+        { site; hit; action })

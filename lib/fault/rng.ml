@@ -1,0 +1,52 @@
+(* Splittable deterministic PRNG (SplitMix64, Steele et al. 2014).
+
+   Every consumer of randomness in the fault harness derives its own
+   stream with [split], so adding a draw in one component never
+   perturbs the values another component sees — the property that makes
+   `entsim --seed N` replays stable across harness changes. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+(* 62 uniform non-negative bits (an [int] on every platform). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. (1.0 /. 9007199254740992.0)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+(* Weighted pick over (weight, value) pairs; weights must be positive. *)
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: weights must sum positive";
+  let n = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, x) :: rest -> if n < acc + w then x else go (acc + w) rest
+  in
+  go 0 choices

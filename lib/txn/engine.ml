@@ -384,6 +384,32 @@ let checkpoint t =
   Obs.incr m_checkpoints;
   log_record t (Checkpoint { tables })
 
+(* Post-crash boot: the catalog is the replayed store, the WAL
+   continues from the crash image (durable records are not re-logged,
+   so a crash during recovery loses nothing), transaction ids resume
+   above the image's high-water mark, and a sharp checkpoint marks the
+   recovery barrier — pre-crash entanglement groups and their victims
+   stay behind it and cannot taint post-recovery analysis. *)
+let recover records =
+  let catalog, analysis = Recovery.replay records in
+  let t = create ~wal:true catalog in
+  (match t.wal with
+  | Some wal -> Wal.restore wal records
+  | None -> ());
+  let high_water =
+    List.fold_left
+      (fun acc (r : Wal.record) ->
+        match r with
+        | Begin txn | Commit txn | Abort txn -> max acc txn
+        | Write { txn; _ } -> max acc txn
+        | Entangle_group { members; _ } -> List.fold_left max acc members
+        | Create _ | Pool_snapshot _ | Checkpoint _ -> acc)
+      0 records
+  in
+  t.next_txn <- high_water + 1;
+  checkpoint t;
+  (t, analysis)
+
 let log_entangle_group t ~event ~members =
   log_record t (Entangle_group { event; members })
 

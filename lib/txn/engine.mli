@@ -111,6 +111,15 @@ val log_pool_snapshot : t -> string list -> unit
     @raise Invalid_argument while any transaction is active. *)
 val checkpoint : t -> unit
 
+(** [recover records] boots the post-crash engine from a crash image:
+    the catalog is the replayed store, the WAL continues from the image
+    (already-durable records are not re-logged, so a crash during
+    recovery loses nothing), transaction ids resume above the image's
+    high-water mark, and a sharp checkpoint is written as the recovery
+    barrier. Returns the engine and the recovery analysis (for pool
+    resubmission). *)
+val recover : Wal.record list -> t * Recovery.analysis
+
 (** Transactions granted their pending lock since the last call. *)
 val take_wakeups : t -> int list
 

@@ -1,11 +1,19 @@
 open Ent_storage
 module Obs = Ent_obs.Obs
+module Fault = Ent_fault.Injector
 
 let m_appends = Obs.counter "txn.wal.appends"
 let m_compactions = Obs.counter "txn.wal.compactions"
 let m_saves = Obs.counter "txn.wal.saves"
 let m_loads = Obs.counter "txn.wal.loads"
 let m_records = Obs.gauge "txn.wal.records"
+
+(* Injection points: a crash can land on either side of any append
+   boundary, the final record can be torn, and a log flush (save) can
+   fail partway through the file. *)
+let s_append = Fault.site "txn.wal.append"
+let s_append_post = Fault.site "txn.wal.append.post"
+let s_save = Fault.site "txn.wal.save"
 
 type lsn = int
 
@@ -28,12 +36,14 @@ type record =
         (string * (string * Schema.col_type) list * (int * Tuple.t) list) list;
     }
 
-type t = { mutable log : record list; mutable len : int }
-(* [log] is kept reversed for O(1) append. *)
+type t = { mutable log : record list; mutable len : int; mutable torn : bool }
+(* [log] is kept reversed for O(1) append. [torn] marks the final
+   record as half-durable: it is in the in-memory log but would not
+   survive a crash (see [crash_records]). *)
 
-let create () = { log = []; len = 0 }
+let create () = { log = []; len = 0; torn = false }
 
-let append t record =
+let push t record =
   let lsn = t.len in
   t.log <- record :: t.log;
   t.len <- t.len + 1;
@@ -41,8 +51,35 @@ let append t record =
   Obs.set m_records (float_of_int t.len);
   lsn
 
+let append t record =
+  (match Fault.fire s_append with
+  | None | Some Ent_fault.Plan.Drop -> ()
+  | Some (Ent_fault.Plan.Crash | Ent_fault.Plan.Fail) ->
+    (* crash before the append boundary: the record never reaches the log *)
+    Fault.crash s_append
+  | Some Ent_fault.Plan.Torn ->
+    (* the record reaches the log but its tail is not durable *)
+    ignore (push t record);
+    t.torn <- true;
+    Fault.crash s_append);
+  let lsn = push t record in
+  (* crash after the append boundary: the record is durable *)
+  Fault.hit s_append_post;
+  lsn
+
+(* Seed a log with already-durable records (recovery continues the
+   crashed log instead of re-logging the recovered state): these bytes
+   are on stable storage already, so no injection sites fire. *)
+let restore t records = List.iter (fun r -> ignore (push t r)) records
+
 let records t = List.rev t.log
 let length t = t.len
+
+(* The records a crash at this instant would leave durable. *)
+let crash_records t =
+  let all = records t in
+  if not t.torn then all
+  else List.filteri (fun i _ -> i < t.len - 1) all
 
 let prefix t n =
   let all = records t in
@@ -66,7 +103,11 @@ let compact t =
   end
 
 
-let magic = "ENTWAL1\n"
+(* On-disk format: magic, then one length-prefixed marshalled frame
+   per record. Framing makes torn writes a first-class case: a crash
+   mid-save leaves a partial final frame, and [load] silently discards
+   that tail instead of losing the whole file. *)
+let magic = "ENTWAL2\n"
 
 let save t path =
   Obs.incr m_saves;
@@ -75,7 +116,22 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc magic;
-      Marshal.to_channel oc (records t) [])
+      List.iter
+        (fun r ->
+          let payload = Marshal.to_string r [] in
+          match Fault.fire s_save with
+          | Some (Ent_fault.Plan.Fail | Ent_fault.Plan.Crash) ->
+            (* flush failure: the file ends at a record boundary *)
+            Fault.fail s_save
+          | Some Ent_fault.Plan.Torn ->
+            (* torn write: half of the final frame reaches the disk *)
+            output_binary_int oc (String.length payload);
+            output_string oc (String.sub payload 0 (String.length payload / 2));
+            Fault.fail s_save
+          | Some Ent_fault.Plan.Drop | None ->
+            output_binary_int oc (String.length payload);
+            output_string oc payload)
+        (records t))
 
 let load path =
   Obs.incr m_loads;
@@ -83,9 +139,22 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header = really_input_string ic (String.length magic) in
+      let header =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> failwith "Wal.load: not an entangled WAL file"
+      in
       if header <> magic then failwith "Wal.load: not an entangled WAL file";
-      let records : record list = Marshal.from_channel ic in
       let t = create () in
-      List.iter (fun r -> ignore (append t r)) records;
+      let rec read () =
+        match input_binary_int ic with
+        | exception End_of_file -> ()  (* clean end, or a torn length header *)
+        | len when len < 0 -> failwith "Wal.load: corrupt record length"
+        | len -> (
+          match really_input_string ic len with
+          | exception End_of_file -> ()  (* torn final frame: discard *)
+          | payload ->
+            ignore (push t (Marshal.from_string payload 0 : record));
+            read ())
+      in
+      read ();
       t)

@@ -48,8 +48,19 @@ val create : unit -> t
 (** Append a record; the record is durable immediately (force-at-append). *)
 val append : t -> record -> lsn
 
+(** [restore t records] seeds a fresh log with records that are already
+    durable (recovery continuing a crashed log). Unlike {!append}, no
+    fault-injection sites fire: nothing is being written. *)
+val restore : t -> record list -> unit
+
 (** All records in append order. *)
 val records : t -> record list
+
+(** The records a crash at this instant would leave durable: the full
+    log, minus the final record when a fault injection tore it
+    (see {!Ent_fault.Injector}). Equal to {!records} in normal
+    operation. *)
+val crash_records : t -> record list
 
 val length : t -> int
 

@@ -6,71 +6,14 @@
 open Ent_storage
 open Ent_core
 
-let date y m d = Value.date_of_ymd ~y ~m ~d
-
-(* travel system: Flights + Hotels + Reserve bookkeeping *)
-let travel_manager ?config () =
-  let m = Manager.create ?config () in
-  Manager.define_table m "Flights"
-    [ ("fno", Schema.T_int); ("fdate", Schema.T_date); ("dest", Schema.T_str) ];
-  Manager.define_table m "Hotels"
-    [ ("hid", Schema.T_int); ("location", Schema.T_str) ];
-  Manager.define_table m "Reserve"
-    [ ("name", Schema.T_str); ("what", Schema.T_str); ("item", Schema.T_int) ];
-  List.iter
-    (fun (fno, d, dest) -> Manager.load_row m "Flights" [ Int fno; d; Str dest ])
-    [ (122, date 2011 5 3, "LA");
-      (123, date 2011 5 4, "LA");
-      (124, date 2011 5 3, "LA");
-      (235, date 2011 5 5, "Paris") ];
-  List.iter
-    (fun (hid, loc) -> Manager.load_row m "Hotels" [ Int hid; Str loc ])
-    [ (7, "LA"); (8, "LA"); (9, "Paris") ];
-  m
-
-let flight_program ?(timeout = "") me partner =
-  Printf.sprintf
-    "BEGIN TRANSACTION%s;\n\
-     SELECT '%s', fno AS @fno, fdate INTO ANSWER FlightRes\n\
-     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
-     AND ('%s', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
-     INSERT INTO Reserve VALUES ('%s', 'flight', @fno);\n\
-     COMMIT;"
-    timeout me partner me
-
-(* Figure 2: coordinate on flight, then on hotel for the arrival day. *)
-let travel_program me partner =
-  Printf.sprintf
-    "BEGIN TRANSACTION;\n\
-     SELECT '%s', fno AS @fno, fdate AS @ArrivalDay INTO ANSWER FlightRes\n\
-     WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
-     AND ('%s', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
-     INSERT INTO Reserve VALUES ('%s', 'flight', @fno);\n\
-     SET @StayLength = '2011-05-06' - @ArrivalDay;\n\
-     SELECT '%s', hid AS @hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes\n\
-     WHERE (hid) IN (SELECT hid FROM Hotels WHERE location='LA')\n\
-     AND ('%s', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes CHOOSE 1;\n\
-     INSERT INTO Reserve VALUES ('%s', 'hotel', @hid);\n\
-     COMMIT;"
-    me partner me me partner me
-
-let reserve_rows m =
-  List.map
-    (fun row ->
-      match row with
-      | [| Value.Str name; Value.Str what; item |] -> (name, what, Value.to_string item)
-      | _ -> Alcotest.fail "unexpected Reserve row shape")
-    (Manager.query m "SELECT name, what, item FROM Reserve")
-
-let outcome_name = function
-  | Some Scheduler.Committed -> "committed"
-  | Some Scheduler.Timed_out -> "timed-out"
-  | Some Scheduler.Rolled_back -> "rolled-back"
-  | Some (Scheduler.Errored msg) -> "errored:" ^ msg
-  | None -> "pending"
-
-let check_outcome m name expected id =
-  Alcotest.(check string) name expected (outcome_name (Manager.outcome m id))
+(* the travel fixture and its helpers are shared across suites *)
+let date = Gen.date
+let travel_manager = Gen.travel_manager
+let flight_program = Gen.flight_program
+let travel_program = Gen.travel_program
+let reserve_rows = Gen.reserve_rows
+let outcome_name = Gen.outcome_name
+let check_outcome = Gen.check_outcome
 
 (* --- classical transactions through the manager --- *)
 
@@ -203,13 +146,7 @@ let test_empty_success_proceeds () =
 
 (* --- widowed-transaction prevention (Figure 3a) --- *)
 
-let minnie_aborts_program =
-  "BEGIN TRANSACTION;\n\
-   SELECT 'Minnie', fno AS @fno, fdate INTO ANSWER FlightRes\n\
-   WHERE (fno, fdate) IN (SELECT fno, fdate FROM Flights WHERE dest='LA')\n\
-   AND ('Mickey', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\n\
-   ROLLBACK;\n\
-   COMMIT;"
+let minnie_aborts_program = Gen.minnie_aborts_program
 
 let test_group_commit_prevents_widow () =
   let m = travel_manager () in
@@ -306,24 +243,7 @@ let test_recovery_restores_pool_and_data () =
 (* --- integrity constraints (consistency, Assumption 3.1/3.5) --- *)
 
 (* seats bookkeeping: Stock(item, left) must never go negative *)
-let stock_manager ?config () =
-  let m = Manager.create ?config () in
-  Manager.define_table m "Stock"
-    [ ("item", Schema.T_str); ("left", Schema.T_int) ];
-  Manager.load_row m "Stock" [ Str "seat"; Int 1 ];
-  Manager.add_constraint m "no-negative-stock" (fun catalog ->
-      match Catalog.find catalog "Stock" with
-      | None -> true
-      | Some table ->
-        Table.fold
-          (fun _ row ok ->
-            ok
-            &&
-            match Tuple.get row 1 with
-            | Value.Int n -> n >= 0
-            | _ -> true)
-          table true);
-  m
+let stock_manager = Gen.stock_manager
 
 let take_seat_program =
   "BEGIN TRANSACTION;\n\
@@ -600,7 +520,7 @@ let () =
       ( "program",
         [ Alcotest.test_case "serialization" `Quick test_program_serialization ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen.to_alcotest
           [ prop_pairs_always_coordinate;
             prop_scheduler_conserves_tasks;
             prop_paired_outcomes_deterministic ] ) ]

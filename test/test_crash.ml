@@ -4,65 +4,16 @@
    survives entirely or not at all), and recovering the complete log
    must reproduce the live database exactly. *)
 
-open Ent_storage
+(* [Gen] here is the shared test module, aliased before [open
+   Ent_workload] shadows the name with the workload generators. *)
+module Tgen = Gen
 open Ent_core
 open Ent_workload
 
-let run_workload ~pairs ~with_rollbacks =
-  let config =
-    {
-      Scheduler.default_config with
-      trigger = Scheduler.Every_arrivals 4;
-      snapshot_pool = true;
-    }
-  in
-  let world = Travel.build ~users:60 ~cities:6 ~config ~wal:true () in
-  let programs =
-    Gen.batch world ~transactional:true Gen.Entangled ~n:(2 * pairs) ~tag_base:0
-  in
-  let programs =
-    if with_rollbacks then
-      List.mapi
-        (fun i (p : Program.t) ->
-          if i mod 5 = 1 then
-            let ast : Ent_sql.Ast.program =
-              {
-                p.ast with
-                body =
-                  List.filteri (fun j _ -> j < 2) p.ast.body
-                  @ [ (Ent_sql.Ast.Rollback, Ent_sql.Ast.no_pos) ];
-              }
-            in
-            Program.make ~label:(p.label ^ "-abort") ast
-          else p)
-        programs
-    else programs
-  in
-  List.iter (fun p -> ignore (Manager.submit world.manager p)) programs;
-  Manager.drain world.manager;
-  world
-
-let dump_table catalog name =
-  match Catalog.find catalog name with
-  | None -> []
-  | Some table ->
-    List.map
-      (fun (id, row) -> (id, List.map Value.to_string (Tuple.to_list row)))
-      (Table.to_list table)
-
-(* Group atomicity: within every entanglement group, the committed
-   members either all survive or all are rolled back. *)
-let group_atomic (analysis : Ent_txn.Recovery.analysis) =
-  List.for_all
-    (fun group ->
-      let committed_members =
-        List.filter (fun m -> List.mem m analysis.committed) group
-      in
-      let surviving =
-        List.filter (fun m -> List.mem m analysis.survivors) committed_members
-      in
-      surviving = [] || List.length surviving = List.length committed_members)
-    analysis.groups
+(* the crash-workload builders are shared with test_fault and entsim *)
+let run_workload = Tgen.run_workload
+let dump_table = Tgen.dump_table
+let group_atomic = Tgen.group_atomic
 
 let test_every_prefix_recovers () =
   let world = run_workload ~pairs:6 ~with_rollbacks:true in
@@ -188,4 +139,4 @@ let () =
           Alcotest.test_case "wal file roundtrip" `Quick test_wal_file_roundtrip;
           Alcotest.test_case "checkpoint file boot" `Quick test_checkpoint_file_boot ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_prefix_recovery_group_atomic ] ) ]
+        [ Tgen.to_alcotest prop_prefix_recovery_group_atomic ] ) ]

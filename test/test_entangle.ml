@@ -6,60 +6,16 @@ open Ent_storage
 open Ent_sql
 open Ent_entangle
 
-let date y m d = Value.date_of_ymd ~y ~m ~d
-let may3 = date 2011 5 3
-let may4 = date 2011 5 4
+let may3 = Gen.may3
 
-(* The Figure 1 database. *)
-let figure1_catalog () =
-  let cat = Catalog.create () in
-  let flights =
-    Catalog.create_table cat "Flights"
-      (Schema.make
-         [ { name = "fno"; ty = T_int };
-           { name = "fdate"; ty = T_date };
-           { name = "dest"; ty = T_str } ])
-  in
-  let airlines =
-    Catalog.create_table cat "Airlines"
-      (Schema.make
-         [ { name = "fno"; ty = T_int }; { name = "airline"; ty = T_str } ])
-  in
-  List.iter
-    (fun row -> ignore (Table.insert flights row))
-    [ [| Value.Int 122; may3; Value.Str "LA" |];
-      [| Value.Int 123; may4; Value.Str "LA" |];
-      [| Value.Int 124; may3; Value.Str "LA" |];
-      [| Value.Int 235; date 2011 5 5; Value.Str "Paris" |] ];
-  List.iter
-    (fun row -> ignore (Table.insert airlines row))
-    [ [| Value.Int 122; Value.Str "United" |];
-      [| Value.Int 123; Value.Str "United" |];
-      [| Value.Int 124; Value.Str "USAir" |];
-      [| Value.Int 235; Value.Str "Delta" |] ];
-  cat
-
-let parse_entangled input =
-  match Parser.parse_stmt input with
-  | Ast.Entangled e -> e
-  | _ -> Alcotest.fail "expected an entangled statement"
-
-let translate ?(env = Eval.fresh_env ()) input =
-  Translate.of_ast ~env (parse_entangled input)
-
-let mickey_src =
-  "SELECT 'Mickey', fno, fdate INTO ANSWER R WHERE (fno, fdate) IN (SELECT \
-   fno, fdate FROM Flights WHERE dest='LA') AND ('Minnie', fno, fdate) IN \
-   ANSWER R CHOOSE 1"
-
-let minnie_src =
-  "SELECT 'Minnie', fno, fdate INTO ANSWER R WHERE (fno, fdate) IN (SELECT \
-   F.fno, F.fdate FROM Flights F, Airlines A WHERE F.dest='LA' AND F.fno = \
-   A.fno AND A.airline='United') AND ('Mickey', fno, fdate) IN ANSWER R \
-   CHOOSE 1"
-
-let ground cat query =
-  Ground.compute ~access:(Eval.direct_access cat) ~env:(Eval.fresh_env ()) query
+(* The Figure 1 database and the mickey/minnie fixtures are shared
+   across suites (test/gen.ml). *)
+let figure1_catalog = Gen.figure1_catalog
+let parse_entangled = Gen.parse_entangled
+let translate = Gen.translate
+let mickey_src = Gen.mickey_src
+let minnie_src = Gen.minnie_src
+let ground = Gen.ground
 
 (* --- translation --- *)
 
@@ -285,22 +241,8 @@ let test_structural_blocking_cascades () =
 
 (* --- complex structures (used by Figure 6c) --- *)
 
-let flights_only_catalog n =
-  let cat = Catalog.create () in
-  let flights =
-    Catalog.create_table cat "Flights"
-      (Schema.make [ { name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ])
-  in
-  for i = 1 to n do
-    ignore (Table.insert flights [| Value.Int i; Value.Str "LA" |])
-  done;
-  cat
-
-let pair_query me partner =
-  Printf.sprintf
-    "SELECT '%s', fno INTO ANSWER R WHERE (fno) IN (SELECT fno FROM Flights \
-     WHERE dest='LA') AND ('%s', fno) IN ANSWER R CHOOSE 1"
-    me partner
+let flights_only_catalog = Gen.flights_only_catalog
+let pair_query = Gen.pair_query
 
 let test_coordinate_cycle () =
   (* a -> b -> c -> a: cyclic entanglement must resolve to a common
@@ -635,5 +577,5 @@ let () =
           Alcotest.test_case "spoke-hub multi-head" `Quick test_combined_spoke_hub_multihead;
           Alcotest.test_case "matching bound" `Quick test_combined_matching_bound ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen.to_alcotest
           [ prop_coordination_sound; prop_combined_agrees_with_search ] ) ]

@@ -297,12 +297,12 @@ let test_entangled_workload_metrics () =
 let () =
   Alcotest.run "obs"
     [ ( "hist",
-        [ QCheck_alcotest.to_alcotest prop_hist_quantile;
+        [ Gen.to_alcotest prop_hist_quantile;
           Alcotest.test_case "edge cases" `Quick test_hist_edge_cases ] );
       ( "snapshot",
         [ Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "interning" `Quick test_registry_interning;
-          QCheck_alcotest.to_alcotest prop_json_roundtrip ] );
+          Gen.to_alcotest prop_json_roundtrip ] );
       ( "spans",
         [ Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "off by default" `Quick test_spans_off_by_default

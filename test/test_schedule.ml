@@ -428,7 +428,7 @@ let () =
         [ Alcotest.test_case "real history valid" `Quick test_recorded_history_valid;
           Alcotest.test_case "real history isolated" `Quick test_recorded_history_isolated ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen.to_alcotest
           [ prop_generated_schedules_valid;
             prop_theorem_3_6;
             prop_serial_always_isolated ] ) ]

@@ -85,4 +85,4 @@ let () =
           Alcotest.test_case "zero connections" `Quick test_pool_rejects_zero_connections ] );
       ( "group",
         [ Alcotest.test_case "union-find" `Quick test_group_union;
-          QCheck_alcotest.to_alcotest prop_group_members_symmetric ] ) ]
+          Gen.to_alcotest prop_group_members_symmetric ] ) ]

@@ -697,5 +697,5 @@ let () =
           Alcotest.test_case "explain" `Quick test_explain_shapes;
           Alcotest.test_case "round-trips" `Quick test_extended_roundtrips ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
-          QCheck_alcotest.to_alcotest prop_parser_total ] ) ]
+        [ Gen.to_alcotest prop_print_parse_roundtrip;
+          Gen.to_alcotest prop_parser_total ] ) ]

@@ -343,7 +343,7 @@ let prop_index_matches_scan =
         [ 0; 1; 2; 3; 4; 5 ])
 
 let properties =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Gen.to_alcotest
     [ prop_value_compare_total;
       prop_value_hash_consistent;
       prop_date_roundtrip;

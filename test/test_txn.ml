@@ -592,7 +592,7 @@ let prop_recovery_idempotent =
       dump cat1 = dump catalog)
 
 let properties =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Gen.to_alcotest
     [ prop_lock_no_incompatible_holders; prop_recovery_idempotent ]
 
 let () =

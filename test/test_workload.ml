@@ -2,6 +2,8 @@
    travel world, the six Appendix D workloads, and the Figure 6(c)
    coordination structures. *)
 
+(* alias the shared test module before [open Ent_workload] shadows [Gen] *)
+module Tgen = Gen
 open Ent_core
 open Ent_workload
 
@@ -268,5 +270,5 @@ let () =
           Alcotest.test_case "spoke-hub" `Quick test_spoke_hub_commits;
           Alcotest.test_case "cycle" `Quick test_cycle_commits ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Tgen.to_alcotest
           [ prop_entangled_batches_always_commit; prop_graph_reciprocal ] ) ]
