@@ -12,17 +12,23 @@
      dune exec bench/main.exe -- fig6a fig6c   # some experiments
      BENCH_TXNS=10000 dune exec bench/main.exe # paper-scale run
 
-   With --metrics [FILE.json], the Figure 6 experiments additionally
-   write machine-readable BENCH_fig6{a,b,c}.json documents (series plus
-   a per-cell Obs snapshot; schema in EXPERIMENTS.md / Ent_obs.Schema)
-   and a final Obs snapshot goes to FILE.json (default metrics.json).
-   "validate FILE..." checks BENCH_*.json documents against the schema
-   and exits nonzero on the first violation — CI's bench-smoke gate. *)
+   With --metrics [FILE.json] (or --metrics-out FILE.json), the Figure
+   6 experiments additionally write machine-readable BENCH_fig6{a,b,c}
+   .json documents (series plus a per-cell Obs snapshot and latency
+   attribution; schema in EXPERIMENTS.md / Ent_obs.Schema) and a final
+   Obs snapshot goes to FILE.json (default metrics.json, which is
+   gitignored). With --trace-out FILE.json, a dedicated Entangled-T
+   cell runs with event logging on and its Perfetto trace is written
+   to FILE.json. "validate FILE..." checks BENCH_*.json and trace
+   documents against the schema and exits nonzero on the first
+   violation — CI's bench-smoke gate. *)
 
 open Ent_core
 open Ent_workload
 module Obs = Ent_obs.Obs
 module Json = Ent_obs.Json
+module Event = Ent_obs.Event
+module Attrib = Ent_obs.Attrib
 
 let txns_total =
   match Sys.getenv_opt "BENCH_TXNS" with
@@ -34,16 +40,23 @@ let txns_total =
 let metrics_enabled = ref false
 let metrics_path = ref "metrics.json"
 
-(* Run one benchmark cell against a clean registry so the attached
-   snapshot measures this cell only. *)
+(* Run one benchmark cell against a clean registry (Obs.reset also
+   clears the event log) so the attached snapshot and latency
+   attribution measure this cell only. *)
 let cell_metrics f =
   Obs.reset ();
   let v = f () in
-  (v, Obs.snapshot_json ())
+  let attrib =
+    if Event.logging () then Attrib.to_json (Event.events ()) else Json.Null
+  in
+  (v, Obs.snapshot_json (), attrib)
 
-let point ~x (time, snap) =
+let point ~x (time, snap, attrib) =
   Json.Obj
-    [ ("x", Json.Int x); ("time_s", Json.Float time); ("metrics", snap) ]
+    ([ ("x", Json.Int x); ("time_s", Json.Float time); ("metrics", snap) ]
+    @ match attrib with
+      | Json.Null -> []
+      | a -> [ ("latency_attribution", a) ])
 
 let bench_doc ~figure ~x_label series =
   Json.Obj
@@ -138,7 +151,7 @@ let fig6a () =
           in
           let points = List.assoc name series in
           points := point ~x:connections cell :: !points;
-          Printf.printf " %12.2f%!" (fst cell))
+          Printf.printf " %12.2f%!" (let t, _, _ = cell in t))
         fig6a_workloads;
       Printf.printf "\n%!")
     [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
@@ -194,7 +207,7 @@ let fig6b () =
           let cell = cell_metrics (fun () -> run_pending ~p ~frequency ~n) in
           let points = List.assoc (Printf.sprintf "f=%d" frequency) series in
           points := point ~x:p cell :: !points;
-          Printf.printf " %12.2f%!" (fst cell))
+          Printf.printf " %12.2f%!" (let t, _, _ = cell in t))
         frequencies;
       Printf.printf "\n%!")
     [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
@@ -264,7 +277,7 @@ let fig6c () =
           in
           let points = List.assoc name series in
           points := point ~x:set_size cell :: !points;
-          Printf.printf " %16.2f%!" (fst cell))
+          Printf.printf " %16.2f%!" (let t, _, _ = cell in t))
         cells;
       Printf.printf "\n%!")
     [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
@@ -579,6 +592,7 @@ let () =
     validate files
   | _ :: args ->
     let selected = ref [] in
+    let trace_out = ref None in
     let rec parse = function
       | [] -> ()
       | "--metrics" :: rest ->
@@ -588,6 +602,13 @@ let () =
           metrics_path := path;
           parse rest'
         | _ -> parse rest)
+      | "--metrics-out" :: path :: rest ->
+        metrics_enabled := true;
+        metrics_path := path;
+        parse rest
+      | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse rest
       | name :: rest ->
         selected := name :: !selected;
         parse rest
@@ -596,8 +617,29 @@ let () =
     let run name f =
       if !selected = [] || List.mem name !selected then f ()
     in
+    if !metrics_enabled then begin
+      (* Size the ring so a whole cell's events fit: attribution only
+         covers tasks whose full timeline survived (≈160 events per
+         transaction with WAL logging on). *)
+      Event.set_capacity (min 2_097_152 (max 262_144 (txns_total * 160)));
+      Event.set_logging true
+    end;
     Printf.printf "entangled-transactions benchmark harness (BENCH_TXNS=%d)\n"
       txns_total;
+    Option.iter
+      (fun path ->
+        heading "Perfetto trace capture (Entangled-T, 100 connections)";
+        let was_logging = Event.logging () in
+        Event.set_logging true;
+        Event.reset ();
+        ignore
+          (run_workload ~connections:100 ~frequency:100 ~transactional:true
+             Gen.Entangled ~n:(min txns_total 200));
+        Ent_obs.Trace.write path (Event.events ());
+        Printf.printf "wrote %s (Perfetto / chrome://tracing)\n%!" path;
+        Event.reset ();
+        Event.set_logging was_logging)
+      !trace_out;
     run "fig6a" fig6a;
     run "fig6b" fig6b;
     run "fig6c" fig6c;

@@ -17,14 +17,26 @@
 open Cmdliner
 module Harness = Ent_entsim.Harness
 module Plan = Ent_fault.Plan
+module Event = Ent_obs.Event
+module Trace = Ent_obs.Trace
+
+(* Each violation carries the last events involving the implicated
+   txns/tasks; print them as an indented causal timeline. *)
+let print_violation tag (v : Harness.violation) =
+  Printf.printf "  %s[%s] %s\n" tag v.invariant v.detail;
+  List.iter (fun line -> Printf.printf "    | %s\n" line) v.timeline
+
+let print_wait_graph = function
+  | None -> ()
+  | Some graph ->
+    String.split_on_char '\n' graph
+    |> List.iter (fun line -> if line <> "" then Printf.printf "  %s\n" line)
 
 let print_outcome cfg (o : Harness.outcome) =
   Printf.printf "seed %d: plan %s — %d crash(es), %d flush failure(s), %d commit(s)\n"
     cfg.Harness.seed (Plan.to_string o.plan) o.crashes o.flush_failures o.commits;
-  List.iter
-    (fun (v : Harness.violation) ->
-      Printf.printf "  VIOLATION [%s] %s\n" v.invariant v.detail)
-    o.violations
+  List.iter (print_violation "VIOLATION ") o.violations;
+  if o.violations <> [] then print_wait_graph o.wait_graph
 
 let report_failure ~out cfg (o : Harness.outcome) =
   let shrunk = Harness.shrink cfg o.plan in
@@ -33,22 +45,42 @@ let report_failure ~out cfg (o : Harness.outcome) =
     cfg.Harness.seed
     (List.length o.violations)
     (Plan.to_string shrunk);
-  List.iter
-    (fun (v : Harness.violation) ->
-      Printf.printf "  [%s] %s\n" v.invariant v.detail)
-    o.violations;
+  List.iter (print_violation "") o.violations;
+  print_wait_graph o.wait_graph;
   Printf.printf "  repro: %s\n%!" repro;
   match out with
-  | None -> ()
+  | None -> shrunk
   | Some oc ->
     List.iter
       (fun (v : Harness.violation) ->
-        Printf.fprintf oc "# [%s] %s\n" v.invariant v.detail)
+        (match String.split_on_char '\n' v.detail with
+        | [] -> Printf.fprintf oc "# [%s]\n" v.invariant
+        | first :: rest ->
+          Printf.fprintf oc "# [%s] %s\n" v.invariant first;
+          List.iter (fun line -> Printf.fprintf oc "#   %s\n" line) rest);
+        List.iter (fun line -> Printf.fprintf oc "#   | %s\n" line) v.timeline)
       o.violations;
-    Printf.fprintf oc "%s\n%!" repro
+    Option.iter
+      (fun graph ->
+        String.split_on_char '\n' graph
+        |> List.iter (fun line ->
+               if line <> "" then Printf.fprintf oc "# %s\n" line))
+      o.wait_graph;
+    Printf.fprintf oc "%s\n%!" repro;
+    shrunk
 
 let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
-    max_arms break_group_commit combined out_path verbose =
+    max_arms break_group_commit combined out_path trace_out verbose =
+  (* The harness leaves the last executed schedule's events in the ring;
+     [--trace-out] exports them as a Perfetto/chrome://tracing trace. *)
+  let write_trace () =
+    Option.iter
+      (fun path ->
+        Trace.write path (Event.events ());
+        Printf.printf "entsim: wrote trace of the last executed schedule to %s\n"
+          path)
+      trace_out
+  in
   let cfg =
     {
       Harness.seed;
@@ -72,11 +104,13 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
     | Ok plan ->
       let o = Harness.run cfg plan in
       print_outcome cfg o;
+      write_trace ();
       if o.violations = [] then 0 else 1)
   | None ->
     let out = Option.map open_out out_path in
     let failures = ref 0 in
     let crashes = ref 0 in
+    let traced = ref false in
     for i = 0 to seeds - 1 do
       let cfg = { cfg with Harness.seed = seed + i } in
       let o = Harness.check_seed cfg in
@@ -84,12 +118,20 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       if verbose then print_outcome cfg o;
       if o.violations <> [] then begin
         incr failures;
-        report_failure ~out cfg o
+        let shrunk = report_failure ~out cfg o in
+        (* Trace the first failure: re-run its shrunken plan so the ring
+           holds exactly the failing schedule, then export. *)
+        if trace_out <> None && not !traced then begin
+          ignore (Harness.run cfg shrunk);
+          write_trace ();
+          traced := true
+        end
       end;
       if (i + 1) mod 200 = 0 then
         Printf.eprintf "entsim: %d/%d schedules, %d failure(s)\n%!" (i + 1)
           seeds !failures
     done;
+    if not !traced then write_trace ();
     Option.iter close_out out;
     Printf.printf
       "entsim: %d seeded fault schedule(s), %d crash(es) injected, %d \
@@ -173,6 +215,15 @@ let out =
     & info [ "out" ] ~docv:"FILE"
         ~doc:"Append failing repro commands (with their violations) to FILE.")
 
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Perfetto / chrome://tracing trace of the last executed \
+           schedule to FILE (with seeded schedules: the first failure's \
+           shrunken plan, or the last seed when everything passed).")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule's outcome.")
 
@@ -183,6 +234,6 @@ let cmd =
     Term.(
       const main $ seeds $ seed $ plan $ pairs $ rollback_pairs $ plain $ lonely
       $ users $ cities $ max_arms $ break_group_commit $ combined $ out
-      $ verbose)
+      $ trace_out $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,7 +24,7 @@ let write_metrics = function
     Printf.eprintf "wrote metrics snapshot to %s\n%!" path
 
 let run_script path connections frequency isolation_name show_tables verbose
-    metrics trace =
+    metrics trace trace_out wait_graph wait_graph_dot =
   match isolation_of_string isolation_name with
   | Error (`Msg msg) ->
     prerr_endline msg;
@@ -49,6 +49,10 @@ let run_script path connections frequency isolation_name show_tables verbose
       2
     | items ->
       if trace then Ent_obs.Obs.set_tracing true;
+      if trace_out <> None then begin
+        Ent_obs.Event.set_logging true;
+        Ent_obs.Event.reset ()
+      end;
       let config =
         {
           Scheduler.default_config with
@@ -115,6 +119,23 @@ let run_script path connections frequency isolation_name show_tables verbose
                         (Ent_storage.Tuple.to_list row))))
               t)
         show_tables;
+      (* The wait graph at quiescence names the stuck tasks: dormant
+         entangled programs still awaiting partners, or lock waiters. *)
+      if wait_graph || wait_graph_dot <> None then begin
+        let g = Scheduler.wait_graph (Manager.scheduler m) in
+        if wait_graph then print_string (Waitgraph.render_text g);
+        Option.iter
+          (fun dot_path ->
+            Out_channel.with_open_text dot_path (fun oc ->
+                output_string oc (Waitgraph.render_dot g));
+            Printf.eprintf "wrote wait graph (DOT) to %s\n%!" dot_path)
+          wait_graph_dot
+      end;
+      Option.iter
+        (fun out ->
+          Ent_obs.Trace.write out (Ent_obs.Event.events ());
+          Printf.eprintf "wrote Perfetto trace to %s\n%!" out)
+        trace_out;
       write_metrics metrics;
       0)
 
@@ -251,19 +272,34 @@ let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print answer tuples.")
 
 let metrics =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Write an Obs metrics snapshot (JSON) to $(docv) on exit.")
+  Arg.(value & opt (some string) None
+         & info [ "metrics-out"; "metrics" ] ~docv:"FILE"
+             ~doc:"Write an Obs metrics snapshot (JSON) to $(docv) on exit.")
 
 let trace =
   Arg.(value & flag & info [ "trace" ]
          ~doc:"Enable span tracing; spans are included in the --metrics \
                snapshot.")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Log causal transaction events and write a Perfetto / \
+               chrome://tracing trace of the whole script to $(docv).")
+
+let wait_graph =
+  Arg.(value & flag & info [ "wait-graph" ]
+         ~doc:"Print the wait/entanglement graph after the pool drains \
+               (who is blocked on whom, and why).")
+
+let wait_graph_dot =
+  Arg.(value & opt (some string) None & info [ "wait-graph-dot" ] ~docv:"FILE"
+         ~doc:"Write the wait/entanglement graph as graphviz DOT to $(docv).")
+
 let run_cmd =
   let doc = "execute a script of classical and entangled transactions" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_script $ path $ connections $ frequency $ isolation $ show
-          $ verbose $ metrics $ trace)
+          $ verbose $ metrics $ trace $ trace_out $ wait_graph $ wait_graph_dot)
 
 let repl_cmd =
   let doc =

@@ -1,5 +1,6 @@
 open Ent_storage
 open Ent_entangle
+module Event = Ent_obs.Event
 
 type failure =
   | Deadlock
@@ -50,6 +51,13 @@ let make_task ~task_id ~arrival (program : Program.t) =
 
 let start engine (costs : Ent_sim.Cost.t) task =
   task.txn <- Ent_txn.Engine.begin_txn engine;
+  (* The engine allocates the txn id, so the txn→task registration (and
+     hence the Begin event, which needs both ids) must happen here, the
+     first place both are known. *)
+  if Event.logging () then begin
+    Event.register_txn ~txn:task.txn ~task:task.task_id;
+    Event.emit ~txn:task.txn ~task:task.task_id Event.Begin
+  end;
   task.status <- Runnable;
   task.attempts <- task.attempts + 1;
   task.work <- task.work +. costs.c_begin;
@@ -94,12 +102,19 @@ let autocommit_boundary engine (costs : Ent_sim.Cost.t) task =
     let wrote = Ent_txn.Engine.savepoint engine task.txn > 0 in
     Ent_txn.Engine.commit engine task.txn;
     if wrote then task.work <- task.work +. costs.c_commit;
-    task.txn <- Ent_txn.Engine.begin_txn engine
+    task.txn <- Ent_txn.Engine.begin_txn engine;
+    if Event.logging () then begin
+      Event.register_txn ~txn:task.txn ~task:task.task_id;
+      Event.emit ~txn:task.txn ~task:task.task_id Event.Begin
+    end
   end
 
 let rec step engine (isolation : Isolation.t) (costs : Ent_sim.Cost.t) task =
   let body = statements task in
-  if task.pc >= List.length body then task.status <- Ready
+  if task.pc >= List.length body then begin
+    task.status <- Ready;
+    Event.emit ~txn:task.txn ~task:task.task_id Event.Ready
+  end
   else
     let stmt = List.nth body task.pc in
     match stmt with
@@ -107,7 +122,8 @@ let rec step engine (isolation : Isolation.t) (costs : Ent_sim.Cost.t) task =
       try
         task.pending <- Some (Translate.of_ast ~env:task.env e);
         task.work <- task.work +. costs.c_stmt;
-        task.status <- Waiting_entangled
+        task.status <- Waiting_entangled;
+        Event.emit ~txn:task.txn ~task:task.task_id Event.Entangle_block
       with
       | Translate.Translate_error msg | Ir.Unsafe msg ->
         Ent_txn.Engine.abort engine task.txn;

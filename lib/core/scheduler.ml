@@ -1,5 +1,6 @@
 open Ent_entangle
 module Obs = Ent_obs.Obs
+module Event = Ent_obs.Event
 module Fault = Ent_fault.Injector
 
 (* Injection points: crashes between scheduler steps and between the
@@ -23,6 +24,7 @@ let m_repooled = Obs.counter "core.pool.repooled"
 let m_coord_rounds = Obs.counter "core.coordinate.rounds"
 let m_coord_batch = Obs.histogram "core.coordinate.batch"
 let m_blocked = Obs.histogram "core.entangle.blocked_s"
+let m_txn_latency = Obs.histogram "core.scheduler.txn_latency_s"
 
 type trigger =
   | Every_arrivals of int
@@ -87,7 +89,8 @@ type t = {
 }
 
 let create ?(config = default_config) engine =
-  {
+  let t =
+    {
     engine;
     config;
     pool = Ent_sim.Pool.create ~connections:config.connections;
@@ -109,10 +112,16 @@ let create ?(config = default_config) engine =
         deadlocks = 0;
         coordination_rounds = 0;
       };
-    on_entangle = None;
-    next_conn = 0;
-    last_run_end = 0.0;
-  }
+      on_entangle = None;
+      next_conn = 0;
+      last_run_end = 0.0;
+    }
+  in
+  (* Events carry simulated time alongside the monotonic stamp; the
+     newest scheduler owns the clock (tests and tools run one at a
+     time). *)
+  Event.set_sim_clock (fun () -> Ent_sim.Pool.now t.pool);
+  t
 
 let engine t = t.engine
 let config t = t.config
@@ -138,9 +147,21 @@ let answers_of t task_id =
   | Some task -> task.answers
   | None -> []
 
+let outcome_name = function
+  | Committed -> "committed"
+  | Timed_out -> "timed_out"
+  | Rolled_back -> "rolled_back"
+  | Errored _ -> "errored"
+
 let finalize t (task : Executor.task) outcome =
   Hashtbl.replace t.outcomes task.task_id outcome;
-  t.result_order <- task.task_id :: t.result_order
+  t.result_order <- task.task_id :: t.result_order;
+  (* Same endpoints as the attribution report (Pool_enter at submit,
+     Finalize here), so the two are cross-checkable. *)
+  if outcome = Committed then
+    Obs.observe m_txn_latency (now t -. task.arrival);
+  Event.emit ~txn:task.txn ~task:task.task_id
+    (Event.Finalize { outcome = outcome_name outcome })
 
 let drain_work t (task : Executor.task) =
   if task.work > 0.0 then begin
@@ -198,6 +219,7 @@ let repool t (task : Executor.task) =
   Executor.reset_for_retry task;
   t.stats.repooled <- t.stats.repooled + 1;
   Obs.incr m_repooled;
+  Event.emit ~task:task.task_id Event.Pool_enter;
   t.dormant <- t.dormant @ [ task ]
 
 let fail_or_repool t (task : Executor.task) =
@@ -236,6 +258,8 @@ let run_once t =
     Group.reset t.groups;
     let tasks = t.dormant in
     Obs.observe m_run_length (float_of_int (List.length tasks));
+    ignore (Event.new_run ());
+    Event.emit (Event.Run_start { pool = List.length tasks });
     t.dormant <- [];
     let live = ref tasks in
     let find_by_txn txn =
@@ -250,11 +274,19 @@ let run_once t =
       (fun (task : Executor.task) ->
         task.conn <- t.next_conn mod t.config.connections;
         t.next_conn <- t.next_conn + 1;
+        Event.emit ~task:task.task_id Event.Pool_exit;
         Executor.start t.engine costs task;
         drain_work t task)
       tasks;
     let commit_group t_ (members : Executor.task list) =
       Obs.observe m_group_size (float_of_int (List.length members));
+      if Event.logging () then
+        Event.emit
+          (Event.Group_commit
+             {
+               members =
+                 List.map (fun (o : Executor.task) -> o.task_id) members;
+             });
       List.iter
         (fun (task : Executor.task) ->
           (* crash between the member commits of one group: the log
@@ -302,6 +334,7 @@ let run_once t =
           match find_by_txn txn with
           | Some task when task.status = Waiting_lock ->
             task.status <- Runnable;
+            Event.emit ~txn:task.txn ~task:task.task_id Event.Lock_grant;
             progress := true
           | _ -> ())
         woken;
@@ -427,6 +460,24 @@ let run_once t =
               let event = t.next_event in
               t.next_event <- event + 1;
               t.stats.entangle_events <- t.stats.entangle_events + 1;
+              (* One Partner_match per member: each names the peers it
+                 was entangled with, giving the exporter its causal
+                 (flow) edges. *)
+              if Event.logging () then begin
+                let ids =
+                  List.map (fun (task : Executor.task) -> task.task_id) component
+                in
+                List.iter
+                  (fun (member : Executor.task) ->
+                    Event.emit ~txn:member.txn ~task:member.task_id
+                      (Event.Partner_match
+                         {
+                           event;
+                           peers =
+                             List.filter (fun i -> i <> member.task_id) ids;
+                         }))
+                  component
+              end;
               Group.join t.groups
                 (List.map (fun (task : Executor.task) -> task.task_id) component);
               (* Group members share lock ownership from now on: they
@@ -472,6 +523,9 @@ let run_once t =
                   Obs.observe m_blocked (now t -. since);
                   task.entangled_since <- None
                 | None -> ());
+                Event.emit ~txn:task.txn ~task:task.task_id
+                  (Event.Answer
+                     { empty = outcome_of task.task_id = Coordinate.Empty });
                 Executor.deliver t.engine costs task (outcome_of task.task_id);
                 drain_work t task;
                 progress := true
@@ -492,7 +546,10 @@ let run_once t =
        repooling it here is exactly the widow prevention of §3.4. *)
     List.iter
       (fun (task : Executor.task) ->
-        if task.status = Ready then Obs.incr m_widow_preventions)
+        if task.status = Ready then begin
+          Obs.incr m_widow_preventions;
+          Event.emit ~txn:task.txn ~task:task.task_id Event.Widow_prevention
+        end)
       leftovers;
     (* Abort whole entanglement groups together: members share lock
        ownership and may have interleaved writes on the same rows, so
@@ -534,6 +591,7 @@ let run_once t =
            (fun (task : Executor.task) -> Program.to_string task.program)
            t.dormant);
     Obs.set m_dormant (float_of_int (List.length t.dormant));
+    Event.emit (Event.Run_end { dormant = List.length t.dormant });
     t.last_run_end <- now t
   end
 
@@ -543,6 +601,7 @@ let submit t program =
   Obs.incr m_submitted;
   let task = Executor.make_task ~task_id ~arrival:(now t) program in
   Hashtbl.replace t.task_index task_id task;
+  Event.emit ~task:task_id Event.Pool_enter;
   t.dormant <- t.dormant @ [ task ];
   Obs.set m_dormant (float_of_int (List.length t.dormant));
   t.arrivals_since_run <- t.arrivals_since_run + 1;
@@ -551,6 +610,103 @@ let submit t program =
   | Every_seconds interval when now t -. t.last_run_end >= interval -> run_once t
   | Every_arrivals _ | Every_seconds _ | Manual -> ());
   task_id
+
+(* Snapshot of who is blocked on whom. Unfinished tasks are either
+   dormant (in the pool, possibly awaiting an entanglement partner) or
+   stranded mid-run — the latter only observable from outside after a
+   crash, which is exactly when entsim wants the picture: lock tables
+   survive the scheduler's run loop, so post-crash holders still show.
+   Lock edges come from the engine's waits-for relation; entanglement
+   edges from the (last run's) group membership. *)
+let wait_graph t =
+  let locks = Ent_txn.Engine.locks t.engine in
+  let pending =
+    Hashtbl.fold
+      (fun id task acc ->
+        if Hashtbl.mem t.outcomes id then acc else (id, task) :: acc)
+      t.task_index []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let dormant_ids =
+    List.map (fun (task : Executor.task) -> task.task_id) t.dormant
+  in
+  let task_of_txn txn =
+    if txn < 0 then None
+    else
+      List.find_map
+        (fun (id, (task : Executor.task)) ->
+          if task.txn = txn then Some id else None)
+        pending
+  in
+  let nodes =
+    List.map
+      (fun (id, (task : Executor.task)) ->
+        let in_pool = List.mem id dormant_ids in
+        let state =
+          if in_pool then "in-pool"
+          else Format.asprintf "%a" Executor.pp_status task.status
+        in
+        let detail =
+          if in_pool && Program.entangled_count task.program > 0 then
+            "entangled, awaiting a partner"
+          else if task.txn >= 0 then
+            String.concat ", "
+              (List.map
+                 (fun (resource, mode) ->
+                   Printf.sprintf "wants %s on %s"
+                     (Ent_txn.Lock.mode_to_string mode)
+                     (Ent_txn.Lock.resource_to_string resource))
+                 (Ent_txn.Lock.waits locks ~txn:task.txn))
+          else ""
+        in
+        {
+          Waitgraph.n_task = id;
+          n_txn = task.txn;
+          n_label = task.program.label;
+          n_state = state;
+          n_detail = detail;
+        })
+      pending
+  in
+  let lock_edges =
+    List.concat_map
+      (fun (id, (task : Executor.task)) ->
+        if task.txn < 0 then []
+        else
+          let blocking = Ent_txn.Lock.blockers locks ~txn:task.txn in
+          List.concat_map
+            (fun (resource, _) ->
+              List.filter_map
+                (fun (holder, mode) ->
+                  if List.mem holder blocking then
+                    Option.map
+                      (fun dst ->
+                        {
+                          Waitgraph.e_src = id;
+                          e_dst = dst;
+                          e_why =
+                            Printf.sprintf "lock %s (holds %s)"
+                              (Ent_txn.Lock.resource_to_string resource)
+                              (Ent_txn.Lock.mode_to_string mode);
+                        })
+                      (task_of_txn holder)
+                  else None)
+                (Ent_txn.Lock.holders locks resource))
+            (Ent_txn.Lock.waits locks ~txn:task.txn))
+      pending
+  in
+  let entangle_edges =
+    List.concat_map
+      (fun (id, _) ->
+        List.filter_map
+          (fun peer ->
+            if peer > id && List.mem_assoc peer pending then
+              Some { Waitgraph.e_src = id; e_dst = peer; e_why = "entangled" }
+            else None)
+          (Group.members t.groups id))
+      pending
+  in
+  { Waitgraph.g_now = now t; nodes; edges = lock_edges @ entangle_edges }
 
 let drain ?(max_runs = 10_000) t =
   let rec go remaining =

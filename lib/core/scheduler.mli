@@ -110,3 +110,10 @@ val stats : t -> stats
 
 (** Per-connection simulated load (diagnostics / benchmarks). *)
 val connection_loads : t -> float array
+
+(** Snapshot of who is blocked on whom and why: every unfinished task,
+    with lock-wait edges (contested resource and holder mode) and
+    entanglement-group edges from the most recent run. Meaningful both
+    at quiescence (dormant tasks awaiting partners) and after a crash
+    (stranded lock holders). *)
+val wait_graph : t -> Waitgraph.t

@@ -1,0 +1,56 @@
+type node = {
+  n_task : int;
+  n_txn : int;
+  n_label : string;
+  n_state : string;
+  n_detail : string;
+}
+
+type edge = { e_src : int; e_dst : int; e_why : string }
+
+type t = { g_now : float; nodes : node list; edges : edge list }
+
+let render_text g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "wait graph @ sim %.6fs: %d waiting task(s), %d edge(s)\n"
+       g.g_now (List.length g.nodes) (List.length g.edges));
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  task %d [txn %d] %s: %s%s\n" n.n_task n.n_txn
+           n.n_label n.n_state
+           (if n.n_detail = "" then "" else " — " ^ n.n_detail)))
+    g.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  task %d -> task %d [%s]\n" e.e_src e.e_dst e.e_why))
+    g.edges;
+  Buffer.contents buf
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let render_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph waits {\n  rankdir=LR;\n  node [shape=box];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"wait graph @ sim %.6fs\";\n" g.g_now);
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"task %d (txn %d)\\n%s\\n%s%s\"];\n"
+           n.n_task n.n_task n.n_txn (dot_escape n.n_label)
+           (dot_escape n.n_state)
+           (if n.n_detail = "" then "" else "\\n" ^ dot_escape n.n_detail)))
+    g.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d -> t%d [label=\"%s\"%s];\n" e.e_src e.e_dst
+           (dot_escape e.e_why)
+           (if e.e_why = "entangled" then " style=dashed dir=none" else "")))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

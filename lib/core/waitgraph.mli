@@ -1,0 +1,30 @@
+(** Wait/entanglement graph snapshot: who is blocked on whom, and why.
+
+    Nodes are the scheduler's unfinished tasks (dormant in the pool,
+    or stranded mid-run by a crash); edges are lock waits (annotated
+    with the contested resource and the holder's mode) and
+    entanglement-group membership. Rendered as plain text for the CLI
+    and as DOT for graphviz. Built by {!Scheduler.wait_graph}. *)
+
+type node = {
+  n_task : int;
+  n_txn : int;  (** engine txn id, [-1] when no attempt is active *)
+  n_label : string;  (** program label *)
+  n_state : string;  (** "in-pool", "waiting-lock", ... *)
+  n_detail : string;  (** e.g. contested resources, or "" *)
+}
+
+type edge = {
+  e_src : int;  (** waiting/entangled task *)
+  e_dst : int;
+  e_why : string;  (** e.g. ["lock table Flights (holds X)"] or ["entangled"] *)
+}
+
+type t = {
+  g_now : float;  (** simulated seconds at capture *)
+  nodes : node list;  (** ascending task id *)
+  edges : edge list;
+}
+
+val render_text : t -> string
+val render_dot : t -> string

@@ -133,6 +133,10 @@ let m_evaluations = Ent_obs.Obs.counter "entangle.combined.evaluations"
 
 let evaluate ?(max_matchings = 64) queries =
   Ent_obs.Obs.incr m_evaluations;
+  if Ent_obs.Event.logging () then
+    Ent_obs.Event.emit
+      (Ent_obs.Event.Coord_round
+         { participants = List.map (fun (qid, _, _) -> qid) queries });
   (* Same injection points as the search strategy: both strategies
      must present identical failure semantics to the scheduler. *)
   let dropped =

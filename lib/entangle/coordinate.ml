@@ -63,7 +63,11 @@ module Atom_tbl = Hashtbl
 
 let evaluate ?(budget = 200_000) queries =
   Obs.incr m_evaluations;
-  let t_start = Unix.gettimeofday () in
+  if Ent_obs.Event.logging () then
+    Ent_obs.Event.emit
+      (Ent_obs.Event.Coord_round
+         { participants = List.map (fun (qid, _, _) -> qid) queries });
+  let t_start = Ent_obs.Clock.monotonic () in
   let dropped =
     if Fault.drops s_round_abort then List.map (fun (qid, _, _) -> qid) queries
     else
@@ -180,5 +184,5 @@ let evaluate ?(budget = 200_000) queries =
         | Empty -> m_empty
         | No_partner -> m_no_partner))
     results;
-  Obs.observe m_latency (1e6 *. (Unix.gettimeofday () -. t_start));
+  Obs.observe m_latency (1e6 *. (Ent_obs.Clock.monotonic () -. t_start));
   results

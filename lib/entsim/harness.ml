@@ -17,6 +17,7 @@ module Wal = Ent_txn.Wal
 module Recovery = Ent_txn.Recovery
 module Recorder = Ent_schedule.Recorder
 module Histcheck = Ent_analysis.Histcheck
+module Event = Ent_obs.Event
 
 type config = {
   seed : int;
@@ -45,7 +46,13 @@ let default =
     combined = false;
   }
 
-type violation = { invariant : string; detail : string }
+type violation = {
+  invariant : string;
+  detail : string;
+  timeline : string list;
+      (* last events involving the implicated txns/tasks (or the global
+         tail when the invariant names nobody), rendered one per line *)
+}
 
 type outcome = {
   plan : Plan.t;
@@ -54,6 +61,8 @@ type outcome = {
   commits : int;
   sites : (string * int) list;  (* per-site hit counts over the whole run *)
   violations : violation list;
+  wait_graph : string option;
+      (* who-waits-on-whom snapshot, captured only when violations exist *)
 }
 
 let scheduler_config cfg =
@@ -176,21 +185,23 @@ let group_atomic (analysis : Recovery.analysis) =
 let ints xs = String.concat "," (List.map string_of_int xs)
 
 (* Invariants on one crash image: replay succeeds, is group-atomic,
-   matches the independent survivor-view model, and is deterministic. *)
+   matches the independent survivor-view model, and is deterministic.
+   [viol ids invariant detail] records a violation; [ids] names the
+   implicated txns/tasks so the report can attach their event timeline. *)
 let check_image viol image recovered (analysis : Recovery.analysis) =
   if not (group_atomic analysis) then
-    viol "group-atomicity"
+    viol (List.concat analysis.groups) "group-atomicity"
       (Printf.sprintf
          "half-surviving entanglement group in crash image (groups: %s; survivors: %s)"
          (String.concat " | " (List.map ints analysis.groups))
          (ints analysis.survivors));
   let live = dump_catalog recovered in
   if live <> model_store image analysis then
-    viol "durability"
+    viol [] "durability"
       "replayed store differs from independent survivor-view model";
   let again, _ = Recovery.replay image in
   if dump_catalog again <> live then
-    viol "replay-determinism" "two replays of the same crash image differ"
+    viol [] "replay-determinism" "two replays of the same crash image differ"
 
 (* --- the simulation --- *)
 
@@ -198,9 +209,16 @@ type step = Run | Recover of Wal.record list | Done
 
 let run cfg plan =
   Fault.deactivate ();
+  (* Event logging is always on under simulation: it is cheap at entsim
+     scale and every violation report attaches the implicated txns'
+     timelines. The log survives crash/recover cycles (the ring is
+     process-global), so a timeline can span epochs. *)
+  Event.set_logging true;
+  Event.reset ();
   let violations = ref [] in
-  let viol invariant detail =
-    violations := { invariant; detail } :: !violations
+  let viol ids invariant detail =
+    let timeline = List.map Event.render (Event.recent ~ids ~last:16 ()) in
+    violations := { invariant; detail; timeline } :: !violations
   in
   let sched_config = scheduler_config cfg in
   let world =
@@ -231,7 +249,7 @@ let run cfg plan =
       (fun (id, oc) ->
         match oc with
         | Scheduler.Errored msg ->
-          viol "no-errors" (Printf.sprintf "task %d errored: %s" id msg)
+          viol [ id ] "no-errors" (Printf.sprintf "task %d errored: %s" id msg)
         | Scheduler.Committed | Scheduler.Timed_out | Scheduler.Rolled_back ->
           ())
       (Manager.results m)
@@ -254,7 +272,7 @@ let run cfg plan =
        | Recover image -> (
          match Recovery.replay image with
          | exception exn ->
-           viol "recovery"
+           viol [] "recovery"
              (Printf.sprintf "replay of the crash image raised %s"
                 (Printexc.to_string exn));
            aborted_sim := true;
@@ -276,7 +294,7 @@ let run cfg plan =
                  match Program.of_serialized serialized with
                  | p -> Some (Manager.submit !mgr p)
                  | exception exn ->
-                   viol "pool-resume"
+                   viol [] "pool-resume"
                      (Printf.sprintf
                         "dormant program failed to deserialize: %s"
                         (Printexc.to_string exn));
@@ -314,7 +332,7 @@ let run cfg plan =
         | None ->
           if not (List.mem id (Scheduler.dormant (Manager.scheduler !mgr)))
           then
-            viol "pool-resume"
+            viol [ id ] "pool-resume"
               (Printf.sprintf "resumed dormant task %d vanished" id))
       !last_resumed;
     let wal = Option.get (Ent_txn.Engine.log (Manager.engine !mgr)) in
@@ -323,26 +341,26 @@ let run cfg plan =
        need the entanglement rule's rollback once the system drained. *)
     let analysis = Recovery.analyze final_records in
     if analysis.group_victims <> [] then
-      viol "widow"
+      viol analysis.group_victims "widow"
         (Printf.sprintf "quiescent log has entanglement-rule victims: %s"
            (ints analysis.group_victims));
     (* Durability at quiescence: replaying the final log reproduces the
        live store exactly. *)
     (match Recovery.replay final_records with
     | exception exn ->
-      viol "recovery"
+      viol [] "recovery"
         (Printf.sprintf "replay of the quiescent log raised %s"
            (Printexc.to_string exn))
     | replayed, _ ->
       if dump_catalog replayed <> dump_catalog (Manager.catalog !mgr) then
-        viol "durability" "quiescent replay differs from the live store");
+        viol [] "durability" "quiescent replay differs from the live store");
     (* Every epoch's completed history must pass the Appendix C
        checker (widow detection lives here when no group is logged). *)
     List.iteri
       (fun i h ->
         let report = Histcheck.check h in
         if not (Histcheck.ok report) then
-          viol "history"
+          viol [] "history"
             (Format.asprintf "epoch %d history fails the checker:@ %a" i
                Histcheck.pp report))
       (List.rev !histories);
@@ -354,9 +372,9 @@ let run cfg plan =
       match Wal.load tmp with
       | reloaded ->
         if Wal.records reloaded <> final_records then
-          viol "flush" "saved log does not round-trip"
+          viol [] "flush" "saved log does not round-trip"
       | exception exn ->
-        viol "flush"
+        viol [] "flush"
           (Printf.sprintf "saved log failed to load: %s"
              (Printexc.to_string exn)))
     | exception Fault.Failed _ -> (
@@ -366,14 +384,20 @@ let run cfg plan =
         let r = Wal.records reloaded in
         let n = List.length r in
         if r <> List.filteri (fun i _ -> i < n) final_records then
-          viol "flush" "failed flush left a non-prefix on disk"
+          viol [] "flush" "failed flush left a non-prefix on disk"
       | exception exn ->
-        viol "flush"
+        viol [] "flush"
           (Printf.sprintf "failed flush left an unloadable file: %s"
              (Printexc.to_string exn))));
     Sys.remove tmp
   end;
   let sites = Fault.counts () in
+  let wait_graph =
+    if !violations = [] then None
+    else
+      Some
+        (Waitgraph.render_text (Scheduler.wait_graph (Manager.scheduler !mgr)))
+  in
   {
     plan;
     crashes = !crashes;
@@ -381,6 +405,7 @@ let run cfg plan =
     commits = !commits;
     sites;
     violations = List.rev !violations;
+    wait_graph;
   }
 
 (* --- seeded schedules and shrinking --- *)

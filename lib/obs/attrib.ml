@@ -1,0 +1,181 @@
+type phase = In_pool | Executing | Lock_blocked | Entangle_blocked | Committing
+
+let phases = [ In_pool; Executing; Lock_blocked; Entangle_blocked; Committing ]
+
+let phase_name = function
+  | In_pool -> "in_pool"
+  | Executing -> "executing"
+  | Lock_blocked -> "lock_blocked"
+  | Entangle_blocked -> "entangle_blocked"
+  | Committing -> "committing"
+
+let phase_index = function
+  | In_pool -> 0
+  | Executing -> 1
+  | Lock_blocked -> 2
+  | Entangle_blocked -> 3
+  | Committing -> 4
+
+type txn_report = {
+  task : int;
+  outcome : string option;
+  total_s : float;
+  by_phase : (phase * float) list;
+}
+
+type segment = {
+  seg_task : int;
+  seg_phase : phase;
+  seg_run : int;
+  seg_start : float;
+  seg_stop : float;
+}
+
+(* Commit keeps Committing when the task is already awaiting group
+   commit (transactional programs: Ready → group commit → Commit);
+   under autocommit each Commit is a statement boundary and execution
+   continues. Coordination/bookkeeping kinds leave the phase alone. *)
+let transition cur (k : Event.kind) =
+  match k with
+  | Pool_enter | Pool_exit -> Some In_pool
+  | Begin -> Some Executing
+  | Lock_wait _ -> Some Lock_blocked
+  | Lock_grant -> Some Executing
+  | Entangle_block -> Some Entangle_blocked
+  | Answer _ -> Some Executing
+  | Ready -> Some Committing
+  | Commit -> ( match cur with Some Committing -> cur | _ -> Some Executing)
+  | Abort _ -> Some Executing
+  | Finalize _ -> None
+  | Partner_match _ | Widow_prevention | Group_commit _ | Coord_round _
+  | Run_start _ | Run_end _ | Wal_append _ ->
+      cur
+
+type acc = {
+  mutable cur : phase option;
+  mutable seg_t0 : float;
+  mutable seg_run : int;
+  first_t : float;
+  mutable last_t : float;
+  first_kind : Event.kind option;
+  mutable acc_outcome : string option;
+  sums : float array;
+  mutable segs : segment list; (* newest first *)
+}
+
+let fold ~time evs =
+  let tasks : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let get task t kind =
+    match Hashtbl.find_opt tasks task with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            cur = None;
+            seg_t0 = t;
+            seg_run = 0;
+            first_t = t;
+            last_t = t;
+            first_kind = Some kind;
+            acc_outcome = None;
+            sums = Array.make 5 0.0;
+            segs = [];
+          }
+        in
+        Hashtbl.add tasks task a;
+        a
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.task >= 0 then begin
+        let t = time e in
+        let a = get e.task t e.kind in
+        if a.acc_outcome = None then begin
+          a.last_t <- Float.max a.last_t t;
+          let next = transition a.cur e.kind in
+          let changed =
+            next <> a.cur
+            || match e.kind with Event.Finalize _ -> true | _ -> false
+          in
+          if changed then begin
+            (match a.cur with
+            | Some p when t > a.seg_t0 ->
+                a.sums.(phase_index p) <- a.sums.(phase_index p) +. (t -. a.seg_t0);
+                a.segs <-
+                  {
+                    seg_task = e.task;
+                    seg_phase = p;
+                    seg_run = a.seg_run;
+                    seg_start = a.seg_t0;
+                    seg_stop = t;
+                  }
+                  :: a.segs
+            | _ -> ());
+            a.cur <- next;
+            a.seg_t0 <- t;
+            a.seg_run <- e.run
+          end;
+          match e.kind with
+          | Event.Finalize { outcome } -> a.acc_outcome <- Some outcome
+          | _ -> ()
+        end
+      end)
+    evs;
+  tasks
+
+let sorted_bindings tasks =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tasks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let of_events ~time evs =
+  fold ~time evs |> sorted_bindings
+  |> List.map (fun (task, a) ->
+         {
+           task;
+           outcome = a.acc_outcome;
+           total_s = a.last_t -. a.first_t;
+           by_phase = List.map (fun p -> (p, a.sums.(phase_index p))) phases;
+         })
+
+let segments ~time evs =
+  fold ~time evs |> sorted_bindings
+  |> List.concat_map (fun (_, a) -> List.rev a.segs)
+
+let to_json evs =
+  let time (e : Event.t) = e.t_sim in
+  let tasks = fold ~time evs |> sorted_bindings in
+  let complete (a : acc) =
+    a.acc_outcome = Some "committed" && a.first_kind = Some Event.Pool_enter
+  in
+  let committed = List.filter (fun (_, a) -> complete a) tasks in
+  let unfinished =
+    List.length (List.filter (fun (_, a) -> a.acc_outcome = None) tasks)
+  in
+  let phase_hists = List.map (fun p -> (p, Hist.create ())) phases in
+  let total_hist = Hist.create () in
+  let attributed = ref 0.0 and measured = ref 0.0 in
+  List.iter
+    (fun (_, a) ->
+      let total = a.last_t -. a.first_t in
+      Hist.observe total_hist total;
+      measured := !measured +. total;
+      List.iter
+        (fun (p, h) ->
+          let v = a.sums.(phase_index p) in
+          Hist.observe h v;
+          attributed := !attributed +. v)
+        phase_hists)
+    committed;
+  Json.Obj
+    [
+      ("txns", Json.Int (List.length committed));
+      ("unfinished", Json.Int unfinished);
+      ("dropped_events", Json.Int (Event.dropped ()));
+      ( "phases",
+        Json.Obj
+          (List.map (fun (p, h) -> (phase_name p, Hist.summary h)) phase_hists)
+      );
+      ("total", Hist.summary total_hist);
+      ("attributed_sum_s", Json.Float !attributed);
+      ("measured_sum_s", Json.Float !measured);
+    ]

@@ -1,0 +1,57 @@
+(** Per-transaction latency attribution.
+
+    Folds the event log into, for each scheduler task, a partition of
+    its lifetime into five phases:
+
+    - [In_pool] — dormant, waiting to be picked into a run
+    - [Executing] — running program statements
+    - [Lock_blocked] — waiting on a lock ({!Event.Lock_wait} →
+      {!Event.Lock_grant})
+    - [Entangle_blocked] — waiting for coordination to answer an
+      entangled query
+    - [Committing] — body done ({!Event.Ready}), waiting for / inside
+      group commit
+
+    Because the phases partition the interval from the first event to
+    {!Event.Finalize}, per-task phase times sum exactly to the task's
+    measured latency (the scheduler's [core.scheduler.txn_latency_s]
+    histogram observes the same endpoints) — the bench validator
+    cross-checks the two within 5%. *)
+
+type phase = In_pool | Executing | Lock_blocked | Entangle_blocked | Committing
+
+val phases : phase list
+val phase_name : phase -> string
+
+type txn_report = {
+  task : int;
+  outcome : string option;  (** [Finalize] outcome; [None] if never retired *)
+  total_s : float;  (** last event time − first event time *)
+  by_phase : (phase * float) list;  (** all five phases, {!phases} order *)
+}
+
+val of_events : time:(Event.t -> float) -> Event.t list -> txn_report list
+(** One report per task seen in the log (ascending task id), measuring
+    with [time] — [fun e -> e.t_sim] for simulated attribution,
+    [fun e -> e.t_mono] for trace slices. Events with [task = -1] are
+    ignored. *)
+
+type segment = {
+  seg_task : int;
+  seg_phase : phase;
+  seg_run : int;  (** run in progress when the segment began *)
+  seg_start : float;
+  seg_stop : float;
+}
+
+val segments : time:(Event.t -> float) -> Event.t list -> segment list
+(** The same partition as flat intervals, for rendering phase slices
+    on a trace timeline. Zero-length segments are omitted. *)
+
+val to_json : Event.t list -> Json.t
+(** Aggregate simulated-time attribution for a workload cell:
+    [{"txns"; "unfinished"; "dropped_events"; "phases": {<phase>:
+    hist-summary}; "total": hist-summary; "attributed_sum_s";
+    "measured_sum_s"}]. Histograms cover only tasks that finalized
+    [committed] with a complete timeline (first event [Pool_enter]),
+    so ring overflow degrades coverage rather than correctness. *)

@@ -1,0 +1,13 @@
+external monotonic : unit -> float = "ent_obs_clock_monotonic"
+
+let wall () = Unix.gettimeofday ()
+
+(* Sampled once, lazily, so both readings come from the same instant
+   (module-initialization order does not matter). *)
+let anchor_pair = lazy (wall (), monotonic ())
+
+let anchor () = Lazy.force anchor_pair
+
+let to_wall mono =
+  let w, m = anchor () in
+  w +. (mono -. m)

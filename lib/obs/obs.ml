@@ -87,7 +87,7 @@ let find_histogram name =
 
 type span_record = {
   sp_name : string;
-  sp_start : float;  (* seconds, Unix epoch *)
+  sp_start : float;  (* seconds, monotonic clock (Clock.to_wall projects) *)
   sp_dur : float;  (* seconds *)
   sp_depth : int;  (* nesting level at entry, outermost = 0 *)
 }
@@ -117,9 +117,11 @@ let with_span name f =
   else begin
     let depth = !span_depth in
     span_depth := depth + 1;
-    let start = Unix.gettimeofday () in
+    (* Monotonic: wall clock jumps (NTP, manual adjustment) must not
+       corrupt durations. Clock.to_wall anchors for export. *)
+    let start = Clock.monotonic () in
     let finish () =
-      let stop = Unix.gettimeofday () in
+      let stop = Clock.monotonic () in
       span_depth := depth;
       record_span
         { sp_name = name; sp_start = start; sp_dur = stop -. start; sp_depth = depth }
@@ -202,7 +204,8 @@ let reset () =
     registry;
   Array.fill !trace_ring 0 (Array.length !trace_ring) None;
   trace_next := 0;
-  span_depth := 0
+  span_depth := 0;
+  Event.reset ()
 
 let metric_names () = List.map fst (sorted_registry ())
 

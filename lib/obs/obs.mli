@@ -41,7 +41,9 @@ val metric_names : unit -> string list
 
 type span_record = {
   sp_name : string;
-  sp_start : float;  (** seconds, Unix epoch *)
+  sp_start : float;
+      (** seconds on the monotonic clock ({!Clock.monotonic});
+          project with {!Clock.to_wall} for an epoch instant *)
   sp_dur : float;  (** seconds *)
   sp_depth : int;  (** nesting level at entry, outermost = 0 *)
 }
@@ -75,5 +77,5 @@ val write_snapshot : string -> unit
 (** Write [snapshot ()] (newline-terminated) to a file. *)
 
 val reset : unit -> unit
-(** Zero every metric and clear the trace ring. Registered handles stay
-    valid (benchmarks reset between cells). *)
+(** Zero every metric, clear the trace ring and the {!Event} log.
+    Registered handles stay valid (benchmarks reset between cells). *)

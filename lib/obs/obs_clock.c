@@ -1,0 +1,23 @@
+/* Monotonic clock for the observability layer.
+
+   OCaml's Unix library exposes only wall-clock time
+   (Unix.gettimeofday), which jumps under NTP adjustment and breaks
+   span durations and event ordering. This stub reads
+   CLOCK_MONOTONIC directly; Clock.wall anchors the monotonic
+   timeline to the Unix epoch once per process for trace export. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ent_obs_clock_monotonic(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void) unit;
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

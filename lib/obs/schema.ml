@@ -76,6 +76,70 @@ let validate (doc : Json.t) =
       | _ -> err "%s: metrics.gauges missing or not an object" where)
     | _ -> err "%s: metrics is not an object" where
   in
+  (* Latency attribution (PR 4) is optional — pre-PR-4 documents and
+     paper-scale fixtures do not carry it — but when present it must be
+     structurally complete and consistent: phase times must sum to the
+     attribution's own measured total within 5%, and that total must
+     agree with the independently-measured core.scheduler.txn_latency_s
+     histogram within 5% (checked only when the event ring dropped
+     nothing, so coverage is exact). *)
+  let attrib_phases =
+    [ "in_pool"; "executing"; "lock_blocked"; "entangle_blocked"; "committing" ]
+  in
+  let close ~slack a b = Float.abs (a -. b) <= (slack *. Float.max (Float.abs b) 1e-9) in
+  let check_attrib ~where attr metrics =
+    let num key =
+      Option.bind (Json.member key attr) Json.to_float_opt
+    in
+    let summary_field obj key =
+      Option.bind obj (fun o -> Option.bind (Json.member key o) Json.to_float_opt)
+    in
+    (match Option.bind (Json.member "txns" attr) Json.to_int_opt with
+    | Some n when n >= 0 -> ()
+    | _ -> err "%s: latency_attribution.txns missing or negative" where);
+    let phase_objs =
+      List.map
+        (fun p ->
+          match Option.bind (Json.member "phases" attr) (Json.member p) with
+          | Some o -> Some o
+          | None ->
+            err "%s: latency_attribution.phases.%s missing" where p;
+            None)
+        attrib_phases
+    in
+    let total = Json.member "total" attr in
+    if total = None then err "%s: latency_attribution.total missing" where;
+    (match (num "attributed_sum_s", num "measured_sum_s") with
+    | Some a, Some m when Float.is_finite a && Float.is_finite m ->
+      if not (close ~slack:0.05 a m) then
+        err "%s: attributed_sum_s %.6f vs measured_sum_s %.6f differ by > 5%%"
+          where a m;
+      let phase_sum =
+        List.fold_left
+          (fun acc o -> acc +. Option.value ~default:0.0 (summary_field o "sum"))
+          0.0 phase_objs
+      in
+      if not (close ~slack:0.05 phase_sum m) then
+        err "%s: per-phase sums %.6f do not sum to measured latency %.6f" where
+          phase_sum m;
+      let dropped =
+        Option.value ~default:1
+          (Option.bind (Json.member "dropped_events" attr) Json.to_int_opt)
+      in
+      let lat_hist =
+        Option.bind (Json.member "histograms" metrics)
+          (Json.member "core.scheduler.txn_latency_s")
+      in
+      (match (dropped, summary_field lat_hist "sum", summary_field lat_hist "count") with
+      | 0, Some hsum, Some hcount when hcount > 0.0 ->
+        if not (close ~slack:0.05 m hsum) then
+          err
+            "%s: attribution measured_sum_s %.6f vs txn_latency_s sum %.6f \
+             differ by > 5%%"
+            where m hsum
+      | _ -> ())
+    | _ -> err "%s: latency_attribution sums missing or not finite" where)
+  in
   let check_point ~where point =
     (match Option.bind (Json.member "x" point) Json.to_float_opt with
     | Some x when Float.is_finite x -> ()
@@ -85,7 +149,11 @@ let validate (doc : Json.t) =
     | Some _ -> err "%s: time_s not finite and positive" where
     | None -> err "%s: time_s missing" where);
     match Json.member "metrics" point with
-    | Some metrics -> check_metrics ~where metrics
+    | Some metrics ->
+      check_metrics ~where metrics;
+      (match Json.member "latency_attribution" point with
+      | Some attr -> check_attrib ~where attr metrics
+      | None -> ())
     | None -> err "%s: metrics snapshot missing" where
   in
   (match Option.bind (Json.member "schema_version" doc) Json.to_int_opt with
@@ -148,9 +216,87 @@ let validate (doc : Json.t) =
   | [] -> Ok ()
   | errs -> Error (List.rev errs)
 
+(* --- Chrome trace-event documents (Trace.to_json) --- *)
+
+let is_trace doc = Json.member "traceEvents" doc <> None
+
+let validate_trace (doc : Json.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let phases = [ "i"; "X"; "M"; "s"; "f" ] in
+  let flow_starts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let flow_ends : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl id =
+    Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+  in
+  let instants = ref 0 in
+  let check_event ~where ev =
+    let field key = Json.member key ev in
+    let int key = Option.bind (field key) Json.to_int_opt in
+    let num key = Option.bind (field key) Json.to_float_opt in
+    (match Option.bind (field "name") Json.to_string_opt with
+    | Some _ -> ()
+    | None -> err "%s: name missing" where);
+    (match int "pid" with
+    | Some p when p >= 0 -> ()
+    | _ -> err "%s: pid missing or negative" where);
+    (match int "tid" with
+    | Some t when t >= 0 -> ()
+    | _ -> err "%s: tid missing or negative" where);
+    (match num "ts" with
+    | Some ts when Float.is_finite ts && ts >= 0.0 -> ()
+    | _ -> err "%s: ts missing, negative or not finite" where);
+    match Option.bind (field "ph") Json.to_string_opt with
+    | None -> err "%s: ph missing" where
+    | Some ph when not (List.mem ph phases) ->
+      err "%s: unknown ph %S" where ph
+    | Some "X" -> (
+      match num "dur" with
+      | Some d when Float.is_finite d && d >= 0.0 -> ()
+      | _ -> err "%s: complete event without finite dur" where)
+    | Some "i" -> (
+      incr instants;
+      match Option.bind (field "args") (Json.member "seq") with
+      | Some (Json.Int _) -> ()
+      | _ -> err "%s: instant event without integer args.seq" where)
+    | Some (("s" | "f") as ph) -> (
+      match int "id" with
+      | Some id -> bump (if ph = "s" then flow_starts else flow_ends) id
+      | None -> err "%s: flow event without integer id" where)
+    | Some _ -> ()
+  in
+  (match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+  | None -> err "traceEvents missing or not a list"
+  | Some evs ->
+    List.iteri
+      (fun i ev -> check_event ~where:(Printf.sprintf "traceEvents[%d]" i) ev)
+      evs);
+  (* Every entanglement edge must be a balanced s/f pair: an unmatched
+     flow endpoint means a partner-match event lost its peer. *)
+  Hashtbl.iter
+    (fun id n ->
+      let m = Option.value ~default:0 (Hashtbl.find_opt flow_ends id) in
+      if n <> m then err "flow id %d: %d start(s) but %d finish(es)" id n m)
+    flow_starts;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem flow_starts id) then
+        err "flow id %d: finish without start" id)
+    flow_ends;
+  (match
+     Option.bind (Json.member "otherData" doc) (fun o ->
+         Option.bind (Json.member "events" o) Json.to_int_opt)
+   with
+  | Some n when n <> !instants ->
+    err "otherData.events says %d events but %d instants exported" n !instants
+  | _ -> ());
+  match !errors with
+  | [] -> Ok ()
+  | errs -> Error (List.rev errs)
+
 let validate_string s =
   match Json.of_string s with
-  | doc -> validate doc
+  | doc -> if is_trace doc then validate_trace doc else validate doc
   | exception Json.Parse_error msg -> Error [ "JSON parse error: " ^ msg ]
 
 let validate_file path =

@@ -13,5 +13,23 @@ val expected_series : string -> (string * string list) option
     "fig6a"/"fig6b"/"fig6c", [None] otherwise. *)
 
 val validate : Json.t -> (unit, string list) result
+(** Validate a benchmark document. Points may optionally carry a
+    ["latency_attribution"] block ({!Attrib.to_json}); when they do,
+    its per-phase sums must add up to its measured total within 5%,
+    and — when the event ring dropped nothing — that total must agree
+    with the [core.scheduler.txn_latency_s] histogram within 5%. *)
+
+val is_trace : Json.t -> bool
+(** A document with a ["traceEvents"] member (Chrome trace format). *)
+
+val validate_trace : Json.t -> (unit, string list) result
+(** Validate a {!Trace.to_json} document: every event has name / ph /
+    pid / tid / finite ts, complete events carry finite durations,
+    instants carry their log sequence number, flow start/finish pairs
+    balance, and the exported instant count matches
+    ["otherData"."events"]. *)
+
 val validate_string : string -> (unit, string list) result
 val validate_file : string -> (unit, string list) result
+(** Parse then dispatch on {!is_trace}: trace documents go through
+    {!validate_trace}, everything else through {!validate}. *)

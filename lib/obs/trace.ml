@@ -1,0 +1,157 @@
+(* Track layout: pid = scheduler run, tid = task id + 1 (tid 0 is the
+   scheduler's own track for run/coordination events). Chrome's trace
+   format wants non-negative integer ids, hence the +1 shift. *)
+
+let tid_of_task task = if task >= 0 then task + 1 else 0
+
+let us base t = (t -. base) *. 1e6
+
+let obj fields = Json.Obj fields
+
+let metadata ~pid ~tid ~meta ~name =
+  obj
+    [
+      ("name", Json.Str meta);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float 0.0);
+      ("args", obj [ ("name", Json.Str name) ]);
+    ]
+
+let to_json evs =
+  let base =
+    List.fold_left
+      (fun acc (e : Event.t) -> Float.min acc e.t_mono)
+      (match evs with [] -> 0.0 | e :: _ -> e.Event.t_mono)
+      evs
+  in
+  (* Process/thread name metadata for every (run, task) track seen. *)
+  let runs = Hashtbl.create 16 and tracks = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      Hashtbl.replace runs e.run ();
+      Hashtbl.replace tracks (e.run, e.task) ())
+    evs;
+  let meta_events =
+    let run_meta =
+      Hashtbl.fold
+        (fun run () acc ->
+          let name = if run = 0 then "pre-run" else Printf.sprintf "run %d" run in
+          metadata ~pid:run ~tid:0 ~meta:"process_name" ~name :: acc)
+        runs []
+    in
+    let track_meta =
+      Hashtbl.fold
+        (fun (run, task) () acc ->
+          let name =
+            if task >= 0 then Printf.sprintf "task %d" task else "scheduler"
+          in
+          metadata ~pid:run ~tid:(tid_of_task task) ~meta:"thread_name" ~name
+          :: acc)
+        tracks []
+    in
+    (* Deterministic output: hashtable fold order is unspecified. *)
+    List.sort compare (run_meta @ track_meta)
+  in
+  let instant (e : Event.t) =
+    let payload =
+      match Event.kind_json e.kind with Json.Obj fs -> fs | j -> [ ("value", j) ]
+    in
+    obj
+      [
+        ("name", Json.Str (Event.kind_name e.kind));
+        ("cat", Json.Str "event");
+        ("ph", Json.Str "i");
+        ("s", Json.Str "t");
+        ("ts", Json.Float (us base e.t_mono));
+        ("pid", Json.Int e.run);
+        ("tid", Json.Int (tid_of_task e.task));
+        ( "args",
+          obj
+            (payload
+            @ [
+                ("seq", Json.Int e.seq);
+                ("txn", Json.Int e.txn);
+                ("task", Json.Int e.task);
+                ("sim_s", Json.Float e.t_sim);
+              ]) );
+      ]
+  in
+  let instants = List.map instant evs in
+  let slices =
+    Attrib.segments ~time:(fun (e : Event.t) -> e.t_mono) evs
+    |> List.map (fun (s : Attrib.segment) ->
+           obj
+             [
+               ("name", Json.Str (Attrib.phase_name s.seg_phase));
+               ("cat", Json.Str "phase");
+               ("ph", Json.Str "X");
+               ("ts", Json.Float (us base s.seg_start));
+               ("dur", Json.Float (us base s.seg_stop -. us base s.seg_start));
+               ("pid", Json.Int s.seg_run);
+               ("tid", Json.Int (tid_of_task s.seg_task));
+             ])
+  in
+  (* One flow arrow per entanglement edge. Each group member emits a
+     Partner_match listing its peers, so every unordered pair appears
+     twice; keep the orientation low-task → high-task to emit each
+     edge exactly once. *)
+  let flow_id = ref 0 in
+  let flows =
+    List.concat_map
+      (fun (e : Event.t) ->
+        match e.kind with
+        | Event.Partner_match { event; peers } when e.task >= 0 ->
+            List.concat_map
+              (fun peer ->
+                if peer > e.task then begin
+                  incr flow_id;
+                  let id = !flow_id in
+                  let endpoint ph task extra =
+                    obj
+                      ([
+                         ("name", Json.Str "entangled");
+                         ("cat", Json.Str "entangle");
+                         ("ph", Json.Str ph);
+                         ("id", Json.Int id);
+                         ("ts", Json.Float (us base e.t_mono));
+                         ("pid", Json.Int e.run);
+                         ("tid", Json.Int (tid_of_task task));
+                         ("args", obj [ ("event", Json.Int event) ]);
+                       ]
+                      @ extra)
+                  in
+                  [
+                    endpoint "s" e.task [];
+                    endpoint "f" peer [ ("bp", Json.Str "e") ];
+                  ]
+                end
+                else [])
+              peers
+        | _ -> [])
+      evs
+  in
+  let wall0 = if evs = [] then Clock.wall () else Clock.to_wall base in
+  obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        obj
+          [
+            ("tool", Json.Str "entangled");
+            ("clock", Json.Str "monotonic");
+            ("trace_epoch_wall_s", Json.Float wall0);
+            ("events", Json.Int (List.length evs));
+            ("dropped_events", Json.Int (Event.dropped ()));
+          ] );
+      ("traceEvents", Json.List (meta_events @ instants @ slices @ flows));
+    ]
+
+let write path evs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json evs));
+      output_char oc '\n')

@@ -1,0 +1,24 @@
+(** Chrome trace-event export (Perfetto / chrome://tracing).
+
+    Renders the event log as a trace-event JSON document:
+
+    - one {e process} per scheduler run ([pid] = run id; 0 is the
+      pre-run phase), one {e thread} per task ([tid] = task id + 1;
+      tid 0 is the scheduler itself);
+    - every log event as an instant event (["ph":"i"]) — export is
+      1:1, so event counts survive a round trip through {!Obs.Json};
+    - the {!Attrib} phase partition as complete slices (["ph":"X"]),
+      so a task's timeline reads executing / blocked / committing at a
+      glance;
+    - every entanglement edge (from {!Event.Partner_match}) as a
+      paired flow event (["ph":"s"]/["ph":"f"]) between the matched
+      tasks' tracks.
+
+    Timestamps are microseconds on the monotonic clock, rebased to the
+    first event; the wall-clock instant of that origin is recorded in
+    ["otherData"."trace_epoch_wall_s"] (the only use of wall time). *)
+
+val to_json : Event.t list -> Json.t
+
+val write : string -> Event.t list -> unit
+(** [to_json] printed to a file, newline-terminated. *)

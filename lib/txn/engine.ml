@@ -1,5 +1,6 @@
 open Ent_storage
 module Obs = Ent_obs.Obs
+module Event = Ent_obs.Event
 
 let m_begins = Obs.counter "txn.engine.begins"
 let m_commits = Obs.counter "txn.engine.commits"
@@ -127,6 +128,15 @@ let acquire t txn_id resource mode =
       raise (Deadlock_victim txn_id)
     | None ->
       Obs.incr m_blocks;
+      (* Guarded: Lock.blockers walks the lock table, so do not pay for
+         it when event logging is off. *)
+      if Event.logging () then
+        Event.emit ~txn:txn_id
+          (Event.Lock_wait
+             {
+               resource = Lock.resource_to_string resource;
+               holders = Lock.blockers t.locks ~txn:txn_id;
+             });
       raise (Blocked txn_id))
 
 let table_of t name =
@@ -348,6 +358,7 @@ let abort_group t txn_ids =
       txn.write_count <- 0;
       log_record t (Abort id);
       emit t (Ev_abort id);
+      Event.emit ~txn:id (Event.Abort { reason = "group" });
       Obs.incr m_aborts;
       finish t txn)
     members
@@ -356,6 +367,7 @@ let commit t txn_id =
   let txn = find_txn t txn_id in
   log_record t (Commit txn_id);
   emit t (Ev_commit txn_id);
+  Event.emit ~txn:txn_id Event.Commit;
   Obs.incr m_commits;
   finish t txn
 
@@ -364,6 +376,7 @@ let abort t txn_id =
   rollback_to t txn_id 0;
   log_record t (Abort txn_id);
   emit t (Ev_abort txn_id);
+  Event.emit ~txn:txn_id (Event.Abort { reason = "rollback" });
   Obs.incr m_aborts;
   finish t txn
 

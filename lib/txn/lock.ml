@@ -211,6 +211,27 @@ let is_waiting t ~txn =
     (fun _ entry acc -> acc || List.exists (fun (o, _) -> o = txn) entry.queue)
     t.entries false
 
+let waits t ~txn =
+  Hashtbl.fold
+    (fun resource entry acc ->
+      match List.find_opt (fun (o, _) -> o = txn) entry.queue with
+      | Some (_, need) -> (resource, need) :: acc
+      | None -> acc)
+    t.entries []
+  |> List.sort compare
+
+let dump t =
+  Hashtbl.fold
+    (fun resource entry acc -> (resource, entry.holders, entry.queue) :: acc)
+    t.entries []
+  |> List.sort compare
+
+let mode_to_string = function IS -> "IS" | IX -> "IX" | S -> "S" | X -> "X"
+
+let resource_to_string = function
+  | Table t -> Printf.sprintf "table %s" t
+  | Row (t, k) -> Printf.sprintf "row %s/%d" t k
+
 let deadlock_cycle t ~txn =
   (* DFS over the waits-for graph starting from [txn], looking for a
      path back to [txn]. *)

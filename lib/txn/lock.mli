@@ -63,3 +63,13 @@ val deadlock_cycle : t -> txn:int -> int list option
 
 (** True when [txn] has a queued (not yet granted) request. *)
 val is_waiting : t -> txn:int -> bool
+
+(** Queued (not yet granted) requests of [txn], as (resource, mode). *)
+val waits : t -> txn:int -> (resource * mode) list
+
+(** Every live lock entry as (resource, holders, queue), sorted by
+    resource — the raw material for the wait-graph snapshot. *)
+val dump : t -> (resource * (int * mode) list * (int * mode) list) list
+
+val mode_to_string : mode -> string
+val resource_to_string : resource -> string

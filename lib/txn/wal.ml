@@ -63,6 +63,15 @@ let append t record =
     t.torn <- true;
     Fault.crash s_append);
   let lsn = push t record in
+  if Ent_obs.Event.logging () then begin
+    let txn =
+      match record with
+      | Begin n | Commit n | Abort n -> n
+      | Write { txn; _ } -> txn
+      | Create _ | Entangle_group _ | Pool_snapshot _ | Checkpoint _ -> -1
+    in
+    Ent_obs.Event.emit ~txn (Ent_obs.Event.Wal_append { lsn })
+  end;
   (* crash after the append boundary: the record is durable *)
   Fault.hit s_append_post;
   lsn

@@ -129,7 +129,9 @@ let test_every_crash_point () =
     match Recovery.replay image with
     | recovered, analysis ->
       let violations = ref [] in
-      let viol invariant detail = violations := (invariant, detail) :: !violations in
+      let viol _ids invariant detail =
+        violations := (invariant, detail) :: !violations
+      in
       Harness.check_image viol image recovered analysis;
       (match !violations with
       | [] -> ()

@@ -294,6 +294,255 @@ let test_entangled_workload_metrics () =
       then Alcotest.fail (Printf.sprintf "no live metric under %s" p))
     prefixes
 
+(* --- the causal event log: lifecycle, edges, attribution, export --- *)
+
+let with_event_log f =
+  Event.set_logging true;
+  Event.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Event.set_logging false;
+      Event.reset ())
+    f
+
+let task_events task evs = List.filter (fun (e : Event.t) -> e.task = task) evs
+
+let kind_names evs = List.map (fun (e : Event.t) -> Event.kind_name e.kind) evs
+
+(* Index of the first occurrence of a kind, or fail. *)
+let first_index name task evs =
+  match
+    List.find_index (fun (e : Event.t) -> Event.kind_name e.kind = name) evs
+  with
+  | Some i -> i
+  | None ->
+    Alcotest.failf "task %d: no %s event (timeline: %s)" task name
+      (String.concat " " (kind_names evs))
+
+(* Every committed transactional task's timeline is ordered and legal:
+   it enters the pool, begins, reaches ready, commits, and finalizes —
+   in that order — with monotone sequence numbers and simulated time. *)
+let prop_event_lifecycle =
+  QCheck2.Test.make ~name:"per-txn event timelines are monotone and legal"
+    ~count:25 Gen.entangled_batch_gen (fun (programs, _lonely) ->
+      with_event_log @@ fun () ->
+      let m = Gen.travel_manager () in
+      let ids = List.map (Manager.submit m) programs in
+      Manager.drain m;
+      Alcotest.(check int) "ring did not overflow" 0 (Event.dropped ());
+      let evs = Event.events () in
+      List.iter
+        (fun (e : Event.t) ->
+          ignore e.seq (* events () is oldest-first by construction *))
+        evs;
+      List.iter
+        (fun id ->
+          match Manager.outcome m id with
+          | Some Scheduler.Committed ->
+            let tl = task_events id evs in
+            (match tl with
+            | [] -> Alcotest.failf "committed task %d left no events" id
+            | first :: _ ->
+              Alcotest.(check string)
+                (Printf.sprintf "task %d starts dormant" id)
+                "pool_enter"
+                (Event.kind_name first.kind));
+            (match List.rev tl with
+            | (last : Event.t) :: _ ->
+              (match last.kind with
+              | Event.Finalize { outcome } ->
+                Alcotest.(check string)
+                  (Printf.sprintf "task %d finalize outcome" id)
+                  "committed" outcome
+              | _ ->
+                Alcotest.failf "task %d does not end with finalize (%s)" id
+                  (Event.kind_name last.kind))
+            | [] -> assert false);
+            let i_begin = first_index "begin" id tl in
+            let i_ready = first_index "ready" id tl in
+            let i_commit = first_index "commit" id tl in
+            let i_final = first_index "finalize" id tl in
+            if not (i_begin < i_ready && i_ready < i_commit && i_commit <= i_final)
+            then
+              Alcotest.failf "task %d lifecycle out of order: %s" id
+                (String.concat " " (kind_names tl));
+            ignore
+              (List.fold_left
+                 (fun ((prev_seq, prev_sim) : int * float) (e : Event.t) ->
+                   if e.seq <= prev_seq then
+                     Alcotest.failf "task %d: seq not increasing" id;
+                   if e.t_sim < prev_sim then
+                     Alcotest.failf "task %d: simulated time went backwards" id;
+                   (e.seq, e.t_sim))
+                 (-1, 0.0) tl)
+          | _ -> ())
+        ids;
+      true)
+
+(* Partner_match edges name exactly the tasks the coordination layer
+   reported for the same entanglement event (the on_entangle hook is
+   the schedule recorder's ground truth). *)
+let prop_entangle_edges =
+  QCheck2.Test.make ~name:"entanglement edges name txns that coordinated"
+    ~count:25 Gen.entangled_batch_gen (fun (programs, _lonely) ->
+      with_event_log @@ fun () ->
+      let m = Gen.travel_manager () in
+      let coordinated : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+      Scheduler.set_on_entangle (Manager.scheduler m)
+        (Some
+           (fun ~event participants ->
+             let tasks =
+               List.filter_map
+                 (fun (txn, _tables) -> Event.task_of_txn txn)
+                 participants
+             in
+             Hashtbl.replace coordinated event tasks));
+      List.iter (fun p -> ignore (Manager.submit m p)) programs;
+      Manager.drain m;
+      let matches =
+        List.filter_map
+          (fun (e : Event.t) ->
+            match e.kind with
+            | Event.Partner_match { event; peers } ->
+              Some (event, e.task, peers)
+            | _ -> None)
+          (Event.events ())
+      in
+      List.iter
+        (fun (event, task, peers) ->
+          match Hashtbl.find_opt coordinated event with
+          | None ->
+            Alcotest.failf
+              "partner_match for event %d has no coordination record" event
+          | Some tasks ->
+            let edge = List.sort compare (task :: peers) in
+            if List.sort compare tasks <> edge then
+              Alcotest.failf
+                "event %d: partner_match names [%s], coordination saw [%s]"
+                event
+                (String.concat "," (List.map string_of_int edge))
+                (String.concat "," (List.map string_of_int tasks)))
+        matches;
+      true)
+
+(* The attribution is an exact partition: per committed task, the five
+   phase times sum to the measured first-event→finalize interval. *)
+let prop_attrib_partition =
+  QCheck2.Test.make ~name:"phase attribution partitions each txn's latency"
+    ~count:25 Gen.entangled_batch_gen (fun (programs, _lonely) ->
+      with_event_log @@ fun () ->
+      let m = Gen.travel_manager () in
+      List.iter (fun p -> ignore (Manager.submit m p)) programs;
+      Manager.drain m;
+      let reports =
+        Attrib.of_events ~time:(fun (e : Event.t) -> e.t_sim) (Event.events ())
+      in
+      List.iter
+        (fun (r : Attrib.txn_report) ->
+          if r.outcome = Some "committed" then begin
+            let attributed =
+              List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.by_phase
+            in
+            if Float.abs (attributed -. r.total_s) > 1e-9 then
+              Alcotest.failf "task %d: attributed %.9f <> measured %.9f" r.task
+                attributed r.total_s
+          end)
+        reports;
+      true)
+
+(* A fixed two-pair workload: the Perfetto export round-trips through
+   Obs.Json preserving the event count, passes the trace validator,
+   and its flow (entanglement) edges agree with the group commits. *)
+let test_trace_export () =
+  with_event_log @@ fun () ->
+  let m = Gen.travel_manager () in
+  let submit s = ignore (Manager.submit m (Program.of_string s)) in
+  submit (Gen.flight_program "Mickey" "Minnie");
+  submit (Gen.flight_program "Minnie" "Mickey");
+  submit (Gen.flight_program "Donald" "Daisy");
+  submit (Gen.flight_program "Daisy" "Donald");
+  Manager.drain m;
+  let evs = Event.events () in
+  let doc = Trace.to_json evs in
+  (* 1. validator accepts the export *)
+  Alcotest.(check bool) "export is a trace document" true (Ent_obs.Schema.is_trace doc);
+  (match Ent_obs.Schema.validate_trace doc with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  (* 2. print/parse round-trip preserves the document and the counts *)
+  let reparsed = Json.of_string (Json.to_string doc) in
+  Alcotest.(check bool) "round-trip preserves the document" true
+    (reparsed = doc);
+  let trace_events =
+    match Json.member "traceEvents" reparsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let phase p =
+    List.filter
+      (fun ev -> Json.member "ph" ev = Some (Json.Str p))
+      trace_events
+  in
+  Alcotest.(check int) "one instant per log event" (List.length evs)
+    (List.length (phase "i"));
+  (* 3. every entangled pair that group-committed appears as one flow
+     edge (s/f pair) between the partners' tracks *)
+  let committed_pairs =
+    List.fold_left
+      (fun acc (e : Event.t) ->
+        match e.kind with
+        | Event.Group_commit { members } ->
+          let k = List.length members in
+          acc + (k * (k - 1) / 2)
+        | _ -> acc)
+      0 evs
+  in
+  Alcotest.(check int) "two entangled pairs committed" 2 committed_pairs;
+  Alcotest.(check int) "flow starts match group-commit pairs" committed_pairs
+    (List.length (phase "s"));
+  Alcotest.(check int) "flow finishes match group-commit pairs" committed_pairs
+    (List.length (phase "f"));
+  (* 4. corrupting the document trips the validator: drop one flow
+     finish so the start/finish multisets no longer balance *)
+  let broken =
+    match doc with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k <> "traceEvents" then (k, v)
+             else
+               match v with
+               | Json.List l ->
+                 let dropped_one = ref false in
+                 ( k,
+                   Json.List
+                     (List.filter
+                        (fun ev ->
+                          if
+                            (not !dropped_one)
+                            && Json.member "ph" ev = Some (Json.Str "f")
+                          then begin
+                            dropped_one := true;
+                            false
+                          end
+                          else true)
+                        l) )
+               | _ -> (k, v))
+           fields)
+    | _ -> assert false
+  in
+  match Ent_obs.Schema.validate_trace broken with
+  | Ok () -> Alcotest.fail "unbalanced flow events accepted"
+  | Error _ -> ()
+
+let test_event_log_off_is_noop () =
+  Event.set_logging false;
+  Event.reset ();
+  Event.emit ~txn:1 ~task:1 Event.Begin;
+  Event.emit (Event.Run_start { pool = 3 });
+  Alcotest.(check int) "no events recorded" 0 (List.length (Event.events ()))
+
 let () =
   Alcotest.run "obs"
     [ ( "hist",
@@ -315,4 +564,12 @@ let () =
             test_reference_fixtures_valid ] );
       ( "integration",
         [ Alcotest.test_case "entangled workload lights up every layer"
-            `Quick test_entangled_workload_metrics ] ) ]
+            `Quick test_entangled_workload_metrics ] );
+      ( "events",
+        [ Gen.to_alcotest prop_event_lifecycle;
+          Gen.to_alcotest prop_entangle_edges;
+          Gen.to_alcotest prop_attrib_partition;
+          Alcotest.test_case "Perfetto export: round-trip, flows, validator"
+            `Quick test_trace_export;
+          Alcotest.test_case "logging off records nothing" `Quick
+            test_event_log_off_is_noop ] ) ]
