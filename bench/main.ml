@@ -21,7 +21,10 @@
    cell runs with event logging on and its Perfetto trace is written
    to FILE.json. "validate FILE..." checks BENCH_*.json and trace
    documents against the schema and exits nonzero on the first
-   violation — CI's bench-smoke gate. *)
+   violation — CI's bench-smoke gate. "perfgate FRESH.json
+   BASELINE.json [--tolerance 0.30]" compares per-transaction
+   throughput per series against a checked-in baseline and exits
+   nonzero on a regression beyond the tolerance — CI's perf gate. *)
 
 open Ent_core
 open Ent_workload
@@ -564,6 +567,97 @@ let microbenches () =
          in
          Printf.printf "%-40s %16.1f\n%!" name ns)
 
+(* --- perf gate ---
+
+   Compare a fresh BENCH_fig6*.json against a checked-in baseline and
+   fail on throughput regressions. Runs at different BENCH_TXNS are
+   comparable because cells are homogeneous: time per transaction is
+   the unit, throughput its inverse. Per-series we compare the mean
+   per-transaction throughput over the points both documents share;
+   the tolerance absorbs scale effects (cache warm-up, pool mixing). *)
+
+let perfgate ~tolerance ~fresh ~baseline =
+  let load path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Json.of_string (In_channel.input_all ic))
+  in
+  let series_of doc =
+    let txns =
+      match Json.member "bench_txns" doc with
+      | Some t -> Option.value ~default:1 (Json.to_int_opt t)
+      | None -> 1
+    in
+    match Json.member "series" doc with
+    | Some (Json.List series) ->
+      List.filter_map
+        (fun s ->
+          match Json.member "name" s, Json.member "points" s with
+          | Some (Json.Str name), Some (Json.List points) ->
+            let points =
+              List.filter_map
+                (fun p ->
+                  match Json.member "x" p, Json.member "time_s" p with
+                  | Some x, Some t -> (
+                    match Json.to_int_opt x, Json.to_float_opt t with
+                    | Some x, Some t when t > 0.0 ->
+                      (* per-transaction throughput (txn / simulated s) *)
+                      Some (x, float_of_int txns /. t)
+                    | _ -> None)
+                  | _ -> None)
+                points
+            in
+            Some (name, points)
+          | _ -> None)
+        series
+    | _ -> []
+  in
+  let fresh_doc = load fresh and baseline_doc = load baseline in
+  let fresh_series = series_of fresh_doc
+  and baseline_series = series_of baseline_doc in
+  let failed = ref false in
+  List.iter
+    (fun (name, base_points) ->
+      match List.assoc_opt name fresh_series with
+      | None ->
+        Printf.eprintf "perfgate: series %s missing from %s\n%!" name fresh;
+        failed := true
+      | Some fresh_points ->
+        let shared =
+          List.filter_map
+            (fun (x, base_tp) ->
+              Option.map
+                (fun fresh_tp -> (base_tp, fresh_tp))
+                (List.assoc_opt x fresh_points))
+            base_points
+        in
+        if shared = [] then begin
+          Printf.eprintf "perfgate: series %s shares no points with baseline\n%!"
+            name;
+          failed := true
+        end
+        else begin
+          let mean sel =
+            List.fold_left (fun acc p -> acc +. sel p) 0.0 shared
+            /. float_of_int (List.length shared)
+          in
+          let base_mean = mean fst and fresh_mean = mean snd in
+          let ratio = fresh_mean /. base_mean in
+          let verdict = ratio >= 1.0 -. tolerance in
+          Printf.printf "%-16s baseline %10.2f txn/s  fresh %10.2f txn/s  %+6.1f%%  %s\n%!"
+            name base_mean fresh_mean
+            ((ratio -. 1.0) *. 100.0)
+            (if verdict then "ok" else "REGRESSION");
+          if not verdict then failed := true
+        end)
+    baseline_series;
+  if baseline_series = [] then begin
+    Printf.eprintf "perfgate: no series found in %s\n%!" baseline;
+    failed := true
+  end;
+  exit (if !failed then 1 else 0)
+
 let validate files =
   let ok =
     List.fold_left
@@ -590,6 +684,19 @@ let () =
       exit 2
     end;
     validate files
+  | _ :: "perfgate" :: rest -> (
+    match rest with
+    | fresh :: baseline :: rest ->
+      let tolerance =
+        match rest with
+        | [ "--tolerance"; t ] -> (try float_of_string t with _ -> 0.30)
+        | _ -> 0.30
+      in
+      perfgate ~tolerance ~fresh ~baseline
+    | _ ->
+      prerr_endline
+        "usage: main.exe perfgate FRESH.json BASELINE.json [--tolerance 0.30]";
+      exit 2)
   | _ :: args ->
     let selected = ref [] in
     let trace_out = ref None in

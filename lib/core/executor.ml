@@ -64,12 +64,17 @@ let start engine (costs : Ent_sim.Cost.t) task =
   (* explicit BEGIN TRANSACTION is one more client round trip *)
   if task.program.transactional then task.work <- task.work +. costs.c_stmt
 
-(* Wrap an access so row traffic is charged to the task. *)
+(* Wrap an access so row traffic is charged to the task. Reads are
+   lazy sequences, so the charge lands per row actually consumed: a
+   LIMIT that stops pulling stops paying. *)
 let counting_access (costs : Ent_sim.Cost.t) task (access : Ent_sql.Eval.access) :
     Ent_sql.Eval.access =
   let charge_rows rows =
-    task.work <- task.work +. (float_of_int (List.length rows) *. costs.c_row);
-    rows
+    Seq.map
+      (fun pair ->
+        task.work <- task.work +. costs.c_row;
+        pair)
+      rows
   in
   {
     access with

@@ -75,7 +75,8 @@ type t = {
   config : config;
   pool : Ent_sim.Pool.t;
   groups : Group.t;
-  mutable dormant : Executor.task list;  (* oldest first *)
+  gcache : Gcache.t;
+  dormant : Executor.task Queue.t;  (* oldest first *)
   mutable arrivals_since_run : int;
   mutable next_task : int;
   mutable next_event : int;
@@ -95,7 +96,8 @@ let create ?(config = default_config) engine =
     config;
     pool = Ent_sim.Pool.create ~connections:config.connections;
     groups = Group.create ();
-    dormant = [];
+    gcache = Gcache.create (Ent_txn.Engine.catalog engine);
+    dormant = Queue.create ();
     arrivals_since_run = 0;
     next_task = 1;
     next_event = 1;
@@ -137,10 +139,15 @@ let results t =
     (fun id -> (id, Hashtbl.find t.outcomes id))
     t.result_order
 
-let dormant t = List.map (fun (task : Executor.task) -> task.task_id) t.dormant
+let dormant t =
+  List.of_seq
+    (Seq.map (fun (task : Executor.task) -> task.task_id) (Queue.to_seq t.dormant))
 
 let dormant_programs t =
-  List.map (fun (task : Executor.task) -> task.program) t.dormant
+  List.of_seq
+    (Seq.map (fun (task : Executor.task) -> task.program) (Queue.to_seq t.dormant))
+
+let gcache_stats t = Gcache.stats t.gcache
 
 let answers_of t task_id =
   match Hashtbl.find_opt t.task_index task_id with
@@ -176,6 +183,11 @@ let drain_work t (task : Executor.task) =
    is provided by q''s chosen head. Each component is one entanglement
    operation E (it corresponds to one connected combined query in the
    algorithm of [6]). *)
+let id_set ids =
+  let set = Hashtbl.create (List.length ids) in
+  List.iter (fun id -> Hashtbl.replace set id ()) ids;
+  set
+
 let components (answered : (Executor.task * Ground.grounding) list) =
   let uf = Group.create () in
   let providers : (Ir.ground_atom, int list) Hashtbl.t = Hashtbl.create 64 in
@@ -202,10 +214,10 @@ let components (answered : (Executor.task * Ground.grounding) list) =
     (fun ((task : Executor.task), _) ->
       if Hashtbl.mem seen task.task_id then None
       else begin
-        let member_ids = Group.members uf task.task_id in
+        let member_ids = id_set (Group.members uf task.task_id) in
         let members =
           List.filter
-            (fun ((other : Executor.task), _) -> List.mem other.task_id member_ids)
+            (fun ((other : Executor.task), _) -> Hashtbl.mem member_ids other.task_id)
             answered
         in
         List.iter (fun ((o : Executor.task), _) -> Hashtbl.replace seen o.task_id ()) members;
@@ -220,7 +232,7 @@ let repool t (task : Executor.task) =
   t.stats.repooled <- t.stats.repooled + 1;
   Obs.incr m_repooled;
   Event.emit ~task:task.task_id Event.Pool_enter;
-  t.dormant <- t.dormant @ [ task ]
+  Queue.add task t.dormant
 
 let fail_or_repool t (task : Executor.task) =
   (* The engine transaction is already aborted at this point. *)
@@ -249,21 +261,48 @@ let fail_or_repool t (task : Executor.task) =
     else repool t task
 
 let run_once t =
-  if t.dormant <> [] then begin
+  if not (Queue.is_empty t.dormant) then begin
     let costs = t.config.costs in
     let isolation = t.config.isolation in
     t.stats.runs <- t.stats.runs + 1;
     Obs.incr m_runs;
     t.arrivals_since_run <- 0;
     Group.reset t.groups;
-    let tasks = t.dormant in
+    let tasks = List.of_seq (Queue.to_seq t.dormant) in
+    Queue.clear t.dormant;
     Obs.observe m_run_length (float_of_int (List.length tasks));
     ignore (Event.new_run ());
     Event.emit (Event.Run_start { pool = List.length tasks });
-    t.dormant <- [];
-    let live = ref tasks in
-    let find_by_txn txn =
-      List.find_opt (fun (task : Executor.task) -> task.txn = txn) !live
+    (* Liveness is a hash set keyed by task id; iteration stays on the
+       original [tasks] list (pool order) and skips dead entries, so
+       removal is O(1) without disturbing the deterministic order. *)
+    let alive : (int, Executor.task) Hashtbl.t =
+      Hashtbl.create (List.length tasks)
+    in
+    let rank : (int, int) Hashtbl.t = Hashtbl.create (List.length tasks) in
+    List.iteri
+      (fun i (task : Executor.task) ->
+        Hashtbl.replace alive task.task_id task;
+        Hashtbl.replace rank task.task_id i)
+      tasks;
+    let iter_live f =
+      List.iter
+        (fun (task : Executor.task) ->
+          if Hashtbl.mem alive task.task_id then f task)
+        tasks
+    in
+    let live_tasks () =
+      List.filter
+        (fun (task : Executor.task) -> Hashtbl.mem alive task.task_id)
+        tasks
+    in
+    (* Live members of a group, in pool order (groups are tiny, the
+       sort is noise). *)
+    let members_live ids =
+      List.filter_map (fun id -> Hashtbl.find_opt alive id) ids
+      |> List.sort (fun (a : Executor.task) (b : Executor.task) ->
+             Int.compare (Hashtbl.find rank a.task_id)
+               (Hashtbl.find rank b.task_id))
     in
     (* Round-robin connection assignment: one transaction per
        connection at a time; a greedy least-loaded pick would dump a
@@ -305,15 +344,14 @@ let run_once t =
           drain_work t_ task;
           t_.stats.commits <- t_.stats.commits + 1;
           finalize t_ task Committed;
-          live := List.filter (fun (o : Executor.task) -> o.task_id <> task.task_id) !live)
+          Hashtbl.remove alive task.task_id)
         members
     in
     let progress = ref true in
     while !progress do
       progress := false;
       (* 1. step every runnable task *)
-      List.iter
-        (fun (task : Executor.task) ->
+      iter_live (fun (task : Executor.task) ->
           if task.status = Runnable then begin
             Fault.hit s_step;
             Executor.step t.engine isolation costs task;
@@ -325,31 +363,31 @@ let run_once t =
               Obs.incr m_deadlocks
             end;
             progress := true
-          end)
-        !live;
-      (* 2. lock wake-ups *)
+          end);
+      (* 2. lock wake-ups. Txn ids drift as -Q tasks autocommit, so the
+         txn→task map is rebuilt per batch: O(live + woken), not
+         O(live × woken). *)
       let woken = Ent_txn.Engine.take_wakeups t.engine in
-      List.iter
-        (fun txn ->
-          match find_by_txn txn with
-          | Some task when task.status = Waiting_lock ->
-            task.status <- Runnable;
-            Event.emit ~txn:task.txn ~task:task.task_id Event.Lock_grant;
-            progress := true
-          | _ -> ())
-        woken;
+      if woken <> [] then begin
+        let by_txn : (int, Executor.task) Hashtbl.t = Hashtbl.create 32 in
+        iter_live (fun task -> Hashtbl.replace by_txn task.txn task);
+        List.iter
+          (fun txn ->
+            match Hashtbl.find_opt by_txn txn with
+            | Some task when task.status = Waiting_lock ->
+              task.status <- Runnable;
+              Event.emit ~txn:task.txn ~task:task.task_id Event.Lock_grant;
+              progress := true
+            | _ -> ())
+          woken
+      end;
       (* 3. group commits: a ready task commits as soon as every live
          member of its entanglement group is ready (Figure 4). *)
       let committed_some = ref false in
       let consider (task : Executor.task) =
-        if task.status = Ready && List.exists (fun (o : Executor.task) -> o.task_id = task.task_id) !live
+        if task.status = Ready && Hashtbl.mem alive task.task_id
         then begin
-          let member_ids = Group.members t.groups task.task_id in
-          let member_tasks =
-            List.filter
-              (fun (o : Executor.task) -> List.mem o.task_id member_ids)
-              !live
-          in
+          let member_tasks = members_live (Group.members t.groups task.task_id) in
           let all_ready =
             (not isolation.group_commit)
             || List.for_all
@@ -373,10 +411,7 @@ let run_once t =
                   member.work <- member.work +. costs.c_abort;
                   drain_work t member;
                   finalize t member (Errored ("constraint violated: " ^ name));
-                  live :=
-                    List.filter
-                      (fun (o : Executor.task) -> o.task_id <> member.task_id)
-                      !live)
+                  Hashtbl.remove alive member.task_id)
                 to_commit;
               committed_some := true
             | None ->
@@ -385,7 +420,7 @@ let run_once t =
           end
         end
       in
-      List.iter consider !live;
+      iter_live consider;
       if !committed_some then progress := true;
       (* 4. when nothing else can move: evaluate all pending entangled
          queries together *)
@@ -393,7 +428,7 @@ let run_once t =
         let pending =
           List.filter
             (fun (task : Executor.task) -> task.status = Waiting_entangled)
-            !live
+            (live_tasks ())
         in
         let entries =
           List.filter_map
@@ -405,11 +440,21 @@ let run_once t =
                   Ent_txn.Engine.access t.engine task.txn ~grounding:true
                     ~lock_reads:isolation.lock_grounding_reads ()
                 in
-                match Ground.compute ~access ~env:task.env ir with
-                | groundings ->
+                (* A cache hit re-acquires the footprint's grounding
+                   locks through [touch]; blocking/deadlock there is
+                   handled exactly like a blocked recomputation. *)
+                let touch tables =
+                  Ent_txn.Engine.touch_grounding_tables t.engine task.txn
+                    ~lock_reads:isolation.lock_grounding_reads tables
+                in
+                match
+                  Gcache.compute t.gcache ~access ~touch ~env:task.env ir
+                with
+                | groundings, cached ->
                   task.work <-
                     task.work
-                    +. (float_of_int (List.length groundings) *. costs.c_ground);
+                    +. (float_of_int (List.length groundings)
+                       *. if cached then costs.c_ground_hit else costs.c_ground);
                   drain_work t task;
                   Some (task, ir, groundings)
                 | exception Ent_txn.Engine.Blocked _ ->
@@ -445,7 +490,13 @@ let run_once t =
             | Search -> Coordinate.evaluate entry_triples
             | Combined -> Combined.evaluate entry_triples
           in
-          let outcome_of task_id = List.assoc task_id results in
+          let result_index = Hashtbl.create (List.length results) in
+          List.iter
+            (fun (task_id, outcome) ->
+              if not (Hashtbl.mem result_index task_id) then
+                Hashtbl.add result_index task_id outcome)
+            results;
+          let outcome_of task_id = Hashtbl.find result_index task_id in
           let answered =
             List.filter_map
               (fun ((task : Executor.task), _, _) ->
@@ -490,11 +541,7 @@ let run_once t =
                 let tag = List.fold_left min max_int full_group in
                 List.iter
                   (fun tid ->
-                    match
-                      List.find_opt
-                        (fun (o : Executor.task) -> o.task_id = tid)
-                        tasks
-                    with
+                    match Hashtbl.find_opt alive tid with
                     | Some member
                       when Ent_txn.Engine.is_active t.engine member.txn ->
                       Ent_txn.Engine.set_lock_group t.engine ~txn:member.txn
@@ -539,8 +586,8 @@ let run_once t =
        abort cascade falls out: a ready task whose partner failed was
        never committed, so it lands here and aborts); final failures
        are recorded; expired timeouts fail permanently. *)
-    let leftovers = !live in
-    live := [];
+    let leftovers = live_tasks () in
+    Hashtbl.reset alive;
     (* A Ready leftover finished its statements but its group never
        committed (a partner failed or never arrived): aborting and
        repooling it here is exactly the widow prevention of §3.4. *)
@@ -558,10 +605,10 @@ let run_once t =
     List.iter
       (fun (task : Executor.task) ->
         if not (Hashtbl.mem seen task.task_id) then begin
-          let member_ids = Group.members t.groups task.task_id in
+          let member_ids = id_set (Group.members t.groups task.task_id) in
           let members =
             List.filter
-              (fun (o : Executor.task) -> List.mem o.task_id member_ids)
+              (fun (o : Executor.task) -> Hashtbl.mem member_ids o.task_id)
               leftovers
           in
           List.iter
@@ -587,11 +634,12 @@ let run_once t =
        pool state: recovery then falls back to the previous snapshot. *)
     if t.config.snapshot_pool && not (Fault.drops s_pool_snapshot) then
       Ent_txn.Engine.log_pool_snapshot t.engine
-        (List.map
-           (fun (task : Executor.task) -> Program.to_string task.program)
-           t.dormant);
-    Obs.set m_dormant (float_of_int (List.length t.dormant));
-    Event.emit (Event.Run_end { dormant = List.length t.dormant });
+        (List.of_seq
+           (Seq.map
+              (fun (task : Executor.task) -> Program.to_string task.program)
+              (Queue.to_seq t.dormant)));
+    Obs.set m_dormant (float_of_int (Queue.length t.dormant));
+    Event.emit (Event.Run_end { dormant = Queue.length t.dormant });
     t.last_run_end <- now t
   end
 
@@ -602,8 +650,8 @@ let submit t program =
   let task = Executor.make_task ~task_id ~arrival:(now t) program in
   Hashtbl.replace t.task_index task_id task;
   Event.emit ~task:task_id Event.Pool_enter;
-  t.dormant <- t.dormant @ [ task ];
-  Obs.set m_dormant (float_of_int (List.length t.dormant));
+  Queue.add task t.dormant;
+  Obs.set m_dormant (float_of_int (Queue.length t.dormant));
   t.arrivals_since_run <- t.arrivals_since_run + 1;
   (match t.config.trigger with
   | Every_arrivals f when t.arrivals_since_run >= f -> run_once t
@@ -627,9 +675,7 @@ let wait_graph t =
       t.task_index []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
-  let dormant_ids =
-    List.map (fun (task : Executor.task) -> task.task_id) t.dormant
-  in
+  let dormant_ids = id_set (dormant t) in
   let task_of_txn txn =
     if txn < 0 then None
     else
@@ -641,7 +687,7 @@ let wait_graph t =
   let nodes =
     List.map
       (fun (id, (task : Executor.task)) ->
-        let in_pool = List.mem id dormant_ids in
+        let in_pool = Hashtbl.mem dormant_ids id in
         let state =
           if in_pool then "in-pool"
           else Format.asprintf "%a" Executor.pp_status task.status
@@ -710,13 +756,13 @@ let wait_graph t =
 
 let drain ?(max_runs = 10_000) t =
   let rec go remaining =
-    if remaining > 0 && t.dormant <> [] then begin
+    if remaining > 0 && not (Queue.is_empty t.dormant) then begin
       let before_commits = t.stats.commits in
-      let before_pool = List.length t.dormant in
+      let before_pool = Queue.length t.dormant in
       run_once t;
       let progressed =
         t.stats.commits > before_commits
-        || List.length t.dormant < before_pool
+        || Queue.length t.dormant < before_pool
       in
       if progressed then go (remaining - 1)
     end

@@ -108,6 +108,10 @@ val advance_time : t -> float -> unit
 
 val stats : t -> stats
 
+(** Grounding-cache (hits, misses, invalidations) since {!create}
+    ({!Ent_entangle.Gcache.stats} of the scheduler's own cache). *)
+val gcache_stats : t -> int * int * int
+
 (** Per-connection simulated load (diagnostics / benchmarks). *)
 val connection_loads : t -> float array
 

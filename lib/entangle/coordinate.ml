@@ -26,32 +26,84 @@ type outcome =
 (* Fixpoint: repeatedly drop queries having a postcondition pattern
    that unifies with no remaining query's head pattern. Dropped
    queries are the No_partner ones; the criterion only looks at query
-   structure, never at data, as Appendix B requires. *)
+   structure, never at data, as Appendix B requires.
+
+   Maintained incrementally: each postcondition keeps a count of the
+   alive heads it unifies with (candidates narrowed by (rel, arity)
+   buckets); when a query dies its heads decrement the counts of the
+   posts they supported, and a count reaching zero kills that post's
+   owner in turn (worklist). Total work is bounded by the number of
+   unifiable (post, head) pairs, instead of pairs × fixpoint rounds. *)
 let structurally_blocked queries =
-  let alive = Hashtbl.create 16 in
-  List.iter (fun (qid, _) -> Hashtbl.replace alive qid true) queries;
-  let heads_of_alive () =
-    List.concat_map
-      (fun (qid, (q : Ir.t)) -> if Hashtbl.find alive qid then q.head else [])
-      queries
+  let sig_of (a : Ir.atom) = (a.rel, List.length a.args) in
+  (* posts bucketed by signature, as (owner qid, support count ref) *)
+  let posts_by_sig : (string * int, (int * Ir.atom * int ref) list ref) Hashtbl.t
+      =
+    Hashtbl.create 16
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let heads = heads_of_alive () in
+  let bucket s =
+    match Hashtbl.find_opt posts_by_sig s with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add posts_by_sig s b;
+      b
+  in
+  let alive = Hashtbl.create 16 in
+  List.iter
+    (fun (qid, (q : Ir.t)) ->
+      Hashtbl.replace alive qid true;
+      List.iter
+        (fun post ->
+          let b = bucket (sig_of post) in
+          b := (qid, post, ref 0) :: !b)
+        q.post)
+    queries;
+  (* initial support: every (post, head) unifiable pair, same-signature
+     candidates only *)
+  List.iter
+    (fun (_, (q : Ir.t)) ->
+      List.iter
+        (fun head ->
+          match Hashtbl.find_opt posts_by_sig (sig_of head) with
+          | None -> ()
+          | Some b ->
+            List.iter
+              (fun (_, post, count) ->
+                if Ir.unifiable post head then incr count)
+              !b)
+        q.head)
+    queries;
+  let worklist = Queue.create () in
+  let kill qid =
+    if Hashtbl.find alive qid then begin
+      Hashtbl.replace alive qid false;
+      Queue.add qid worklist
+    end
+  in
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter (fun (qid, _, count) -> if !count = 0 then kill qid) !b)
+    posts_by_sig;
+  let heads_of = Hashtbl.create 16 in
+  List.iter
+    (fun (qid, (q : Ir.t)) -> Hashtbl.replace heads_of qid q.head)
+    queries;
+  while not (Queue.is_empty worklist) do
+    let dead = Queue.pop worklist in
     List.iter
-      (fun (qid, (q : Ir.t)) ->
-        if Hashtbl.find alive qid then
-          let ok =
-            List.for_all
-              (fun post -> List.exists (Ir.unifiable post) heads)
-              q.post
-          in
-          if not ok then begin
-            Hashtbl.replace alive qid false;
-            changed := true
-          end)
-      queries
+      (fun head ->
+        match Hashtbl.find_opt posts_by_sig (sig_of head) with
+        | None -> ()
+        | Some b ->
+          List.iter
+            (fun (qid, post, count) ->
+              if Hashtbl.find alive qid && Ir.unifiable post head then begin
+                decr count;
+                if !count = 0 then kill qid
+              end)
+            !b)
+      (Hashtbl.find heads_of dead)
   done;
   List.filter_map
     (fun (qid, _) -> if Hashtbl.find alive qid then None else Some qid)
@@ -75,13 +127,19 @@ let evaluate ?(budget = 200_000) queries =
         (fun (qid, _, _) -> if Fault.drops s_partner_drop then Some qid else None)
         queries
   in
+  let set_of ids =
+    let set = Hashtbl.create (List.length ids) in
+    List.iter (fun id -> Hashtbl.replace set id ()) ids;
+    set
+  in
+  let dropped_set = set_of dropped in
   let live =
-    List.filter (fun (qid, _, _) -> not (List.mem qid dropped)) queries
+    List.filter (fun (qid, _, _) -> not (Hashtbl.mem dropped_set qid)) queries
   in
   let blocked = structurally_blocked (List.map (fun (q, ir, _) -> (q, ir)) live) in
-  let blocked = dropped @ blocked in
+  let blocked_set = set_of (dropped @ blocked) in
   let participants =
-    List.filter (fun (qid, _, _) -> not (List.mem qid blocked)) live
+    List.filter (fun (qid, _, _) -> not (Hashtbl.mem blocked_set qid)) live
   in
   (* Index every grounding by each of its head atoms. *)
   let head_index : (Ir.ground_atom, (int * Ground.grounding) list) Atom_tbl.t =
@@ -169,7 +227,7 @@ let evaluate ?(budget = 200_000) queries =
   let results =
     List.map
       (fun (qid, _, _) ->
-        if List.mem qid blocked then (qid, No_partner)
+        if Hashtbl.mem blocked_set qid then (qid, No_partner)
         else
           match Hashtbl.find_opt assignment qid with
           | Some g -> (qid, Answered g)

@@ -1,0 +1,61 @@
+(** Dependency-tracked grounding cache.
+
+    Every coordination round used to re-run {!Ground.compute} from
+    scratch for every dormant entangled query, even though between
+    rounds most of the database is untouched. This cache memoizes the
+    expensive half of grounding — valuation enumeration — keyed by the
+    query {e body} plus the host-variable bindings it references, so
+    structurally identical queries issued by different transactions
+    (the common case: per-instance tags live in the head/post, not the
+    body) share one computation.
+
+    Soundness rests on three pieces:
+
+    - each miss records its {e read footprint} (tables scanned,
+      [(positions, key)] point probes, [(position, bounds)] range
+      probes) while the enumeration runs;
+    - the storage layer gives every table a monotonic write version and
+      a bounded per-write changelog ({!Ent_storage.Table.changes_since});
+    - a cached entry is served only when, for every table it read,
+      either the version is unchanged or no change since the recorded
+      version intersects the footprint. Truncated changelogs, new
+      indexes (plan changes) and dropped/re-created tables all
+      invalidate conservatively.
+
+    Grounding reads are quasi reads (§3.3.3): they take table-S locks
+    and are re-validated by coordination rather than creating row-level
+    read dependencies. A hit therefore replays the lock side effects
+    through [touch] (same tables, first-read order) without re-reading
+    any rows. *)
+
+type t
+
+(** [create catalog] makes an empty cache over [catalog]'s live
+    tables. [max_entries] bounds the entry count (the cache resets
+    wholesale when full). *)
+val create : ?max_entries:int -> Ent_storage.Catalog.t -> t
+
+(** [compute t ~access ~touch ~env query] returns [query]'s groundings
+    and whether they were served from cache. On a miss the enumeration
+    runs through [access] (recording the footprint); on a hit [touch]
+    is called with the footprint's table names in first-read order so
+    the caller can re-acquire grounding locks — it must raise (like the
+    blocked/deadlocked access reads would) to veto the hit.
+    @raise Ground.Ground_error and whatever [access]/[touch] raise. *)
+val compute :
+  t ->
+  ?limit:int ->
+  access:Ent_sql.Eval.access ->
+  touch:(string list -> unit) ->
+  env:Ent_sql.Eval.env ->
+  Ir.t ->
+  Ground.grounding list * bool
+
+(** (hits, misses, invalidations) since [create]. *)
+val stats : t -> int * int * int
+
+(** Live entry count. *)
+val size : t -> int
+
+(** Drop every cached entry (counters keep their values). *)
+val clear : t -> unit

@@ -51,14 +51,21 @@ let unify_row ~access ~env valuation exprs row =
          valuation exprs row)
   with Mismatch -> None
 
-let compute ?(limit = 10_000) ~access ~env (query : Ir.t) =
+type valuation = Value.t Valuation.t
+
+(* Stage 1 — the expensive, database-reading half: enumerate the
+   valuations satisfying [body] under [env]. This is a pure function of
+   (body, referenced host bindings, database state), which is what
+   makes it cacheable (Gcache); the per-query head/post substitution
+   happens in stage 2. *)
+let valuations ?(limit = 10_000) ~access ~env (body : Ent_sql.Ast.cond) =
   let binders, filters =
     List.partition
       (fun (c : Ent_sql.Ast.cond) ->
         match c with
         | In_select _ -> true
         | _ -> false)
-      (conjuncts query.body)
+      (conjuncts body)
   in
   (* Enumerate valuations binder by binder (left to right, correlated
      subqueries see earlier bindings). *)
@@ -93,6 +100,13 @@ let compute ?(limit = 10_000) ~access ~env (query : Ir.t) =
       filters
   in
   let valuations = List.filter keep valuations in
+  Obs.incr m_computes;
+  Obs.incr ~n:!explored m_valuations;
+  valuations
+
+(* Stage 2 — cheap and database-free: substitute each valuation into
+   the query's head and post atoms and de-duplicate. *)
+let groundings_of (query : Ir.t) valuations =
   let to_grounding valuation =
     let subst atom =
       Ir.substitute
@@ -118,10 +132,11 @@ let compute ?(limit = 10_000) ~access ~env (query : Ir.t) =
         end)
       groundings
   in
-  Obs.incr m_computes;
-  Obs.incr ~n:!explored m_valuations;
   Obs.observe m_size (float_of_int (List.length groundings));
   groundings
+
+let compute ?limit ~access ~env (query : Ir.t) =
+  groundings_of query (valuations ?limit ~access ~env query.body)
 
 let pp_ground_atom ppf ((rel, values) : Ir.ground_atom) =
   Format.fprintf ppf "%s(%a)" rel

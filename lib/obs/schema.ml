@@ -71,9 +71,34 @@ let validate (doc : Json.t) =
             | _ -> err "%s: histogram %s has no integer count" where name)
           hists
       | _ -> err "%s: metrics.histograms missing or not an object" where);
-      match Json.member "gauges" metrics with
+      (match Json.member "gauges" metrics with
       | Some (Json.Obj _) -> ()
-      | _ -> err "%s: metrics.gauges missing or not an object" where)
+      | _ -> err "%s: metrics.gauges missing or not an object" where);
+      (* Grounding-cache consistency: a footprint observation is made at
+         most once per miss (a miss whose enumeration blocks records
+         nothing), and never without one. *)
+      let counter name =
+        Option.bind (Json.member "counters" metrics) (fun c ->
+            Option.bind (Json.member name c) Json.to_int_opt)
+      in
+      let hist_count name =
+        Option.bind (Json.member "histograms" metrics) (fun h ->
+            Option.bind (Json.member name h) (fun o ->
+                Option.bind (Json.member "count" o) Json.to_int_opt))
+      in
+      match
+        ( counter "entangle.gcache.misses",
+          hist_count "entangle.gcache.footprint" )
+      with
+      | Some misses, Some fp ->
+        if fp > misses then
+          err
+            "%s: entangle.gcache.footprint count %d exceeds \
+             entangle.gcache.misses %d"
+            where fp misses
+      | Some misses, None when misses > 0 ->
+        err "%s: entangle.gcache.misses > 0 but no footprint histogram" where
+      | _ -> ())
     | _ -> err "%s: metrics is not an object" where
   in
   (* Latency attribution (PR 4) is optional — pre-PR-4 documents and

@@ -6,6 +6,7 @@ type t = {
   c_commit : float;
   c_abort : float;
   c_ground : float;
+  c_ground_hit : float;
   c_coord : float;
   c_entangle_answer : float;
 }
@@ -19,6 +20,7 @@ let default =
     c_commit = 0.5e-3;
     c_abort = 0.3e-3;
     c_ground = 0.02e-3;
+    c_ground_hit = 0.001e-3;
     c_coord = 0.1e-3;
     c_entangle_answer = 0.05e-3;
   }
@@ -32,6 +34,7 @@ let scale f t =
     c_commit = f *. t.c_commit;
     c_abort = f *. t.c_abort;
     c_ground = f *. t.c_ground;
+    c_ground_hit = f *. t.c_ground_hit;
     c_coord = f *. t.c_coord;
     c_entangle_answer = f *. t.c_entangle_answer;
   }

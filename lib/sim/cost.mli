@@ -15,6 +15,9 @@ type t = {
   c_commit : float;  (** commit (log flush) *)
   c_abort : float;
   c_ground : float;  (** per grounding enumerated *)
+  c_ground_hit : float;
+      (** per grounding served from the grounding cache (validation +
+          lock touch, no enumeration) *)
   c_coord : float;  (** per query included in a coordination round *)
   c_entangle_answer : float;  (** per answered query (answer delivery) *)
 }

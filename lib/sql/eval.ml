@@ -10,10 +10,15 @@ let fresh_env () : env = Hashtbl.create 8
 
 type binding = (string * Schema.t * Tuple.t) list
 
+(* Read paths are sequences: rows are produced lazily, so LIMIT /
+   early-exit consumers stop pulling (and stop paying per-row costs)
+   as soon as they are done, and no intermediate (id, row) list is
+   materialized. Sequences carry interposed effects (metrics, row
+   locks); consume each one at most once. *)
 type access = {
   schema_of : string -> Schema.t;
-  scan : string -> (int * Tuple.t) list;
-  lookup : string -> positions:int list -> Value.t list -> (int * Tuple.t) list;
+  scan : string -> (int * Tuple.t) Seq.t;
+  lookup : string -> positions:int list -> Value.t list -> (int * Tuple.t) Seq.t;
   insert : string -> Value.t array -> int;
   update : string -> int -> Value.t array -> unit;
   delete : string -> int -> unit;
@@ -25,7 +30,7 @@ type access = {
     position:int ->
     lo:Ordered_index.bound ->
     hi:Ordered_index.bound ->
-    (int * Tuple.t) list;
+    (int * Tuple.t) Seq.t;
   has_range : string -> int -> bool;
   drop : string -> unit;
 }
@@ -38,8 +43,9 @@ let direct_access catalog =
   in
   {
     schema_of = (fun name -> Table.schema (table name));
-    scan = (fun name -> Table.to_list (table name));
-    lookup = (fun name ~positions key -> Table.lookup (table name) ~positions key);
+    scan = (fun name -> Table.to_seq (table name));
+    lookup =
+      (fun name ~positions key -> Table.lookup_seq (table name) ~positions key);
     insert = (fun name row -> Table.insert (table name) row);
     update = (fun name id row -> ignore (Table.update (table name) id row));
     delete = (fun name id -> ignore (Table.delete (table name) id));
@@ -65,7 +71,7 @@ let direct_access catalog =
         Table.add_ordered_index t ~position:(Schema.index_of schema column));
     range =
       (fun name ~position ~lo ~hi ->
-        Table.range_lookup (table name) ~position ~lo ~hi);
+        Table.range_lookup_seq (table name) ~position ~lo ~hi);
     has_range = (fun name position -> Table.has_ordered_index (table name) ~position);
     drop = (fun name -> Catalog.drop catalog name);
   }
@@ -220,50 +226,54 @@ let rec eval_cond ?var access env binding (cond : Ast.cond) =
   | In_answer _ ->
     fail "IN ANSWER can only appear inside an entangled query"
 
-(* Nested-loop join with an index fast path per table. The full WHERE
-   is re-checked on the joined binding, so probes are only a filter. *)
+(* Candidate rows of one FROM table given the rows already bound:
+   probe an equality index from WHERE conjuncts when possible, else a
+   range index, else scan. The caller re-checks the full WHERE on the
+   joined binding, so probes are only a filter. Shared by SELECT's
+   nested-loop join and by UPDATE/DELETE victim selection. *)
+and table_candidates ?var access env binding (where : Ast.cond) table alias =
+  let schema = access.schema_of table in
+  let probes = equality_probes alias schema (evaluable_now binding) where in
+  match probes with
+  | [] -> (
+    (* no equality probe: try a range probe on an ordered index *)
+    let ranged =
+      List.filter
+        (fun (pos, _, _, _) -> access.has_range table pos)
+        (range_probes alias schema (evaluable_now binding) where)
+    in
+    match ranged with
+    | [] -> access.scan table
+    | (pos, _, _, _) :: _ ->
+      let mine = List.filter (fun (p, _, _, _) -> p = pos) ranged in
+      let bound side =
+        (* combine same-side bounds conservatively: use the first *)
+        List.fold_left
+          (fun acc (_, s, inclusive, e) ->
+            if s <> side || acc <> Ordered_index.Unbounded then acc
+            else
+              let v = eval_expr ?var access env binding e in
+              if inclusive then Ordered_index.Inclusive v
+              else Ordered_index.Exclusive v)
+          Ordered_index.Unbounded mine
+      in
+      access.range table ~position:pos ~lo:(bound `Lo) ~hi:(bound `Hi))
+  | _ ->
+    let positions = List.map fst probes in
+    let key =
+      List.map (fun (_, e) -> eval_expr ?var access env binding e) probes
+    in
+    access.lookup table ~positions key
+
+(* Nested-loop join with an index fast path per table. *)
 and join_rows ?var access env outer_binding (sel : Ast.select) k =
   let rec go binding = function
     | [] -> if eval_cond ?var access env binding sel.where then k binding
     | (table, alias) :: rest ->
       let schema = access.schema_of table in
-      let probes =
-        equality_probes alias schema (evaluable_now binding) sel.where
-      in
-      let candidates =
-        match probes with
-        | [] -> (
-          (* no equality probe: try a range probe on an ordered index *)
-          let ranged =
-            List.filter
-              (fun (pos, _, _, _) -> access.has_range table pos)
-              (range_probes alias schema (evaluable_now binding) sel.where)
-          in
-          match ranged with
-          | [] -> access.scan table
-          | (pos, _, _, _) :: _ ->
-            let mine = List.filter (fun (p, _, _, _) -> p = pos) ranged in
-            let bound side =
-              (* combine same-side bounds conservatively: use the first *)
-              List.fold_left
-                (fun acc (_, s, inclusive, e) ->
-                  if s <> side || acc <> Ordered_index.Unbounded then acc
-                  else
-                    let v = eval_expr ?var access env binding e in
-                    if inclusive then Ordered_index.Inclusive v
-                    else Ordered_index.Exclusive v)
-                Ordered_index.Unbounded mine
-            in
-            access.range table ~position:pos ~lo:(bound `Lo) ~hi:(bound `Hi))
-        | _ ->
-          let positions = List.map fst probes in
-          let key =
-            List.map (fun (_, e) -> eval_expr ?var access env binding e) probes
-          in
-          access.lookup table ~positions key
-      in
-      List.iter (fun (_, row) -> go (binding @ [ (alias, schema, row) ]) rest)
-        candidates
+      Seq.iter
+        (fun (_, row) -> go (binding @ [ (alias, schema, row) ]) rest)
+        (table_candidates ?var access env binding sel.where table alias)
   in
   go outer_binding sel.from
 
@@ -520,10 +530,13 @@ let exec_stmt access env (stmt : Ast.stmt) =
     Affected 1
   | Update { table; set; where } ->
     let schema = access.schema_of table in
+    (* victims are materialized before the first write so the mutation
+       never races the (index- or scan-backed) candidate sequence *)
     let victims =
-      List.filter
-        (fun (_, row) -> eval_cond access env [ (table, schema, row) ] where)
-        (access.scan table)
+      List.of_seq
+        (Seq.filter
+           (fun (_, row) -> eval_cond access env [ (table, schema, row) ] where)
+           (table_candidates access env [] where table table))
     in
     List.iter
       (fun (id, row) ->
@@ -541,9 +554,10 @@ let exec_stmt access env (stmt : Ast.stmt) =
   | Delete { table; where } ->
     let schema = access.schema_of table in
     let victims =
-      List.filter
-        (fun (_, row) -> eval_cond access env [ (table, schema, row) ] where)
-        (access.scan table)
+      List.of_seq
+        (Seq.filter
+           (fun (_, row) -> eval_cond access env [ (table, schema, row) ] where)
+           (table_candidates access env [] where table table))
     in
     List.iter (fun (id, _) -> access.delete table id) victims;
     Affected (List.length victims)

@@ -19,10 +19,15 @@ val fresh_env : unit -> env
     for each FROM table, innermost last. *)
 type binding = (string * Schema.t * Tuple.t) list
 
+(** Read paths ([scan]/[lookup]/[range]) are lazy sequences: consumers
+    that stop early (LIMIT, EXISTS-style checks) never pull — or pay
+    for — the remaining rows. Interposed layers attach per-row effects
+    (row locks, cost accounting) to the sequence, so each returned
+    sequence must be consumed at most once. *)
 type access = {
   schema_of : string -> Schema.t;
-  scan : string -> (int * Tuple.t) list;
-  lookup : string -> positions:int list -> Value.t list -> (int * Tuple.t) list;
+  scan : string -> (int * Tuple.t) Seq.t;
+  lookup : string -> positions:int list -> Value.t list -> (int * Tuple.t) Seq.t;
   insert : string -> Value.t array -> int;
   update : string -> int -> Value.t array -> unit;
   delete : string -> int -> unit;
@@ -34,7 +39,7 @@ type access = {
     position:int ->
     lo:Ordered_index.bound ->
     hi:Ordered_index.bound ->
-    (int * Tuple.t) list;
+    (int * Tuple.t) Seq.t;
   has_range : string -> int -> bool;
       (** is there an ordered index on this column? (guides the planner) *)
   drop : string -> unit;

@@ -12,21 +12,94 @@ let m_range_scans = Obs.counter "storage.index.missing_range_lookups"
 
 type row_id = int
 
+type change = {
+  c_before : Tuple.t option;
+  c_after : Tuple.t option;
+}
+
+(* Per-write changelog entries kept for readers that validate cached
+   results (the grounding cache): bounded, newest first, versions
+   consecutive within the retained segment. [change_floor] is the
+   highest version whose entry has been discarded — a reader that needs
+   history from at or below the floor must treat the table as fully
+   changed. *)
+let changelog_cap = 256
+
 type t = {
   name : string;
   schema : Schema.t;
   mutable slots : Tuple.t option array;
   mutable next_id : int;
   mutable live : int;
-  mutable indexes : Index.t list;
-  mutable ordered : Ordered_index.t list;
+  (* hash indexes keyed by their (sorted) column positions, ordered
+     indexes keyed by their single position: O(1) discovery per
+     statement instead of a structural List.find_opt *)
+  indexes : (int list, Index.t) Hashtbl.t;
+  ordered : (int, Ordered_index.t) Hashtbl.t;
+  mutable version : int;
+  mutable changes : (int * change) list;  (* newest first *)
+  mutable changes_len : int;
+  mutable change_floor : int;
 }
 
 let create ?(name = "<anon>") schema =
-  { name; schema; slots = Array.make 16 None; next_id = 0; live = 0; indexes = []; ordered = [] }
+  {
+    name;
+    schema;
+    slots = Array.make 16 None;
+    next_id = 0;
+    live = 0;
+    indexes = Hashtbl.create 4;
+    ordered = Hashtbl.create 4;
+    version = 0;
+    changes = [];
+    changes_len = 0;
+    change_floor = 0;
+  }
 
 let name t = t.name
 let schema t = t.schema
+let version t = t.version
+
+let note_change t before after =
+  t.version <- t.version + 1;
+  if t.changes_len >= changelog_cap then begin
+    (* keep the newest half; everything older falls below the floor *)
+    let keep = changelog_cap / 2 in
+    let kept = ref [] and n = ref 0 and floor = ref t.change_floor in
+    List.iter
+      (fun ((ver, _) as entry) ->
+        if !n < keep then begin
+          kept := entry :: !kept;
+          incr n
+        end
+        else if ver > !floor then floor := ver)
+      t.changes;
+    t.changes <- List.rev !kept;
+    t.changes_len <- !n;
+    t.change_floor <- !floor
+  end;
+  t.changes <- (t.version, { c_before = before; c_after = after }) :: t.changes;
+  t.changes_len <- t.changes_len + 1
+
+(* A structural change (new index changing plan-dependent result order,
+   bulk clear) conservatively invalidates all history. *)
+let note_reshape t =
+  t.version <- t.version + 1;
+  t.changes <- [];
+  t.changes_len <- 0;
+  t.change_floor <- t.version
+
+let changes_since t since =
+  if since < t.change_floor then None
+  else if since >= t.version then Some []
+  else begin
+    let rec collect acc = function
+      | (ver, change) :: rest when ver > since -> collect (change :: acc) rest
+      | _ -> acc
+    in
+    Some (collect [] t.changes)
+  end
 
 let ensure_capacity t id =
   let n = Array.length t.slots in
@@ -38,15 +111,15 @@ let ensure_capacity t id =
   end
 
 let index_insert t row id =
-  List.iter (fun ix -> Index.insert ix (Index.key_of ix row) id) t.indexes;
-  List.iter
-    (fun ox -> Ordered_index.insert ox (Tuple.get row (Ordered_index.position ox)) id)
+  Hashtbl.iter (fun _ ix -> Index.insert ix (Index.key_of ix row) id) t.indexes;
+  Hashtbl.iter
+    (fun position ox -> Ordered_index.insert ox (Tuple.get row position) id)
     t.ordered
 
 let index_remove t row id =
-  List.iter (fun ix -> Index.remove ix (Index.key_of ix row) id) t.indexes;
-  List.iter
-    (fun ox -> Ordered_index.remove ox (Tuple.get row (Ordered_index.position ox)) id)
+  Hashtbl.iter (fun _ ix -> Index.remove ix (Index.key_of ix row) id) t.indexes;
+  Hashtbl.iter
+    (fun position ox -> Ordered_index.remove ox (Tuple.get row position) id)
     t.ordered
 
 let insert t row =
@@ -58,6 +131,7 @@ let insert t row =
   t.next_id <- id + 1;
   t.live <- t.live + 1;
   index_insert t row id;
+  note_change t None (Some row);
   id
 
 let get t id =
@@ -71,6 +145,7 @@ let delete t id =
     t.slots.(id) <- None;
     t.live <- t.live - 1;
     index_remove t row id;
+    note_change t (Some row) None;
     Some row
 
 let update t id row =
@@ -82,6 +157,7 @@ let update t id row =
     t.slots.(id) <- Some row;
     index_remove t old id;
     index_insert t row id;
+    note_change t (Some old) (Some row);
     Some old
 
 let restore t id row =
@@ -94,7 +170,8 @@ let restore t id row =
   t.slots.(id) <- Some row;
   if id >= t.next_id then t.next_id <- id + 1;
   t.live <- t.live + 1;
-  index_insert t row id
+  index_insert t row id;
+  note_change t None (Some row)
 
 let cardinal t = t.live
 
@@ -110,90 +187,130 @@ let fold f t init =
   iter (fun id row -> acc := f id row !acc) t;
   !acc
 
+(* Raw slot iteration as a sequence: lazy, no intermediate list. The
+   high-water mark is captured at creation so rows inserted while a
+   consumer is mid-iteration are not observed (same snapshot the
+   materializing [to_list] gave). Metrics are charged per row actually
+   consumed. *)
+let seq_slots t =
+  let limit = t.next_id in
+  let rec go id () =
+    if id >= limit then Seq.Nil
+    else
+      match t.slots.(id) with
+      | Some row -> Seq.Cons ((id, row), go (id + 1))
+      | None -> go (id + 1) ()
+  in
+  go 0
+
+let counted seq =
+  Seq.map
+    (fun pair ->
+      Obs.incr m_rows_read;
+      pair)
+    seq
+
+let to_seq t =
+  Obs.incr m_scans;
+  counted (seq_slots t)
+
 let to_list t =
   Obs.incr m_scans;
-  let rows = List.rev (fold (fun id row acc -> (id, row) :: acc) t []) in
-  Obs.incr ~n:(List.length rows) m_rows_read;
+  (* single pass: build the list and count the rows in the same fold *)
+  let n = ref 0 in
+  let rows =
+    List.rev
+      (fold
+         (fun id row acc ->
+           incr n;
+           (id, row) :: acc)
+         t [])
+  in
+  Obs.incr ~n:!n m_rows_read;
   rows
 
-let find_index t positions =
-  List.find_opt (fun ix -> Index.positions ix = positions) t.indexes
+(* Lookups canonicalize the probe to sorted column positions, so a
+   WHERE clause listing columns in any order still finds the index. *)
+let canonical_probe positions key =
+  let pairs = List.combine positions key in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs in
+  (List.map fst sorted, List.map snd sorted)
+
+let find_index t positions = Hashtbl.find_opt t.indexes positions
 
 let add_index t ~positions =
+  let positions = List.sort_uniq Int.compare positions in
   match find_index t positions with
   | Some _ -> ()
   | None ->
     let ix = Index.create ~positions in
     iter (fun id row -> Index.insert ix (Index.key_of ix row) id) t;
-    t.indexes <- ix :: t.indexes
+    Hashtbl.replace t.indexes positions ix;
+    (* a new index changes which access paths serve which reads; cached
+       readers must not mix results across the change *)
+    note_reshape t
 
-let lookup t ~positions key =
-  let rows =
-    match find_index t positions with
-    | Some ix ->
-      Obs.incr m_index_lookups;
-      List.filter_map
-        (fun id -> Option.map (fun row -> (id, row)) (get t id))
-        (Index.lookup ix key)
-    | None ->
-      Obs.incr m_scan_lookups;
-      List.rev
-        (fold
-           (fun id row acc ->
-             let projected = List.map (fun i -> Tuple.get row i) positions in
-             if List.equal Value.equal projected key then (id, row) :: acc
-             else acc)
-           t [])
-  in
-  Obs.incr ~n:(List.length rows) m_rows_read;
-  rows
+let lookup_seq t ~positions key =
+  let positions, key = canonical_probe positions key in
+  match find_index t positions with
+  | Some ix ->
+    Obs.incr m_index_lookups;
+    counted
+      (Seq.filter_map
+         (fun id -> Option.map (fun row -> (id, row)) (get t id))
+         (List.to_seq (Index.lookup ix key)))
+  | None ->
+    Obs.incr m_scan_lookups;
+    counted
+      (Seq.filter
+         (fun (_, row) ->
+           let projected = List.map (fun i -> Tuple.get row i) positions in
+           List.equal Value.equal projected key)
+         (seq_slots t))
+
+let lookup t ~positions key = List.of_seq (lookup_seq t ~positions key)
 
 let add_ordered_index t ~position =
-  if
-    not
-      (List.exists (fun ox -> Ordered_index.position ox = position) t.ordered)
-  then begin
+  if not (Hashtbl.mem t.ordered position) then begin
     let ox = Ordered_index.create ~position in
     iter (fun id row -> Ordered_index.insert ox (Tuple.get row position) id) t;
-    t.ordered <- ox :: t.ordered
+    Hashtbl.replace t.ordered position ox;
+    note_reshape t
   end
 
-let has_ordered_index t ~position =
-  List.exists (fun ox -> Ordered_index.position ox = position) t.ordered
+let has_ordered_index t ~position = Hashtbl.mem t.ordered position
 
-let range_lookup t ~position ~lo ~hi =
-  let rows =
-    match
-      List.find_opt (fun ox -> Ordered_index.position ox = position) t.ordered
-    with
+let in_bounds ~lo ~hi v =
+  (match lo with
+  | Ordered_index.Unbounded -> true
+  | Ordered_index.Inclusive b -> Value.compare v b >= 0
+  | Ordered_index.Exclusive b -> Value.compare v b > 0)
+  &&
+  match hi with
+  | Ordered_index.Unbounded -> true
+  | Ordered_index.Inclusive b -> Value.compare v b <= 0
+  | Ordered_index.Exclusive b -> Value.compare v b < 0
+
+let range_lookup_seq t ~position ~lo ~hi =
+  match Hashtbl.find_opt t.ordered position with
   | Some ox ->
     Obs.incr m_range_lookups;
-    List.filter_map
-      (fun id -> Option.map (fun row -> (id, row)) (get t id))
-      (Ordered_index.range ox ~lo ~hi)
+    counted
+      (Seq.filter_map
+         (fun id -> Option.map (fun row -> (id, row)) (get t id))
+         (List.to_seq (Ordered_index.range ox ~lo ~hi)))
   | None ->
     Obs.incr m_range_scans;
-    let keep v =
-      (match lo with
-      | Ordered_index.Unbounded -> true
-      | Ordered_index.Inclusive b -> Value.compare v b >= 0
-      | Ordered_index.Exclusive b -> Value.compare v b > 0)
-      &&
-      match hi with
-      | Ordered_index.Unbounded -> true
-      | Ordered_index.Inclusive b -> Value.compare v b <= 0
-      | Ordered_index.Exclusive b -> Value.compare v b < 0
-    in
-    List.rev
-      (fold
-         (fun id row acc ->
-           if keep (Tuple.get row position) then (id, row) :: acc else acc)
-         t [])
-  in
-  Obs.incr ~n:(List.length rows) m_rows_read;
-  rows
+    counted
+      (Seq.filter
+         (fun (_, row) -> in_bounds ~lo ~hi (Tuple.get row position))
+         (seq_slots t))
+
+let range_lookup t ~position ~lo ~hi =
+  List.of_seq (range_lookup_seq t ~position ~lo ~hi)
 
 let clear t =
   iter (fun id row -> index_remove t row id) t;
   Array.fill t.slots 0 (Array.length t.slots) None;
-  t.live <- 0
+  t.live <- 0;
+  note_reshape t

@@ -10,9 +10,28 @@ type t
 
 type row_id = int
 
+(** One committed-or-not physical write, as seen by the changelog:
+    insert = [None -> Some], delete = [Some -> None], update = both. *)
+type change = {
+  c_before : Tuple.t option;
+  c_after : Tuple.t option;
+}
+
 val create : ?name:string -> Schema.t -> t
 val name : t -> string
 val schema : t -> Schema.t
+
+(** Monotonic write version: bumped by every row mutation (including
+    rollback compensations) and by structural changes (new indexes,
+    {!clear}). Equal versions imply an identical visible table state. *)
+val version : t -> int
+
+(** [changes_since t v] is the list of row changes applied after
+    version [v] (any order), or [None] when the bounded changelog has
+    been truncated past [v] or a structural change intervened — the
+    caller must then assume everything changed. [Some []] iff the table
+    is untouched since [v]. *)
+val changes_since : t -> int -> change list option
 
 (** [insert t row] checks the row against the schema and returns its
     fresh row id. *)
@@ -43,6 +62,12 @@ val iter : (row_id -> Tuple.t -> unit) -> t -> unit
 val fold : (row_id -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> (row_id * Tuple.t) list
 
+(** Lazy scan in ascending row-id order; no intermediate list. The
+    high-water mark is captured at creation, so rows inserted during
+    iteration are not observed. Row-read metrics are charged per
+    element consumed; consume each sequence at most once. *)
+val to_seq : t -> (row_id * Tuple.t) Seq.t
+
 (** [add_index t ~positions] creates (and backfills) a hash index; a
     second call for the same positions is a no-op. *)
 val add_index : t -> positions:int list -> unit
@@ -62,12 +87,26 @@ val range_lookup :
   hi:Ordered_index.bound ->
   (row_id * Tuple.t) list
 
+(** Lazy {!range_lookup}; same caveats as {!to_seq}. *)
+val range_lookup_seq :
+  t ->
+  position:int ->
+  lo:Ordered_index.bound ->
+  hi:Ordered_index.bound ->
+  (row_id * Tuple.t) Seq.t
+
 (** True when an ordered index exists on this column. *)
 val has_ordered_index : t -> position:int -> bool
 
 (** [lookup t ~positions key] uses an index on [positions] when one
     exists, else scans. Returns matching (id, row) pairs in id order. *)
 val lookup : t -> positions:int list -> Value.t list -> (row_id * Tuple.t) list
+
+(** Lazy {!lookup}; same caveats as {!to_seq}. Probes are canonicalized
+    to sorted column positions, so WHERE-clause column order does not
+    affect index discovery. *)
+val lookup_seq :
+  t -> positions:int list -> Value.t list -> (row_id * Tuple.t) Seq.t
 
 (** Remove all rows (indexes kept, row ids keep growing). *)
 val clear : t -> unit

@@ -194,14 +194,20 @@ let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
     schema_of = (fun name -> Table.schema (table_of t name));
     scan =
       (fun name ->
+        (* the table-level lock is taken up front; rows then stream
+           without further locking *)
         read_table name;
-        Table.to_list (table_of t name));
+        Table.to_seq (table_of t name));
     lookup =
       (fun name ~positions key ->
         read_rows name;
-        let rows = Table.lookup (table_of t name) ~positions key in
-        List.iter (fun (id, _) -> lock_row name id) rows;
-        rows);
+        (* row S locks attach to the stream: a consumer that stops
+           early (LIMIT) locks only the rows it actually saw *)
+        Seq.map
+          (fun (id, row) ->
+            lock_row name id;
+            (id, row))
+          (Table.lookup_seq (table_of t name) ~positions key));
     insert =
       (fun name row ->
         let txn = find_txn t txn_id in
@@ -260,13 +266,31 @@ let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
       (fun name ~position ~lo ~hi ->
         (* like an indexed lookup: intention lock plus row locks *)
         read_rows name;
-        let rows = Table.range_lookup (table_of t name) ~position ~lo ~hi in
-        List.iter (fun (id, _) -> lock_row name id) rows;
-        rows);
+        Seq.map
+          (fun (id, row) ->
+            lock_row name id;
+            (id, row))
+          (Table.range_lookup_seq (table_of t name) ~position ~lo ~hi));
     has_range =
       (fun name position -> Table.has_ordered_index (table_of t name) ~position);
     drop = (fun name -> Catalog.drop t.catalog name);
   }
+
+(* Reproduce the locking side effects of a grounding computation
+   without re-reading the data: used when a cached grounding is served,
+   so a hit acquires exactly the table-S locks (and registers exactly
+   the quasi-read tables) the recomputation would have. Raises
+   [Blocked]/[Deadlock_victim] like any grounding read. *)
+let touch_grounding_tables t txn_id ?(lock_reads = true) tables =
+  List.iter
+    (fun name ->
+      ignore (table_of t name);
+      if lock_reads then acquire t txn_id (Lock.Table name) Lock.S;
+      let txn = find_txn t txn_id in
+      if not (List.mem name txn.grounding_tables) then
+        txn.grounding_tables <- name :: txn.grounding_tables;
+      emit t (Ev_grounding_read (txn_id, name)))
+    tables
 
 let add_constraint t ~name predicate =
   t.constraints <- t.constraints @ [ (name, predicate) ]

@@ -63,6 +63,13 @@ val is_active : t -> int -> bool
     isolation levels can skip read locks entirely. *)
 val access : t -> int -> grounding:bool -> ?lock_reads:bool -> unit -> Ent_sql.Eval.access
 
+(** [touch_grounding_tables t txn tables] acquires the table-S
+    grounding locks and registers the quasi-read tables exactly as a
+    grounding computation over [tables] would, without reading any
+    rows — the lock-side-effect half of serving a cached grounding.
+    @raise Blocked / Deadlock_victim as {!access} reads do. *)
+val touch_grounding_tables : t -> int -> ?lock_reads:bool -> string list -> unit
+
 (** Number of writes performed so far; pass back to {!rollback_to} for
     statement-level atomicity. *)
 val savepoint : t -> int -> int

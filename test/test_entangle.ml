@@ -505,6 +505,143 @@ let prop_combined_agrees_with_search =
       classify (Coordinate.evaluate queries)
       = classify (Combined.evaluate queries))
 
+(* --- grounding cache --- *)
+
+let table_of cat name =
+  match Catalog.find cat name with
+  | Some t -> t
+  | None -> Alcotest.failf "no table %s" name
+
+let test_gcache_hit_and_invalidate () =
+  let cat = figure1_catalog () in
+  let cache = Gcache.create cat in
+  let q = translate mickey_src in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let touched = ref [] in
+  let compute () =
+    Gcache.compute cache ~access ~touch:(fun ts -> touched := ts) ~env q
+  in
+  let g1, c1 = compute () in
+  Alcotest.(check bool) "first is a miss" false c1;
+  let g2, c2 = compute () in
+  Alcotest.(check bool) "second is a hit" true c2;
+  Alcotest.(check bool) "hit equals miss" true (g1 = g2);
+  Alcotest.(check bool) "touch saw the footprint" true
+    (List.mem "Flights" !touched);
+  (* a write inside the footprint invalidates *)
+  ignore
+    (Table.insert (table_of cat "Flights")
+       [| Value.Int 500; may3; Value.Str "LA" |]);
+  let g3, c3 = compute () in
+  Alcotest.(check bool) "recomputed after the write" false c3;
+  Alcotest.(check bool) "fresh result" true
+    (g3 = Ground.compute ~access ~env q);
+  Alcotest.(check (triple int int int)) "stats" (1, 2, 1) (Gcache.stats cache)
+
+let test_gcache_unrelated_write_keeps_entry () =
+  let cat = figure1_catalog () in
+  let cache = Gcache.create cat in
+  let q = translate mickey_src in
+  (* mickey reads Flights only *)
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let compute () = Gcache.compute cache ~access ~touch:(fun _ -> ()) ~env q in
+  ignore (compute ());
+  ignore
+    (Table.insert (table_of cat "Airlines")
+       [| Value.Int 500; Value.Str "Delta" |]);
+  let _, cached = compute () in
+  Alcotest.(check bool) "write outside the footprint keeps the hit" true cached
+
+let test_gcache_point_footprint () =
+  (* With an equality index the footprint is a point probe, so writes
+     to rows with other keys do not invalidate. *)
+  let cat = figure1_catalog () in
+  let flights = table_of cat "Flights" in
+  Table.add_index flights ~positions:[ 2 ];
+  let cache = Gcache.create cat in
+  let q = translate mickey_src in
+  let access = Eval.direct_access cat in
+  let env = Eval.fresh_env () in
+  let compute () = Gcache.compute cache ~access ~touch:(fun _ -> ()) ~env q in
+  ignore (compute ());
+  ignore (Table.insert flights [| Value.Int 600; may3; Value.Str "Tokyo" |]);
+  let _, cached = compute () in
+  Alcotest.(check bool) "non-matching key keeps the hit" true cached;
+  ignore (Table.insert flights [| Value.Int 601; may3; Value.Str "LA" |]);
+  let served, cached = compute () in
+  Alcotest.(check bool) "matching key invalidates" false cached;
+  Alcotest.(check bool) "recomputation sees the new row" true
+    (List.exists
+       (fun (g : Ground.grounding) ->
+         List.exists
+           (fun (_, values) -> List.mem (Value.Int 601) values)
+           g.g_head)
+       served)
+
+(* --- property: grounding-cache transparency --- *)
+
+let prop_gcache_transparent =
+  (* The cache's defining property: under arbitrary interleavings of
+     writes, index creation and grounding rounds, a grounding request
+     served through the cache equals a fresh Ground.compute on the
+     current database — groundings, order and all. *)
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [ map (fun n -> `Insert n) (int_range 0 9);
+          map (fun n -> `Delete n) (int_range 0 40);
+          map (fun n -> `Update n) (int_range 0 40);
+          map (fun n -> `Ground n) (int_range 0 4);
+          return `Index ])
+  in
+  QCheck2.Test.make ~name:"cache-served groundings equal fresh recomputation"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) op_gen)
+    (fun ops ->
+      let cat = Catalog.create () in
+      let flights =
+        Catalog.create_table cat "Flights"
+          (Schema.make
+             [ { Schema.name = "fno"; ty = T_int }; { name = "dest"; ty = T_str } ])
+      in
+      for i = 1 to 3 do
+        ignore (Table.insert flights [| Value.Int i; Value.Str "LA" |])
+      done;
+      let cache = Gcache.create cat in
+      let queries =
+        Array.init 5 (fun i ->
+            translate
+              (Gen.pair_query
+                 (Printf.sprintf "u%d" i)
+                 (Printf.sprintf "u%d" ((i + 1) mod 5))))
+      in
+      let access = Eval.direct_access cat in
+      let env = Eval.fresh_env () in
+      let dest n = Value.Str (if n mod 3 = 0 then "NY" else "LA") in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Insert n ->
+            ignore (Table.insert flights [| Value.Int n; dest n |]);
+            true
+          | `Delete n ->
+            ignore (Table.delete flights n);
+            true
+          | `Update n ->
+            ignore (Table.update flights n [| Value.Int (n mod 10); dest (n + 1) |]);
+            true
+          | `Index ->
+            Table.add_index flights ~positions:[ 1 ];
+            true
+          | `Ground qi ->
+            let served, _cached =
+              Gcache.compute cache ~access ~touch:(fun _ -> ()) ~env queries.(qi)
+            in
+            served = Ground.compute ~access ~env queries.(qi))
+        ops)
+
 (* --- property: coordination soundness --- *)
 
 let prop_coordination_sound =
@@ -576,6 +713,15 @@ let () =
           Alcotest.test_case "cycle" `Quick test_combined_cycle;
           Alcotest.test_case "spoke-hub multi-head" `Quick test_combined_spoke_hub_multihead;
           Alcotest.test_case "matching bound" `Quick test_combined_matching_bound ] );
+      ( "gcache",
+        [ Alcotest.test_case "hit then invalidate" `Quick
+            test_gcache_hit_and_invalidate;
+          Alcotest.test_case "unrelated write keeps entry" `Quick
+            test_gcache_unrelated_write_keeps_entry;
+          Alcotest.test_case "point footprint" `Quick
+            test_gcache_point_footprint ] );
       ( "properties",
         List.map Gen.to_alcotest
-          [ prop_coordination_sound; prop_combined_agrees_with_search ] ) ]
+          [ prop_coordination_sound;
+            prop_combined_agrees_with_search;
+            prop_gcache_transparent ] ) ]

@@ -235,6 +235,59 @@ let test_table_range_lookup () =
   expect_fnos "after update/delete" (Inclusive (Int 200)) Unbounded
     [ "235"; "500" ]
 
+(* --- versions and the changelog (the grounding cache's contract) --- *)
+
+let test_version_changelog () =
+  let t = Table.create (Schema.of_names [ "a" ]) in
+  let v0 = Table.version t in
+  Alcotest.(check bool) "untouched" true (Table.changes_since t v0 = Some []);
+  let id = Table.insert t [| Value.Int 1 |] in
+  Alcotest.(check bool) "insert bumps version" true (Table.version t > v0);
+  (match Table.changes_since t v0 with
+  | Some [ { Table.c_before = None; c_after = Some row } ] ->
+    Alcotest.(check bool) "insert recorded" true (Tuple.get row 0 = Value.Int 1)
+  | _ -> Alcotest.fail "expected exactly the insert change");
+  let v1 = Table.version t in
+  ignore (Table.update t id [| Value.Int 2 |]);
+  ignore (Table.delete t id);
+  (match Table.changes_since t v1 with
+  | Some changes ->
+    Alcotest.(check int) "update+delete recorded" 2 (List.length changes)
+  | None -> Alcotest.fail "changelog truncated unexpectedly");
+  Alcotest.(check bool) "since current version is empty" true
+    (Table.changes_since t (Table.version t) = Some []);
+  (* rollback compensations are writes too *)
+  let v2 = Table.version t in
+  Table.restore t id [| Value.Int 1 |];
+  Alcotest.(check bool) "restore bumps version" true (Table.version t > v2)
+
+let test_changelog_truncation () =
+  let t = Table.create (Schema.of_names [ "a" ]) in
+  let v0 = Table.version t in
+  for i = 1 to 1000 do
+    ignore (Table.insert t [| Value.Int i |])
+  done;
+  Alcotest.(check bool) "truncated past the start" true
+    (Table.changes_since t v0 = None);
+  (match Table.changes_since t (Table.version t - 1) with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "newest suffix should survive truncation")
+
+let test_changelog_reshape () =
+  let t = Table.create (Schema.of_names [ "a"; "b" ]) in
+  ignore (Table.insert t [| Value.Int 1; Value.Int 2 |]);
+  let v = Table.version t in
+  (* a new index can change plan-dependent result order, so it must
+     invalidate wholesale, not appear as row changes *)
+  Table.add_index t ~positions:[ 0 ];
+  Alcotest.(check bool) "new index invalidates" true
+    (Table.changes_since t v = None);
+  let v' = Table.version t in
+  Alcotest.(check bool) "reshape bumps version" true (v' > v);
+  Table.clear t;
+  Alcotest.(check bool) "clear invalidates" true
+    (Table.changes_since t v' = None)
+
 let prop_range_matches_scan =
   let op_gen =
     QCheck2.Gen.(
@@ -374,4 +427,8 @@ let () =
           Alcotest.test_case "catalog" `Quick test_catalog;
           Alcotest.test_case "ordered index" `Quick test_ordered_index_range;
           Alcotest.test_case "range lookup" `Quick test_table_range_lookup ] );
+      ( "changelog",
+        [ Alcotest.test_case "versions and changes" `Quick test_version_changelog;
+          Alcotest.test_case "truncation" `Quick test_changelog_truncation;
+          Alcotest.test_case "reshape" `Quick test_changelog_reshape ] );
       ("properties", properties) ]
