@@ -24,7 +24,9 @@
    violation — CI's bench-smoke gate. "perfgate FRESH.json
    BASELINE.json [--tolerance 0.30]" compares per-transaction
    throughput per series against a checked-in baseline and exits
-   nonzero on a regression beyond the tolerance — CI's perf gate. *)
+   nonzero on a regression beyond the tolerance — CI's perf gate.
+   With --certify, every figure cell runs under an online schedule
+   certifier (Ent_schedule.Certify) and any violation fails the run. *)
 
 open Ent_core
 open Ent_workload
@@ -93,6 +95,35 @@ let write_doc ~figure ~x_label series =
 let world_users = 500
 let world_cities = 12
 
+(* --- online schedule certification (--certify) ---
+
+   Each figure cell gets its own certifier attached beside any other
+   observers; a violation is printed immediately and turns the whole
+   bench run's exit code nonzero. The ablations are exempt: weakening
+   isolation on purpose produces anomalies. *)
+
+let certify_enabled = ref false
+let certify_failures = ref 0
+
+let attach_certifier manager =
+  if not !certify_enabled then None
+  else begin
+    let c = Ent_schedule.Certify.create () in
+    Manager.observe manager
+      ~on_event:(Ent_schedule.Certify.on_engine_event c)
+      ~on_entangle:(Ent_schedule.Certify.on_entangle c);
+    Some c
+  end
+
+let finish_certifier ~label = function
+  | None -> ()
+  | Some c ->
+    if not (Ent_schedule.Certify.ok c) then begin
+      incr certify_failures;
+      Printf.eprintf "CERTIFY FAILURE (%s): %s\n%!" label
+        (Format.asprintf "%a" Ent_schedule.Certify.pp_report c)
+    end
+
 let heading title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
@@ -109,6 +140,13 @@ let run_workload ~connections ~frequency ~transactional kind ~n =
     }
   in
   let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let kind_name =
+    match kind with
+    | Gen.No_social -> "nosocial"
+    | Gen.Social -> "social"
+    | Gen.Entangled -> "entangled"
+  in
+  let certifier = attach_certifier world.manager in
   let programs = Gen.batch world ~transactional kind ~n ~tag_base:0 in
   let ids = List.map (Manager.submit world.manager) programs in
   Manager.drain world.manager;
@@ -119,11 +157,13 @@ let run_workload ~connections ~frequency ~transactional kind ~n =
          ids)
   in
   if committed <> n then
-    Printf.eprintf "WARNING: %d/%d committed (%s)\n%!" committed n
-      (match kind with
-      | Gen.No_social -> "nosocial"
-      | Gen.Social -> "social"
-      | Gen.Entangled -> "entangled");
+    Printf.eprintf "WARNING: %d/%d committed (%s)\n%!" committed n kind_name;
+  finish_certifier
+    ~label:
+      (Printf.sprintf "%s-%s c=%d" kind_name
+         (if transactional then "t" else "q")
+         connections)
+    certifier;
   Manager.now world.manager
 
 let fig6a_workloads =
@@ -171,6 +211,7 @@ let run_pending ~p ~frequency ~n =
     }
   in
   let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let certifier = attach_certifier world.manager in
   (* p transactions whose partners never arrive sit in the pool and are
      re-attempted at the start of every subsequent run *)
   let lonely_ids =
@@ -189,6 +230,8 @@ let run_pending ~p ~frequency ~n =
   in
   if committed <> n then Printf.eprintf "WARNING: %d/%d committed (p=%d)\n%!" committed n p;
   ignore lonely_ids;
+  finish_certifier ~label:(Printf.sprintf "pending p=%d f=%d" p frequency)
+    certifier;
   Manager.now world.manager
 
 let fig6b () =
@@ -227,6 +270,7 @@ let run_structured ~structure ~set_size ~frequency ~total_txns =
     }
   in
   let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let certifier = attach_certifier world.manager in
   let n_structures = max 1 (total_txns / set_size) in
   let all_ids = ref [] in
   for k = 0 to n_structures - 1 do
@@ -254,6 +298,14 @@ let run_structured ~structure ~set_size ~frequency ~total_txns =
       | `Spoke_hub -> "spoke-hub"
       | `Cycle -> "cycle")
       set_size frequency;
+  finish_certifier
+    ~label:
+      (Printf.sprintf "%s size=%d f=%d"
+         (match structure with
+         | `Spoke_hub -> "spoke-hub"
+         | `Cycle -> "cycle")
+         set_size frequency)
+    certifier;
   Manager.now world.manager
 
 let fig6c () =
@@ -716,6 +768,9 @@ let () =
       | "--trace-out" :: path :: rest ->
         trace_out := Some path;
         parse rest
+      | "--certify" :: rest ->
+        certify_enabled := true;
+        parse rest
       | name :: rest ->
         selected := name :: !selected;
         parse rest
@@ -758,5 +813,12 @@ let () =
     if !metrics_enabled then begin
       Obs.write_snapshot !metrics_path;
       Printf.printf "wrote %s (final-phase Obs snapshot)\n%!" !metrics_path
-    end
+    end;
+    if !certify_enabled then
+      if !certify_failures = 0 then
+        Printf.printf "certify: all cells ok\n%!"
+      else begin
+        Printf.printf "certify: %d cell(s) FAILED\n%!" !certify_failures;
+        exit 1
+      end
   | [] -> ()

@@ -3,6 +3,7 @@
 
      entlint lint program.sql other.sql      # static lint passes
      entlint lint --workload entangled-t     # lint generated workload programs
+     entlint matrix                          # conflict matrix + lock-order graph
      entlint check history.txt               # Appendix C requirements on a schedule
      entlint record script.sql               # run a script, check the recorded schedule
 
@@ -20,36 +21,81 @@ let fail_input msg =
 
 (* --- lint --- *)
 
-let lint_main files workload n strict =
-  let inputs =
-    let file_inputs =
-      List.fold_left
-        (fun acc path ->
-          match acc with
-          | Error _ -> acc
-          | Ok acc -> (
-            match Driver.inputs_of_file path with
-            | Ok inputs -> Ok (acc @ inputs)
-            | Error msg -> Error msg))
-        (Ok []) files
-    in
-    match file_inputs, workload with
-    | Error msg, _ -> Error msg
-    | Ok acc, None ->
-      if acc = [] && files = [] then
-        Error "nothing to lint: give program files or --workload NAME"
-      else Ok acc
-    | Ok acc, Some name -> (
-      match Driver.workload_inputs ~n name with
-      | Ok inputs -> Ok (acc @ inputs)
-      | Error msg -> Error msg)
+let format_of = function
+  | "text" -> Ok `Text
+  | "json" -> Ok `Json
+  | s -> Error (Printf.sprintf "unknown output format %S (text|json)" s)
+
+let gather_inputs files workloads n ~require =
+  let file_inputs =
+    List.fold_left
+      (fun acc path ->
+        match acc with
+        | Error _ -> acc
+        | Ok acc -> (
+          match Driver.inputs_of_file path with
+          | Ok inputs -> Ok (acc @ inputs)
+          | Error msg -> Error msg))
+      (Ok []) files
   in
-  match inputs with
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ -> acc
+      | Ok acc -> (
+        match Driver.workload_inputs ~n name with
+        | Ok inputs -> Ok (acc @ inputs)
+        | Error msg -> Error msg))
+    file_inputs workloads
+  |> Result.map (fun inputs ->
+         if inputs = [] && files = [] && workloads = [] then Error require
+         else Ok inputs)
+  |> Result.join
+
+let lint_main files workload n strict format =
+  match
+    Result.bind (format_of format) (fun format ->
+        Result.map
+          (fun inputs -> (format, inputs))
+          (gather_inputs files (Option.to_list workload) n
+             ~require:"nothing to lint: give program files or --workload NAME"))
+  with
   | Error msg -> fail_input msg
-  | Ok inputs ->
-    let findings = Lint.run inputs in
-    Format.printf "%a%!" Driver.render_findings findings;
+  | Ok (format, inputs) ->
+    let findings = Driver.dedupe (Lint.run inputs) in
+    (match format with
+    | `Text -> Format.printf "%a%!" Driver.render_findings findings
+    | `Json ->
+      print_endline (Ent_obs.Json.to_string (Driver.findings_json findings)));
     Driver.exit_code ~strict findings
+
+(* --- matrix --- *)
+
+let matrix_main files workloads n format dot_out =
+  let workloads =
+    if workloads = [] && files = [] then Driver.workload_names else workloads
+  in
+  match
+    Result.bind (format_of format) (fun format ->
+        Result.map
+          (fun inputs -> (format, inputs))
+          (gather_inputs files workloads n ~require:"nothing to analyse"))
+  with
+  | Error msg -> fail_input msg
+  | Ok (format, inputs) ->
+    let m = Matrix.analyze inputs in
+    (match dot_out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Matrix.lock_graph_dot m))
+    | None -> ());
+    (match format with
+    | `Text ->
+      Format.printf "%a@." Matrix.pp m;
+      let findings = Driver.dedupe (Matrix.deadlock_findings m) in
+      if findings <> [] then Format.printf "@\n%a%!" Driver.render_findings findings
+    | `Json -> print_endline (Ent_obs.Json.to_string (Matrix.to_json m)));
+    0
 
 (* --- check --- *)
 
@@ -108,6 +154,22 @@ let strict =
   Arg.(value & flag & info [ "strict" ]
          ~doc:"Exit nonzero on warnings too, not only errors.")
 
+let format =
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FORMAT"
+         ~doc:"Output format: text or json (stable fields mirroring the \
+               finding record).")
+
+let workloads =
+  Arg.(value & opt_all string [] & info [ "workload"; "w" ] ~docv:"NAME"
+         ~doc:(Printf.sprintf
+                 "Analyse the generated programs of a workload (repeatable; \
+                  default: all): %s."
+                 (String.concat ", " Driver.workload_names)))
+
+let dot_out =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+         ~doc:"Also write the lock-order graph as Graphviz DOT to $(docv).")
+
 let history_file =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"HISTORY"
          ~doc:"Schedule history file (stdin when omitted), in the notation \
@@ -137,7 +199,14 @@ let print_history =
 let lint_cmd =
   let doc = "statically analyse entangled-transaction programs" in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const lint_main $ files $ workload $ size $ strict)
+    Term.(const lint_main $ files $ workload $ size $ strict $ format)
+
+let matrix_cmd =
+  let doc =
+    "conflict/commutativity matrix and lock-order graph over a program suite"
+  in
+  Cmd.v (Cmd.info "matrix" ~doc)
+    Term.(const matrix_main $ files $ workloads $ size $ format $ dot_out)
 
 let check_cmd =
   let doc = "check a schedule history against the Appendix C requirements" in
@@ -153,6 +222,6 @@ let record_cmd =
 let main =
   let doc = "static analyzer and schedule checker for entangled transactions" in
   Cmd.group (Cmd.info "entlint" ~version:"1.0.0" ~doc)
-    [ lint_cmd; check_cmd; record_cmd ]
+    [ lint_cmd; matrix_cmd; check_cmd; record_cmd ]
 
 let () = exit (Cmd.eval' main)

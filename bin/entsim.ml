@@ -70,7 +70,7 @@ let report_failure ~out cfg (o : Harness.outcome) =
     shrunk
 
 let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
-    max_arms break_group_commit combined out_path trace_out verbose =
+    max_arms break_group_commit combined certify out_path trace_out verbose =
   (* The harness leaves the last executed schedule's events in the ring;
      [--trace-out] exports them as a Perfetto/chrome://tracing trace. *)
   let write_trace () =
@@ -93,6 +93,7 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       max_arms;
       break_group_commit;
       combined;
+      certify;
     }
   in
   match plan_str with
@@ -209,6 +210,15 @@ let combined =
     & info [ "combined" ]
         ~doc:"Use combined-query evaluation instead of coordination search.")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Run an online schedule certifier per epoch; a certification \
+           violation is reported (and shrunken) like any other invariant \
+           violation.")
+
 let out =
   Arg.(
     value & opt (some string) None
@@ -233,7 +243,7 @@ let cmd =
     (Cmd.info "entsim" ~version:"1.0.0" ~doc)
     Term.(
       const main $ seeds $ seed $ plan $ pairs $ rollback_pairs $ plain $ lonely
-      $ users $ cities $ max_arms $ break_group_commit $ combined $ out
-      $ trace_out $ verbose)
+      $ users $ cities $ max_arms $ break_group_commit $ combined $ certify
+      $ out $ trace_out $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,7 +24,7 @@ let write_metrics = function
     Printf.eprintf "wrote metrics snapshot to %s\n%!" path
 
 let run_script path connections frequency isolation_name show_tables verbose
-    metrics trace trace_out wait_graph wait_graph_dot =
+    metrics trace trace_out wait_graph wait_graph_dot certify =
   match isolation_of_string isolation_name with
   | Error (`Msg msg) ->
     prerr_endline msg;
@@ -62,6 +62,16 @@ let run_script path connections frequency isolation_name show_tables verbose
         }
       in
       let m = Manager.create ~config () in
+      let certifier =
+        if not certify then None
+        else begin
+          let c = Ent_schedule.Certify.create () in
+          Manager.observe m
+            ~on_event:(Ent_schedule.Certify.on_engine_event c)
+            ~on_entangle:(Ent_schedule.Certify.on_entangle c);
+          Some c
+        end
+      in
       let access = Ent_sql.Eval.direct_access (Manager.catalog m) in
       let env = Ent_sql.Eval.fresh_env () in
       let submitted = ref [] in
@@ -137,7 +147,12 @@ let run_script path connections frequency isolation_name show_tables verbose
           Printf.eprintf "wrote Perfetto trace to %s\n%!" out)
         trace_out;
       write_metrics metrics;
-      0)
+      match certifier with
+      | None -> 0
+      | Some c ->
+        Printf.printf "-- %s\n"
+          (Format.asprintf "%a" Ent_schedule.Certify.pp_report c);
+        if Ent_schedule.Certify.ok c then 0 else 1)
 
 (* --- interactive mode ---
 
@@ -295,11 +310,19 @@ let wait_graph_dot =
   Arg.(value & opt (some string) None & info [ "wait-graph-dot" ] ~docv:"FILE"
          ~doc:"Write the wait/entanglement graph as graphviz DOT to $(docv).")
 
+let certify =
+  Arg.(value & flag & info [ "certify" ]
+         ~doc:"Certify the schedule online (conflict-serializability over \
+               committed transactions, no read-from-aborted, no widows, \
+               stable quasi-reads); print a report and exit nonzero on any \
+               violation.")
+
 let run_cmd =
   let doc = "execute a script of classical and entangled transactions" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_script $ path $ connections $ frequency $ isolation $ show
-          $ verbose $ metrics $ trace $ trace_out $ wait_graph $ wait_graph_dot)
+          $ verbose $ metrics $ trace $ trace_out $ wait_graph $ wait_graph_dot
+          $ certify)
 
 let repl_cmd =
   let doc =

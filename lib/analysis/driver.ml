@@ -168,6 +168,19 @@ let record_script ?(isolation = "full") ?(frequency = 1) text =
 (* Rendering and exit codes                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Multi-source runs can emit the same diagnostic more than once — the
+   same cross-program cycle re-anchored to one program, workload
+   batches of structurally identical programs. Two findings agreeing
+   on (source, position, program, code) — i.e. [Finding.compare]
+   returns 0 — are the same diagnostic; keep the first. *)
+let dedupe findings =
+  let rec drop = function
+    | a :: (b :: _ as rest) when Finding.compare a b = 0 -> drop (a :: List.tl rest)
+    | a :: rest -> a :: drop rest
+    | [] -> []
+  in
+  drop (List.stable_sort Finding.compare findings)
+
 let counts findings =
   List.fold_left
     (fun (e, w) (f : Finding.t) ->
@@ -185,6 +198,15 @@ let render_findings ppf findings =
       (if errors = 1 then "" else "s")
       warnings
       (if warnings = 1 then "" else "s")
+
+let findings_json findings =
+  let errors, warnings = counts findings in
+  Ent_obs.Json.Obj
+    [
+      ("findings", Ent_obs.Json.List (List.map Finding.to_json findings));
+      ("errors", Ent_obs.Json.Int errors);
+      ("warnings", Ent_obs.Json.Int warnings);
+    ]
 
 (* 0 = clean, 1 = findings at error severity (or any finding under
    [strict]), 2 = input could not be parsed at all. *)

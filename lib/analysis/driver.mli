@@ -32,8 +32,18 @@ val record_script :
   string ->
   (Ent_schedule.History.t, string) result
 
+(** Drop findings agreeing on (source, position, program, code) — the
+    [Finding.compare] key — keeping the first of each run; output is
+    sorted by that order. Multi-source passes can emit the same
+    diagnostic once per source that mentions the programs involved. *)
+val dedupe : Finding.t list -> Finding.t list
+
 (** All findings, then a [N errors, M warnings] summary line. *)
 val render_findings : Format.formatter -> Finding.t list -> unit
+
+(** [{"findings": [...], "errors": N, "warnings": M}] with each finding
+    as {!Finding.to_json}. *)
+val findings_json : Finding.t list -> Ent_obs.Json.t
 
 (** [0] clean, [1] error findings (any finding under [strict]). *)
 val exit_code : ?strict:bool -> Finding.t list -> int

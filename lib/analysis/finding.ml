@@ -34,6 +34,21 @@ let compare a b =
       let c = String.compare a.program b.program in
       if c <> 0 then c else String.compare a.code b.code
 
+(* Stable field names — consumed by CI tooling; additions are fine,
+   renames are not. *)
+let to_json t =
+  Ent_obs.Json.Obj
+    [
+      ("code", Ent_obs.Json.Str t.code);
+      ("severity", Ent_obs.Json.Str (severity_name t.severity));
+      ("source", Ent_obs.Json.Str t.source);
+      ("program", Ent_obs.Json.Str t.program);
+      ("line", Ent_obs.Json.Int t.at.line);
+      ("col", Ent_obs.Json.Int t.at.col);
+      ("message", Ent_obs.Json.Str t.message);
+      ("witness", Ent_obs.Json.List (List.map (fun w -> Ent_obs.Json.Str w) t.witness));
+    ]
+
 let pp ppf t =
   let where =
     match t.source, t.at with

@@ -32,6 +32,12 @@ val severity_name : severity -> string
 (** Source file, then position, then program and code. *)
 val compare : t -> t -> int
 
+(** Stable machine-readable form mirroring the record: [code],
+    [severity], [source], [program], [line], [col], [message],
+    [witness]. Field names are a compatibility surface (CI problem
+    matchers parse them); never rename. *)
+val to_json : t -> Ent_obs.Json.t
+
 (** Renders [source:line:col: severity: [code] (program) message],
     witness lines indented below. *)
 val pp : Format.formatter -> t -> unit

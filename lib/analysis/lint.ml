@@ -1,6 +1,6 @@
 module Ast = Ent_sql.Ast
 
-type input = {
+type input = Matrix.input = {
   source : string;
   program : Ent_core.Program.t;
 }
@@ -205,164 +205,12 @@ let check_autocommit ~source (summary : Summary.t) =
 
 (* ------------------------------------------------------------------ *)
 (* Potential deadlock: cycles in the static lock-order graph under
-   Strict 2PL. An edge u -> v for program P means P still holds a lock
-   on u when it requests one on v; a cycle whose consecutive edges come
-   from different programs, conflict in mode, and overlap in predicate
-   is a schedule in which every participant can block on the next.     *)
+   Strict 2PL. The graph construction and cycle search live in
+   {!Matrix}, which also serves the conflict/commutativity analysis.   *)
 (* ------------------------------------------------------------------ *)
 
-type edge = {
-  eu : string;
-  ev : string;
-  prog : int;
-  mu : [ `S | `X ];
-  pu : Pred.t;
-  posu : Ast.pos;
-  mv : [ `S | `X ];
-  pv : Pred.t;
-  posv : Ast.pos;
-}
-
-let lock_ge a b =
-  match a, b with
-  | `X, _ -> true
-  | `S, `S -> true
-  | `S, `X -> false
-
-let modes_conflict a b = not (a = `S && b = `S)
-
-let edges_of_sequence prog seq =
-  let seq = Array.of_list seq in
-  let n = Array.length seq in
-  (* A request blocks only if the lock is not already held with
-     sufficient mode (re-reads are free; S-to-X is an upgrade). *)
-  let real_request j =
-    let tj, mj, _, _ = seq.(j) in
-    let already = ref false in
-    for k = 0 to j - 1 do
-      let tk, mk, _, _ = seq.(k) in
-      if tk = tj && lock_ge mk mj then already := true
-    done;
-    not !already
-  in
-  let edges = ref [] in
-  for j = 0 to n - 1 do
-    if real_request j then
-      for i = 0 to j - 1 do
-        let tu, mu, pu, posu = seq.(i) in
-        let tv, mv, pv, posv = seq.(j) in
-        if tu <> tv then
-          edges := { eu = tu; ev = tv; prog; mu; pu; posu; mv; pv; posv } :: !edges
-      done
-  done;
-  List.rev !edges
-
-(* Two consecutive cycle edges [e1: _ -> t] then [e2: t -> _]: e1's
-   program is waiting for t, which e2's program holds. *)
-let compat e1 e2 =
-  e1.prog <> e2.prog
-  && modes_conflict e1.mv e2.mu
-  && Pred.may_overlap e1.pv e2.pu
-
-let max_cycle_len = 4
-
-let find_lock_cycles edges =
-  let out : (string, edge list) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      let l = Option.value ~default:[] (Hashtbl.find_opt out e.eu) in
-      Hashtbl.replace out e.eu (l @ [ e ]))
-    edges;
-  let tables =
-    List.sort_uniq String.compare
-      (List.concat_map (fun e -> [ e.eu; e.ev ]) edges)
-  in
-  let cycles = ref [] in
-  let on_path : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun start ->
-      (* Canonical form: the start table is the cycle's smallest, so
-         each cycle is discovered exactly once per rotation. *)
-      let rec dfs path current =
-        if List.length path < max_cycle_len then
-          List.iter
-            (fun e ->
-              let ok_prev =
-                match path with
-                | [] -> true
-                | prev :: _ -> compat prev e
-              in
-              if ok_prev then
-                if e.ev = start then (
-                  let cycle = List.rev (e :: path) in
-                  match cycle with
-                  | first :: _ -> if compat e first then cycles := cycle :: !cycles
-                  | [] -> ())
-                else if String.compare e.ev start > 0
-                        && not (Hashtbl.mem on_path e.ev)
-                then begin
-                  Hashtbl.replace on_path e.ev ();
-                  dfs (e :: path) e.ev;
-                  Hashtbl.remove on_path e.ev
-                end)
-            (Option.value ~default:[] (Hashtbl.find_opt out current))
-      in
-      dfs [] start)
-    tables;
-  List.rev !cycles
-
 let check_deadlocks (inputs : input list) =
-  let summaries =
-    List.filter (fun (i : input) -> i.program.transactional) inputs
-    |> List.map (fun (i : input) -> (i, Summary.of_program i.program))
-  in
-  let edges =
-    List.concat
-      (List.mapi
-         (fun idx (_, s) -> edges_of_sequence idx (Summary.lock_sequence s))
-         summaries)
-  in
-  let cycles = find_lock_cycles edges in
-  let arr = Array.of_list summaries in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  List.filter_map
-    (fun cycle ->
-      let progs = List.sort_uniq Int.compare (List.map (fun e -> e.prog) cycle) in
-      let tables = List.sort_uniq String.compare (List.map (fun e -> e.eu) cycle) in
-      let key =
-        String.concat "," (List.map string_of_int progs)
-        ^ "|" ^ String.concat "," tables
-      in
-      if Hashtbl.mem seen key then None
-      else begin
-        Hashtbl.replace seen key ();
-        let label_of p = (snd arr.(p)).Summary.program.label in
-        let source_of p = (fst arr.(p)).source in
-        let order =
-          String.concat " -> " (List.map (fun e -> e.eu) cycle)
-          ^ " -> "
-          ^ (List.hd cycle).eu
-        in
-        let witness =
-          List.map
-            (fun e ->
-              Format.asprintf "%s: acquires %a(%s) at %a, then requests %a(%s) at %a"
-                (label_of e.prog) Summary.pp_lock e.mu e.eu Ast.pp_pos e.posu
-                Summary.pp_lock e.mv e.ev Ast.pp_pos e.posv)
-            cycle
-        in
-        let first = List.hd cycle in
-        Some
-          (Finding.make ~source:(source_of first.prog)
-             ~program:(label_of first.prog) ~at:first.posu
-             ~code:"potential-deadlock" ~severity:Finding.Error ~witness
-             (Printf.sprintf
-                "potential deadlock under strict 2PL: circular lock order %s \
-                 between programs %s"
-                order
-                (String.concat ", " (List.map label_of progs))))
-      end)
-    cycles
+  Matrix.deadlock_findings (Matrix.analyze inputs)
 
 (* ------------------------------------------------------------------ *)
 

@@ -21,7 +21,7 @@
       different programs, conflict in lock mode, and overlap in
       predicate. *)
 
-type input = {
+type input = Matrix.input = {
   source : string;  (** file name or workload label, for findings *)
   program : Ent_core.Program.t;
 }

@@ -1,0 +1,482 @@
+module Ast = Ent_sql.Ast
+module Json = Ent_obs.Json
+
+type input = {
+  source : string;
+  program : Ent_core.Program.t;
+}
+
+type scope =
+  | Row_scope
+  | Table_scope
+
+type witness = {
+  table : string;
+  scope : scope;
+  left_mode : Summary.mode;
+  right_mode : Summary.mode;
+}
+
+type verdict =
+  | Commutes
+  | Row_conflict
+  | Table_conflict
+
+type cell = {
+  verdict : verdict;
+  witnesses : witness list;
+}
+
+type edge = {
+  eu : string;
+  ev : string;
+  prog : int;
+  mu : [ `S | `X ];
+  pu : Pred.t;
+  posu : Ast.pos;
+  mv : [ `S | `X ];
+  pv : Pred.t;
+  posv : Ast.pos;
+}
+
+type t = {
+  inputs : input array;
+  cells : cell array array;
+  edges : edge list;
+  cycles : edge list list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise conflict/commutativity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_write (m : Summary.mode) = m = Summary.Write
+
+(* A conflicting access pair is row-scoped when the conjunction of the
+   two predicates pins some column to a finite candidate set: both
+   sides can only collide on those identifiable rows. *)
+let pair_scope (a : Summary.access) (b : Summary.access) =
+  let conj = Pred.conjoin a.pred b.pred in
+  let finite (col, _) = Pred.count conj col <> None in
+  if List.exists finite conj.cols then Row_scope else Table_scope
+
+let classify_pair (sa : Summary.t) (sb : Summary.t) =
+  let accesses (s : Summary.t) =
+    List.concat_map (fun (ss : Summary.stmt_summary) -> ss.accesses) s.stmts
+  in
+  let witnesses = ref [] in
+  List.iter
+    (fun (a : Summary.access) ->
+      List.iter
+        (fun (b : Summary.access) ->
+          if
+            a.table = b.table
+            && (is_write a.mode || is_write b.mode)
+            && Pred.may_overlap a.pred b.pred
+          then
+            witnesses :=
+              {
+                table = a.table;
+                scope = pair_scope a b;
+                left_mode = a.mode;
+                right_mode = b.mode;
+              }
+              :: !witnesses)
+        (accesses sb))
+    (accesses sa);
+  (* one witness per (table, scope), table-scoped reported before
+     row-scoped so the dominant reason leads *)
+  let witnesses =
+    List.sort_uniq
+      (fun a b ->
+        let c = String.compare a.table b.table in
+        if c <> 0 then c else Stdlib.compare (a.scope, a.left_mode, a.right_mode)
+                               (b.scope, b.left_mode, b.right_mode))
+      !witnesses
+  in
+  let verdict =
+    if witnesses = [] then Commutes
+    else if List.exists (fun w -> w.scope = Table_scope) witnesses then
+      Table_conflict
+    else Row_conflict
+  in
+  { verdict; witnesses }
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order graph (moved from the per-suite deadlock lint)           *)
+(* ------------------------------------------------------------------ *)
+
+let lock_ge a b =
+  match a, b with
+  | `X, _ -> true
+  | `S, `S -> true
+  | `S, `X -> false
+
+let modes_conflict a b = not (a = `S && b = `S)
+
+let edges_of_sequence prog seq =
+  let seq = Array.of_list seq in
+  let n = Array.length seq in
+  (* A request blocks only if the lock is not already held with
+     sufficient mode (re-reads are free; S-to-X is an upgrade). *)
+  let real_request j =
+    let tj, mj, _, _ = seq.(j) in
+    let already = ref false in
+    for k = 0 to j - 1 do
+      let tk, mk, _, _ = seq.(k) in
+      if tk = tj && lock_ge mk mj then already := true
+    done;
+    not !already
+  in
+  let edges = ref [] in
+  for j = 0 to n - 1 do
+    if real_request j then
+      for i = 0 to j - 1 do
+        let tu, mu, pu, posu = seq.(i) in
+        let tv, mv, pv, posv = seq.(j) in
+        if tu <> tv then
+          edges := { eu = tu; ev = tv; prog; mu; pu; posu; mv; pv; posv } :: !edges
+      done
+  done;
+  List.rev !edges
+
+(* Two consecutive cycle edges [e1: _ -> t] then [e2: t -> _]: e1's
+   program is waiting for t, which e2's program holds. *)
+let compat e1 e2 =
+  e1.prog <> e2.prog
+  && modes_conflict e1.mv e2.mu
+  && Pred.may_overlap e1.pv e2.pu
+
+let max_cycle_len = 4
+
+let find_lock_cycles edges =
+  let out : (string, edge list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt out e.eu) in
+      Hashtbl.replace out e.eu (l @ [ e ]))
+    edges;
+  let tables =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.eu; e.ev ]) edges)
+  in
+  let cycles = ref [] in
+  let on_path : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun start ->
+      (* Canonical form: the start table is the cycle's smallest, so
+         each cycle is discovered exactly once per rotation. *)
+      let rec dfs path current =
+        if List.length path < max_cycle_len then
+          List.iter
+            (fun e ->
+              let ok_prev =
+                match path with
+                | [] -> true
+                | prev :: _ -> compat prev e
+              in
+              if ok_prev then
+                if e.ev = start then (
+                  let cycle = List.rev (e :: path) in
+                  match cycle with
+                  | first :: _ -> if compat e first then cycles := cycle :: !cycles
+                  | [] -> ())
+                else if String.compare e.ev start > 0
+                        && not (Hashtbl.mem on_path e.ev)
+                then begin
+                  Hashtbl.replace on_path e.ev ();
+                  dfs (e :: path) e.ev;
+                  Hashtbl.remove on_path e.ev
+                end)
+            (Option.value ~default:[] (Hashtbl.find_opt out current))
+      in
+      dfs [] start)
+    tables;
+  List.rev !cycles
+
+(* ------------------------------------------------------------------ *)
+
+let analyze (inputs : input list) =
+  let inputs = Array.of_list inputs in
+  let summaries =
+    Array.map (fun (i : input) -> Summary.of_program i.program) inputs
+  in
+  let n = Array.length inputs in
+  let cells =
+    Array.init n (fun i ->
+        Array.init n (fun j -> classify_pair summaries.(i) summaries.(j)))
+  in
+  (* Lock-order edges only make sense for transactional programs:
+     autocommit statements release their locks immediately, so nothing
+     is held while the next statement requests. *)
+  let edges =
+    List.concat
+      (List.init n (fun idx ->
+           if inputs.(idx).program.transactional then
+             edges_of_sequence idx (Summary.lock_sequence summaries.(idx))
+           else []))
+  in
+  { inputs; cells; edges; cycles = find_lock_cycles edges }
+
+let deadlock_findings t =
+  let label_of p = t.inputs.(p).program.label in
+  let source_of p = t.inputs.(p).source in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.filter_map
+    (fun cycle ->
+      let progs = List.sort_uniq Int.compare (List.map (fun e -> e.prog) cycle) in
+      let tables = List.sort_uniq String.compare (List.map (fun e -> e.eu) cycle) in
+      let key =
+        String.concat "," (List.map string_of_int progs)
+        ^ "|" ^ String.concat "," tables
+      in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        let order =
+          String.concat " -> " (List.map (fun e -> e.eu) cycle)
+          ^ " -> "
+          ^ (List.hd cycle).eu
+        in
+        let witness =
+          List.map
+            (fun e ->
+              Format.asprintf "%s: acquires %a(%s) at %a, then requests %a(%s) at %a"
+                (label_of e.prog) Summary.pp_lock e.mu e.eu Ast.pp_pos e.posu
+                Summary.pp_lock e.mv e.ev Ast.pp_pos e.posv)
+            cycle
+        in
+        let first = List.hd cycle in
+        Some
+          (Finding.make ~source:(source_of first.prog)
+             ~program:(label_of first.prog) ~at:first.posu
+             ~code:"potential-deadlock" ~severity:Finding.Error ~witness
+             (Printf.sprintf
+                "potential deadlock under strict 2PL: circular lock order %s \
+                 between programs %s"
+                order
+                (String.concat ", " (List.map label_of progs))))
+      end)
+    t.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_name = function
+  | Commutes -> "commutes"
+  | Row_conflict -> "row-conflict"
+  | Table_conflict -> "table-conflict"
+
+let verdict_char = function
+  | Commutes -> '.'
+  | Row_conflict -> 'r'
+  | Table_conflict -> 'T'
+
+let scope_name = function
+  | Row_scope -> "row"
+  | Table_scope -> "table"
+
+let mode_name (m : Summary.mode) =
+  match m with
+  | Summary.Read -> "read"
+  | Summary.Ground_read -> "ground-read"
+  | Summary.Write -> "write"
+
+let pp ppf t =
+  let n = Array.length t.inputs in
+  Format.fprintf ppf "conflict/commutativity matrix (%d program%s)@\n" n
+    (if n = 1 then "" else "s");
+  Array.iteri
+    (fun i (inp : input) ->
+      Format.fprintf ppf "  %2d  %s (%s)@\n" (i + 1) inp.program.label
+        inp.source)
+    t.inputs;
+  Format.fprintf ppf "@\n      ";
+  for j = 0 to n - 1 do
+    Format.fprintf ppf "%2d " (j + 1)
+  done;
+  Format.fprintf ppf "@\n";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "  %2d  " (i + 1);
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %c " (verdict_char t.cells.(i).(j).verdict)
+    done;
+    Format.fprintf ppf "@\n"
+  done;
+  Format.fprintf ppf
+    "@\nlegend: [.] commute  [r] row-scoped conflict  [T] table-scoped \
+     conflict@\n";
+  let conflicts = ref [] in
+  let commuting = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let c = t.cells.(i).(j) in
+      if c.verdict = Commutes then incr commuting
+      else conflicts := (i, j, c) :: !conflicts
+    done
+  done;
+  let row_cells, table_cells =
+    List.partition (fun (_, _, c) -> c.verdict = Row_conflict) !conflicts
+  in
+  Format.fprintf ppf
+    "@\npairs (unordered, diagonal included): %d commute, %d row-conflict, %d \
+     table-conflict"
+    !commuting (List.length row_cells) (List.length table_cells);
+  (* the full pair listing only for suites small enough to read *)
+  if n <= 12 then
+    List.iter
+      (fun (i, j, (c : cell)) ->
+        Format.fprintf ppf "@\n  %d x %d (%s x %s): %s" (i + 1) (j + 1)
+          t.inputs.(i).program.label t.inputs.(j).program.label
+          (verdict_name c.verdict);
+        List.iter
+          (fun w ->
+            Format.fprintf ppf "@\n      %s: %s %s vs %s" w.table
+              (scope_name w.scope) (mode_name w.left_mode) (mode_name w.right_mode))
+          c.witnesses)
+      (List.rev !conflicts)
+  else begin
+    let tables =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (_, _, c) -> List.map (fun w -> (w.table, w.scope)) c.witnesses)
+           !conflicts)
+    in
+    List.iter
+      (fun (table, scope) ->
+        Format.fprintf ppf "@\n  conflicts on %s (%s-scoped)" table
+          (scope_name scope))
+      tables
+  end;
+  Format.fprintf ppf "@\n@\nlock-order graph: %d edge%s, %d potential deadlock \
+                      cycle%s"
+    (List.length t.edges)
+    (if List.length t.edges = 1 then "" else "s")
+    (List.length t.cycles)
+    (if List.length t.cycles = 1 then "" else "s");
+  if t.cycles = [] && t.edges <> [] then
+    Format.fprintf ppf
+      " — no cross-program mode-conflicting, predicate-overlapping cycle of \
+       length <= %d: statically deadlock-free under Strict 2PL"
+      max_cycle_len;
+  List.iter
+    (fun cycle ->
+      Format.fprintf ppf "@\n  cycle: %s -> %s"
+        (String.concat " -> " (List.map (fun e -> e.eu) cycle))
+        (List.hd cycle).eu;
+      List.iter
+        (fun e ->
+          Format.fprintf ppf "@\n      %s: %a(%s)@%a then %a(%s)@%a"
+            t.inputs.(e.prog).program.label Summary.pp_lock e.mu e.eu Ast.pp_pos
+            e.posu Summary.pp_lock e.mv e.ev Ast.pp_pos e.posv)
+        cycle)
+    t.cycles
+
+let json_pos (p : Ast.pos) = Json.Obj [ ("line", Json.Int p.line); ("col", Json.Int p.col) ]
+
+let json_edge t (e : edge) =
+  Json.Obj
+    [
+      ("from", Json.Str e.eu);
+      ("to", Json.Str e.ev);
+      ("program", Json.Str t.inputs.(e.prog).program.label);
+      ("program_index", Json.Int e.prog);
+      ("hold_mode", Json.Str (if e.mu = `S then "S" else "X"));
+      ("request_mode", Json.Str (if e.mv = `S then "S" else "X"));
+      ("hold_at", json_pos e.posu);
+      ("request_at", json_pos e.posv);
+    ]
+
+let to_json t =
+  let programs =
+    Array.to_list
+      (Array.mapi
+         (fun i (inp : input) ->
+           Json.Obj
+             [
+               ("index", Json.Int i);
+               ("label", Json.Str inp.program.label);
+               ("source", Json.Str inp.source);
+               ("transactional", Json.Bool inp.program.transactional);
+             ])
+         t.inputs)
+  in
+  let cell_json (c : cell) =
+    Json.Obj
+      [
+        ("verdict", Json.Str (verdict_name c.verdict));
+        ( "witnesses",
+          Json.List
+            (List.map
+               (fun w ->
+                 Json.Obj
+                   [
+                     ("table", Json.Str w.table);
+                     ("scope", Json.Str (scope_name w.scope));
+                     ("left_mode", Json.Str (mode_name w.left_mode));
+                     ("right_mode", Json.Str (mode_name w.right_mode));
+                   ])
+               c.witnesses) );
+      ]
+  in
+  Json.Obj
+    [
+      ("programs", Json.List programs);
+      ( "matrix",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun row -> Json.List (Array.to_list (Array.map cell_json row)))
+                t.cells)) );
+      ( "lock_order",
+        Json.Obj
+          [
+            ("edges", Json.List (List.map (json_edge t) t.edges));
+            ( "cycles",
+              Json.List
+                (List.map
+                   (fun cycle -> Json.List (List.map (json_edge t) cycle))
+                   t.cycles) );
+          ] );
+    ]
+
+let lock_graph_dot t =
+  let buf = Buffer.create 1024 in
+  let on_cycle : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun e ->
+         Hashtbl.replace on_cycle
+           (Printf.sprintf "%s|%s|%d" e.eu e.ev e.prog)
+           ()))
+    t.cycles;
+  Buffer.add_string buf "digraph lock_order {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+  let tables =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.eu; e.ev ]) t.edges)
+  in
+  List.iter
+    (fun tbl -> Buffer.add_string buf (Printf.sprintf "  %S;\n" tbl))
+    tables;
+  (* one arrow per (table pair, program, mode pair) *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let mode m = if m = `S then "S" else "X" in
+      let key =
+        Printf.sprintf "%s|%s|%d|%s|%s" e.eu e.ev e.prog (mode e.mu) (mode e.mv)
+      in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        let red =
+          Hashtbl.mem on_cycle (Printf.sprintf "%s|%s|%d" e.eu e.ev e.prog)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %S -> %S [label=\"%s: %s->%s\"%s];\n" e.eu e.ev
+             t.inputs.(e.prog).program.label (mode e.mu) (mode e.mv)
+             (if red then ", color=red, penwidth=2" else ""))
+      end)
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

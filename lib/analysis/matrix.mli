@@ -1,0 +1,106 @@
+(** Whole-suite static conflict analysis: the pairwise
+    conflict/commutativity matrix over transaction programs and the
+    cross-program lock-order graph.
+
+    Two programs {e commute} when no pair of their statically
+    summarised accesses ({!Summary.accesses_of_stmt}) conflicts: same
+    table, at least one write, predicates not provably disjoint
+    ({!Pred.may_overlap}). A conflicting pair is {e row-scoped} when
+    the conjoined predicate pins at least one column to a finite
+    candidate set ({!Pred.count}) — the conflict is confined to
+    identifiable rows, so optimistic/multicore execution can arbitrate
+    per row — and {e table-scoped} otherwise. The matrix includes the
+    diagonal: program [i] against an independent instance of itself.
+
+    The lock-order graph generalises the per-program deadlock lint:
+    nodes are tables, an edge [u -> v] for program P means P still
+    holds a lock on [u] (Strict 2PL) when it requests one on [v].
+    Cycles whose consecutive edges come from different programs,
+    conflict in mode, and overlap in predicate are potential
+    deadlocks; their absence is a (static, predicate-abstracted)
+    deadlock-freedom argument for the suite. *)
+
+type input = {
+  source : string;  (** file name or workload label, for findings *)
+  program : Ent_core.Program.t;
+}
+
+type scope =
+  | Row_scope
+  | Table_scope
+
+type witness = {
+  table : string;
+  scope : scope;
+  left_mode : Summary.mode;
+  right_mode : Summary.mode;
+}
+
+type verdict =
+  | Commutes
+  | Row_conflict
+  | Table_conflict
+
+type cell = {
+  verdict : verdict;
+  witnesses : witness list;
+}
+
+(** A static lock-order edge: program [prog] (index into the input
+    list) acquires [mu] on [eu] at [posu] and later requests [mv] on
+    [ev] at [posv] while still holding it. *)
+type edge = {
+  eu : string;
+  ev : string;
+  prog : int;
+  mu : [ `S | `X ];
+  pu : Pred.t;
+  posu : Ent_sql.Ast.pos;
+  mv : [ `S | `X ];
+  pv : Pred.t;
+  posv : Ent_sql.Ast.pos;
+}
+
+type t = {
+  inputs : input array;
+  cells : cell array array;  (** [cells.(i).(j)]: program i vs program j *)
+  edges : edge list;  (** the whole lock-order graph *)
+  cycles : edge list list;  (** potential deadlock cycles (length <= 4) *)
+}
+
+val analyze : input list -> t
+
+(** The deadlock cycles as [potential-deadlock] findings — the same
+    diagnostics {!Lint.check_deadlocks} reports. *)
+val deadlock_findings : t -> Finding.t list
+
+val verdict_name : verdict -> string
+
+(** Text rendering: index legend, the matrix ([.] commutes, [r] row
+    conflict, [T] table conflict), then the lock-order summary. *)
+val pp : Format.formatter -> t -> unit
+
+(** Stable machine-readable form: [programs], [matrix] (cells with
+    verdict and per-table witnesses), [lock_order] (edges and cycles). *)
+val to_json : t -> Ent_obs.Json.t
+
+(** The lock-order graph in Graphviz DOT; edges on a potential
+    deadlock cycle are highlighted. *)
+val lock_graph_dot : t -> string
+
+(** {2 Machinery shared with {!Lint}} *)
+
+val lock_ge : [ `S | `X ] -> [ `S | `X ] -> bool
+val modes_conflict : [ `S | `X ] -> [ `S | `X ] -> bool
+
+(** [edges_of_sequence prog locks]: the holds-while-requesting pairs of
+    one program's {!Summary.lock_sequence} (re-acquisitions of an
+    already-sufficient lock request nothing). *)
+val edges_of_sequence :
+  int -> (string * [ `S | `X ] * Pred.t * Ent_sql.Ast.pos) list -> edge list
+
+(** Cycles (up to length {!max_cycle_len}) whose consecutive edges are
+    mode-conflicting, predicate-overlapping, and cross-program. *)
+val find_lock_cycles : edge list -> edge list list
+
+val max_cycle_len : int

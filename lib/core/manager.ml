@@ -35,6 +35,10 @@ let add_index t name columns =
 let add_constraint t name predicate =
   Ent_txn.Engine.add_constraint t.engine ~name predicate
 
+let observe t ~on_event ~on_entangle =
+  Ent_txn.Engine.add_on_event t.engine on_event;
+  Scheduler.add_on_entangle t.scheduler on_entangle
+
 let submit t program = Scheduler.submit t.scheduler program
 let submit_string t ?label input = submit t (Program.of_string ?label input)
 let drain t = Scheduler.drain t.scheduler

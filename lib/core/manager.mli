@@ -43,6 +43,15 @@ val add_index : t -> string -> string list -> unit
     with [Errored]. *)
 val add_constraint : t -> string -> (Catalog.t -> bool) -> unit
 
+(** Attach an observer pair — engine events plus the scheduler's
+    entanglement hook — without displacing observers already installed
+    (e.g. a {!Ent_schedule.Recorder} and a certifier side by side). *)
+val observe :
+  t ->
+  on_event:(Ent_txn.Engine.event -> unit) ->
+  on_entangle:(event:int -> (int * string list) list -> unit) ->
+  unit
+
 val submit : t -> Program.t -> int
 val submit_string : t -> ?label:string -> string -> int
 

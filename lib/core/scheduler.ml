@@ -128,6 +128,16 @@ let create ?(config = default_config) engine =
 let engine t = t.engine
 let config t = t.config
 let set_on_entangle t f = t.on_entangle <- f
+
+let add_on_entangle t f =
+  match t.on_entangle with
+  | None -> t.on_entangle <- Some f
+  | Some g ->
+    t.on_entangle <-
+      Some
+        (fun ~event participants ->
+          g ~event participants;
+          f ~event participants)
 let now t = Ent_sim.Pool.now t.pool
 let connection_loads t = Ent_sim.Pool.loads t.pool
 let advance_time t seconds = Ent_sim.Pool.advance_to t.pool (now t +. seconds)

@@ -71,6 +71,10 @@ val config : t -> config
     [E] operations and quasi-reads. *)
 val set_on_entangle : t -> (event:int -> (int * string list) list -> unit) option -> unit
 
+(** Add an entanglement hook without displacing the installed one: both
+    run, in installation order. *)
+val add_on_entangle : t -> (event:int -> (int * string list) list -> unit) -> unit
+
 (** [submit t program] adds a transaction to the dormant pool and
     returns its task id. May trigger a run, per the configured
     trigger. *)

@@ -30,6 +30,7 @@ type config = {
   max_arms : int;  (* upper bound on generated fault-plan arms *)
   break_group_commit : bool;  (* run without group commit (widow detector test) *)
   combined : bool;  (* combined-query evaluation instead of coordination search *)
+  certify : bool;  (* online schedule certification per epoch *)
 }
 
 let default =
@@ -44,6 +45,7 @@ let default =
     max_arms = 4;
     break_group_commit = false;
     combined = false;
+    certify = false;
   }
 
 type violation = {
@@ -226,15 +228,44 @@ let run cfg plan =
       ~cities:cfg.cities ~config:sched_config ~wal:true ()
   in
   let mgr = ref world.Ent_workload.Travel.manager in
+  (* The recorder replaces any stale hooks (a recovered engine starts
+     clean, but the scheduler hook slot is per-manager anyway); the
+     optional certifier is then added beside it. One certifier per
+     epoch: engine transaction ids restart from the recovered log's
+     high-water mark, so an epoch is a self-contained schedule. *)
   let attach m =
     let r = Recorder.create () in
     Ent_txn.Engine.set_on_event (Manager.engine m)
       (Some (Recorder.on_engine_event r));
     Scheduler.set_on_entangle (Manager.scheduler m)
       (Some (Recorder.on_entangle r));
-    r
+    let c =
+      if not cfg.certify then None
+      else begin
+        let c = Ent_schedule.Certify.create () in
+        Manager.observe m
+          ~on_event:(Ent_schedule.Certify.on_engine_event c)
+          ~on_entangle:(Ent_schedule.Certify.on_entangle c);
+        Some c
+      end
+    in
+    (r, c)
   in
-  let recorder = ref (attach !mgr) in
+  let recorder, certifier =
+    let r, c = attach !mgr in
+    (ref r, ref c)
+  in
+  let check_certifier epoch_index =
+    match !certifier with
+    | None -> ()
+    | Some c ->
+      List.iter
+        (fun (v : Ent_schedule.Certify.violation) ->
+          viol [] "certify"
+            (Printf.sprintf "epoch %d: [%s] %s" epoch_index v.code v.detail))
+        (Ent_schedule.Certify.violations c)
+  in
+  let epochs_closed = ref 0 in
   let epoch_live = ref true in
   let histories = ref [] in
   let commits = ref 0 in
@@ -284,7 +315,9 @@ let run cfg plan =
               any point cannot lose previously durable state. *)
            let engine, _ = Ent_txn.Engine.recover image in
            mgr := Manager.create_with_engine ~config:sched_config engine;
-           recorder := attach !mgr;
+           let r, c = attach !mgr in
+           recorder := r;
+           certifier := c;
            epoch_live := true;
            (* Dormant-pool survivors resume: every program of the last
               snapshot must deserialize and resubmit. *)
@@ -311,6 +344,8 @@ let run cfg plan =
          histories := Recorder.completed_history !recorder :: !histories;
          commits := !commits + (Manager.stats !mgr).Scheduler.commits;
          check_no_errors !mgr;
+         check_certifier !epochs_closed;
+         incr epochs_closed;
          epoch_live := false
        end;
        last_resumed := [];
@@ -320,7 +355,9 @@ let run cfg plan =
   if not !aborted_sim then begin
     if !epoch_live then begin
       histories := Recorder.completed_history !recorder :: !histories;
-      commits := !commits + (Manager.stats !mgr).Scheduler.commits
+      commits := !commits + (Manager.stats !mgr).Scheduler.commits;
+      check_certifier !epochs_closed;
+      incr epochs_closed
     end;
     check_no_errors !mgr;
     (* Resumed dormant survivors must either have finished or still be
@@ -467,7 +504,7 @@ let shrink cfg plan =
 (* The one-line repro command for a failing (config, plan). *)
 let repro cfg plan =
   let flag name v d = if v = d then "" else Printf.sprintf " --%s %d" name v in
-  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
+  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
     (flag "pairs" cfg.pairs default.pairs)
     (flag "rollback-pairs" cfg.rollback_pairs default.rollback_pairs)
     (flag "plain" cfg.plain default.plain)
@@ -476,4 +513,5 @@ let repro cfg plan =
     (flag "cities" cfg.cities default.cities)
     (if cfg.break_group_commit then " --break-group-commit" else "")
     (if cfg.combined then " --combined" else "")
+    (if cfg.certify then " --certify" else "")
     (Plan.to_string plan)

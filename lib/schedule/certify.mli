@@ -1,0 +1,80 @@
+(** Online schedule certification: a sanitizer for the scheduler.
+
+    Subscribe {!on_engine_event} / {!on_entangle} next to a
+    {!Recorder} (or feed a complete schedule through {!check_history})
+    and the certifier maintains the committed-prefix conflict graph
+    incrementally, flagging — as the run unfolds, without retaining
+    the operation history — every condition the offline Appendix C
+    checker ({!Ent_analysis.Histcheck}) would reject:
+
+    - [conflict-cycle]: the conflict graph over committed transactions
+      (quasi-reads expanded, C.2) acquired a cycle;
+    - [read-from-aborted]: a committed transaction read an object after
+      an aborted transaction wrote it (C.3);
+    - [widowed]: an entanglement group with both an aborted and a
+      committed member (C.4);
+    - [unrepeatable-quasi-read]: a quasi-read was invalidated by a
+      foreign write and then re-read (Figure 3b);
+    - [unanswered-ground]: a transaction committed between a grounding
+      read and its entanglement (C.1 validity);
+    - [ground-gap]: a read or write between a grounding read and its
+      entanglement (C.1 validity);
+    - [post-terminal] / [double-terminal]: operations after, or more
+      than one, terminal operation (C.1 validity).
+
+    Instead of the history, the certifier keeps per-object first/last
+    access positions per transaction, so memory is bounded by (live
+    objects x touching transactions), not by run length. Conflict
+    edges activate when both endpoints commit; each activation runs an
+    incremental reachability check, so a cycle is reported at the
+    commit that closes it. *)
+
+type violation = {
+  code : string;
+  detail : string;
+}
+
+type stats = {
+  ops : int;  (** data operations observed (quasi-reads included) *)
+  txns : int;  (** distinct transactions seen *)
+  committed : int;
+  aborted : int;
+  edges : int;  (** active conflict edges between committed transactions *)
+  quasi_reads : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** Feed one schedule operation. Operations must arrive in schedule
+    order; [Entangle] expands the participants' buffered grounding
+    reads into quasi-reads retroactively, exactly like
+    {!History.expand_quasi_reads}. *)
+val on_op : t -> History.op -> unit
+
+(** Adapter for [Ent_txn.Engine.set_on_event] — same event mapping as
+    {!Recorder.on_engine_event}. *)
+val on_engine_event : t -> Ent_txn.Engine.event -> unit
+
+(** Adapter for the scheduler's entanglement hook — same payload as
+    {!Recorder.on_entangle}. *)
+val on_entangle : t -> event:int -> (int * string list) list -> unit
+
+(** Violations found so far, in detection order (deduplicated; at most
+    {!max_violations} retained). *)
+val violations : t -> violation list
+
+val max_violations : int
+val ok : t -> bool
+val stats : t -> stats
+
+(** Replay a complete recorded history through a fresh certifier —
+    the offline entry point (mutation tests, [entlint]). *)
+val check_history : History.t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** One-paragraph certification report: ok/violation count, stats,
+    then each violation on its own line. *)
+val pp_report : Format.formatter -> t -> unit

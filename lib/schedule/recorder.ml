@@ -1,7 +1,34 @@
-type t = { mutable ops : History.op list (* newest first *) }
+type t = {
+  mutable ops : History.op list;  (* newest first *)
+  mutable len : int;
+  cap : int option;
+  sink : (History.op -> unit) option;
+  mutable dropped_count : int;
+}
 
-let create () = { ops = [] }
-let push t op = t.ops <- op :: t.ops
+let create ?cap ?sink () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Recorder.create: cap must be positive"
+  | _ -> ());
+  { ops = []; len = 0; cap; sink; dropped_count = 0 }
+
+(* With a cap, let the list grow to 2*cap and then cut it back to the
+   newest cap operations — amortized O(1) per push, never retaining
+   more than 2*cap. *)
+let push t op =
+  (match t.sink with
+  | Some f -> f op
+  | None -> ());
+  t.ops <- op :: t.ops;
+  t.len <- t.len + 1;
+  match t.cap with
+  | Some cap when t.len >= 2 * cap ->
+    t.ops <- List.filteri (fun i _ -> i < cap) t.ops;
+    t.dropped_count <- t.dropped_count + (t.len - cap);
+    t.len <- cap
+  | _ -> ()
+
+let dropped t = t.dropped_count
 
 let on_engine_event t (ev : Ent_txn.Engine.event) =
   match ev with

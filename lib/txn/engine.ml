@@ -71,6 +71,16 @@ let log t = t.wal
 let locks t = t.locks
 let set_on_event t f = t.on_event <- f
 
+let add_on_event t f =
+  match t.on_event with
+  | None -> t.on_event <- Some f
+  | Some g ->
+    t.on_event <-
+      Some
+        (fun ev ->
+          g ev;
+          f ev)
+
 let emit t ev =
   match t.on_event with
   | Some f -> f ev

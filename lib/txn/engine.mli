@@ -43,6 +43,10 @@ val locks : t -> Lock.t
 (** Replace the event listener (used to attach a recorder after setup). *)
 val set_on_event : t -> (event -> unit) option -> unit
 
+(** Add a listener without displacing the installed one: both run, in
+    installation order. Lets a certifier observe alongside a recorder. *)
+val add_on_event : t -> (event -> unit) -> unit
+
 (** Create a table through the engine so it is logged for recovery. *)
 val create_table : t -> string -> Schema.t -> Table.t
 

@@ -170,6 +170,98 @@ let test_workload_lint () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown workload accepted"
 
+(* --- the conflict/commutativity matrix --- *)
+
+let test_matrix_deadlock_pair () =
+  let m = Matrix.analyze (inputs_of_fixture "deadlock_pair.sql") in
+  Alcotest.(check int) "two programs" 2 (Array.length m.inputs);
+  Alcotest.(check bool) "off-diagonal conflicts" true
+    (m.cells.(0).(1).verdict <> Matrix.Commutes);
+  Alcotest.(check bool) "symmetric verdict" true
+    (m.cells.(0).(1).verdict = m.cells.(1).(0).verdict);
+  Alcotest.(check bool) "lock cycle found" true (m.cycles <> []);
+  (* the matrix path reports exactly what the lint path reports *)
+  Alcotest.(check (list string)) "same findings" [ "potential-deadlock" ]
+    (codes (Matrix.deadlock_findings m))
+
+let test_matrix_disjoint_pair () =
+  let m = Matrix.analyze (inputs_of_fixture "disjoint_pair.sql") in
+  Alcotest.(check bool) "provably disjoint programs commute" true
+    (m.cells.(0).(1).verdict = Matrix.Commutes);
+  Alcotest.(check bool) "no witnesses when commuting" true
+    (m.cells.(0).(1).witnesses = []);
+  Alcotest.(check (list (list string))) "no deadlock cycles" []
+    (List.map (List.map (fun (e : Matrix.edge) -> e.eu)) m.cycles)
+
+let test_matrix_workload () =
+  match Driver.workload_inputs ~n:4 "entangled-t" with
+  | Error msg -> Alcotest.fail msg
+  | Ok inputs ->
+    let m = Matrix.analyze inputs in
+    (* two instances of the same booking program race on Reserve *)
+    Alcotest.(check bool) "diagonal self-conflict" true
+      (m.cells.(0).(0).verdict <> Matrix.Commutes);
+    Alcotest.(check bool) "lock-order edges exist" true (m.edges <> []);
+    Alcotest.(check (list (list string))) "statically deadlock-free" []
+      (List.map (List.map (fun (e : Matrix.edge) -> e.eu)) m.cycles);
+    let rendered = Format.asprintf "%a" Matrix.pp m in
+    Alcotest.(check bool) "pp states deadlock-freedom" true
+      (let needle = "deadlock-free" in
+       let n = String.length needle in
+       let rec find i =
+         i + n <= String.length rendered
+         && (String.sub rendered i n = needle || find (i + 1))
+       in
+       find 0);
+    (match Matrix.to_json m with
+    | Ent_obs.Json.Obj fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("json has " ^ k) true (List.mem_assoc k fields))
+        [ "programs"; "matrix"; "lock_order" ]
+    | _ -> Alcotest.fail "to_json is not an object");
+    let dot = Matrix.lock_graph_dot m in
+    Alcotest.(check bool) "dot output" true
+      (String.length dot > 7 && String.sub dot 0 7 = "digraph")
+
+(* --- finding deduplication and JSON rendering --- *)
+
+let test_dedupe () =
+  let fs = lint_fixture "widow_risk.sql" in
+  Alcotest.(check bool) "fixture has findings" true (fs <> []);
+  let sorted = List.stable_sort Finding.compare fs in
+  Alcotest.(check bool) "idempotent" true (Driver.dedupe fs = sorted);
+  (* duplicated input collapses back to the original *)
+  Alcotest.(check bool) "duplicates dropped" true
+    (Driver.dedupe (fs @ fs) = sorted);
+  Alcotest.(check int) "count preserved" (List.length fs)
+    (List.length (Driver.dedupe (List.rev fs @ fs)))
+
+let test_findings_json () =
+  let fs = lint_fixture "deadlock_pair.sql" in
+  match Driver.findings_json fs with
+  | Ent_obs.Json.Obj fields ->
+    (match List.assoc_opt "errors" fields with
+    | Some (Ent_obs.Json.Int n) ->
+      Alcotest.(check int) "errors counted" (List.length (errors fs)) n
+    | _ -> Alcotest.fail "errors field missing");
+    (match List.assoc_opt "findings" fields with
+    | Some (Ent_obs.Json.List items) ->
+      Alcotest.(check int) "all findings rendered" (List.length fs)
+        (List.length items);
+      List.iter
+        (function
+          | Ent_obs.Json.Obj f ->
+            List.iter
+              (fun k ->
+                Alcotest.(check bool) ("finding has " ^ k) true
+                  (List.mem_assoc k f))
+              [ "code"; "severity"; "source"; "line"; "col"; "message" ]
+          | _ -> Alcotest.fail "finding is not an object")
+        items
+    | _ -> Alcotest.fail "findings field missing")
+  | _ -> Alcotest.fail "findings_json is not an object"
+
 (* --- history parsing --- *)
 
 let test_histparse_roundtrip () =
@@ -310,6 +402,13 @@ let () =
           Alcotest.test_case "parse error position" `Quick test_parse_error_has_position;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "workloads" `Quick test_workload_lint ] );
+      ( "matrix",
+        [ Alcotest.test_case "deadlock pair" `Quick test_matrix_deadlock_pair;
+          Alcotest.test_case "disjoint pair" `Quick test_matrix_disjoint_pair;
+          Alcotest.test_case "workload suite" `Quick test_matrix_workload ] );
+      ( "driver",
+        [ Alcotest.test_case "dedupe" `Quick test_dedupe;
+          Alcotest.test_case "findings json" `Quick test_findings_json ] );
       ( "histparse",
         [ Alcotest.test_case "roundtrip" `Quick test_histparse_roundtrip;
           Alcotest.test_case "comments and errors" `Quick

@@ -1,0 +1,353 @@
+(* Tests for the online schedule certifier (entcheck's dynamic side):
+   unit histories pinning each violation code, agreement with the
+   offline Appendix C checker, bounded-memory recording, certification
+   of real scheduler runs, and a mutation suite — anomalies seeded
+   into clean schedules must be rejected (the acceptance bar is >= 95%;
+   these operators are constructed so the property demands 100%). *)
+
+open Ent_schedule
+open History
+module Manager = Ent_core.Manager
+module Engine = Ent_txn.Engine
+module Histcheck = Ent_analysis.Histcheck
+
+let x = Named "x"
+let y = Named "y"
+let z = Named "z"
+let w = Named "w"
+
+let codes h =
+  Certify.check_history h
+  |> List.map (fun (v : Certify.violation) -> v.code)
+  |> List.sort_uniq String.compare
+
+let check_codes name expected h =
+  Alcotest.(check (list string)) name expected (codes h)
+
+(* The example schedule of §C.1 (clean). *)
+let example_c1 =
+  [ Ground_read (1, x);
+    Ground_read (2, y);
+    Read (3, z);
+    Entangle (1, [ 1; 2 ]);
+    Write (1, z);
+    Write (2, w);
+    Commit 1;
+    Commit 2;
+    Commit 3 ]
+
+let figure_3a =
+  [ Ground_read (1, x);
+    Ground_read (2, x);
+    Entangle (1, [ 1; 2 ]);
+    Write (1, y);
+    Write (2, z);
+    Abort 2;
+    Commit 1 ]
+
+let airlines = Named "Airlines"
+let flights = Named "Flights"
+
+let figure_3b =
+  [ Ground_read (1, flights);
+    Ground_read (2, flights);
+    Ground_read (2, airlines);
+    Entangle (1, [ 1; 2 ]);
+    Write (3, airlines);
+    Commit 3;
+    Read (1, airlines);
+    Write (1, w);
+    Commit 1;
+    Commit 2 ]
+
+(* --- one unit history per violation code --- *)
+
+let test_clean () =
+  check_codes "example C.1 certifies" [] example_c1;
+  check_codes "empty schedule" [] [];
+  check_codes "serial" []
+    [ Read (1, x); Write (1, y); Commit 1; Read (2, y); Commit 2 ]
+
+let test_conflict_cycle () =
+  (* unrepeatable classical read: R1(x) W2(x) C2 R1(x) C1 *)
+  check_codes "cycle" [ "conflict-cycle" ]
+    [ Read (1, x); Write (2, x); Commit 2; Read (1, x); Commit 1 ]
+
+let test_read_from_aborted () =
+  check_codes "dirty read" [ "read-from-aborted" ]
+    [ Write (1, x); Read (2, x); Abort 1; Commit 2 ];
+  (* C.3 only protects committed readers *)
+  check_codes "aborted reader exempt" []
+    [ Write (1, x); Read (2, x); Abort 1; Abort 2 ]
+
+let test_widowed () =
+  check_codes "figure 3a" [ "widowed" ] figure_3a
+
+let test_unrepeatable_quasi_read () =
+  check_codes "figure 3b" [ "conflict-cycle"; "unrepeatable-quasi-read" ]
+    figure_3b
+
+let test_validity_codes () =
+  check_codes "unanswered ground" [ "unanswered-ground" ]
+    [ Ground_read (1, x); Commit 1 ];
+  check_codes "ground gap" [ "ground-gap" ]
+    [ Ground_read (1, x); Write (1, y); Ground_read (2, z);
+      Entangle (1, [ 1; 2 ]); Commit 1; Commit 2 ];
+  check_codes "post-terminal" [ "post-terminal" ]
+    [ Read (1, x); Commit 1; Write (1, y) ];
+  check_codes "double terminal" [ "double-terminal" ]
+    [ Read (1, x); Commit 1; Commit 1 ]
+
+let test_stats () =
+  let c = Certify.create () in
+  List.iter (Certify.on_op c) example_c1;
+  let s = Certify.stats c in
+  Alcotest.(check bool) "ok" true (Certify.ok c);
+  (* 5 data ops + the 2 quasi-reads injected by the entangle *)
+  Alcotest.(check int) "ops" 7 s.ops;
+  Alcotest.(check int) "txns" 3 s.txns;
+  Alcotest.(check int) "committed" 3 s.committed;
+  Alcotest.(check int) "aborted" 0 s.aborted;
+  (* R3(z) before W1(z), both committed *)
+  Alcotest.(check int) "edges" 1 s.edges;
+  Alcotest.(check int) "quasi-reads" 2 s.quasi_reads
+
+let test_violation_cap () =
+  (* 300 distinct dirty-read pairs: the retained list is capped *)
+  let c = Certify.create () in
+  for i = 0 to 299 do
+    let o = Named (Printf.sprintf "v%d" i) in
+    List.iter (Certify.on_op c)
+      [ Write ((4 * i) + 1, o); Read ((4 * i) + 2, o);
+        Abort ((4 * i) + 1); Commit ((4 * i) + 2) ]
+  done;
+  Alcotest.(check int) "capped" Certify.max_violations
+    (List.length (Certify.violations c));
+  Alcotest.(check bool) "not ok" false (Certify.ok c)
+
+(* --- agreement with the offline checker on the anomaly catalog --- *)
+
+let test_agrees_with_histcheck () =
+  List.iter
+    (fun (name, h) ->
+      let offline =
+        (Histcheck.check h).violations
+        |> List.map (fun (v : Histcheck.violation) -> v.code)
+        |> List.sort_uniq String.compare
+      in
+      Alcotest.(check (list string)) name offline (codes h))
+    [ ("example C.1", example_c1);
+      ("figure 3a", figure_3a);
+      ("figure 3b", figure_3b);
+      ("dirty read", [ Write (1, x); Read (2, x); Abort 1; Commit 2 ]);
+      ("unrepeatable read",
+       [ Read (1, x); Write (2, x); Commit 2; Read (1, x); Commit 1 ]) ]
+
+(* --- bounded-memory recording --- *)
+
+let test_recorder_cap () =
+  let seen = ref 0 in
+  let r = Recorder.create ~cap:4 ~sink:(fun _ -> incr seen) () in
+  for i = 1 to 20 do
+    Recorder.on_engine_event r (Engine.Ev_write (i, "T", i))
+  done;
+  let h = Recorder.history r in
+  let n = List.length h in
+  Alcotest.(check bool) "bounded" true (n >= 4 && n < 8);
+  Alcotest.(check int) "dropped accounts for the rest" (20 - n)
+    (Recorder.dropped r);
+  Alcotest.(check bool) "newest suffix retained" true
+    (match List.rev h with
+    | Write (20, Row ("T", 20)) :: _ -> true
+    | _ -> false);
+  Alcotest.(check int) "sink saw everything" 20 !seen;
+  Alcotest.check_raises "cap < 1 rejected"
+    (Invalid_argument "Recorder.create: cap must be positive") (fun () ->
+      ignore (Recorder.create ~cap:0 ()))
+
+let test_recorder_sink_certifies_beyond_cap () =
+  (* the certifier, fed through the sink, catches a dirty read even
+     after the recorder truncated the evidence away *)
+  let c = Certify.create () in
+  let r = Recorder.create ~cap:1 ~sink:(Certify.on_op c) () in
+  List.iter (Recorder.on_engine_event r)
+    [ Engine.Ev_write (1, "T", 0);
+      Engine.Ev_read (2, Engine.T_row ("T", 0));
+      Engine.Ev_abort 1;
+      Engine.Ev_commit 2 ];
+  Alcotest.(check bool) "recorder forgot" true (Recorder.dropped r > 0);
+  Alcotest.(check (list string)) "certifier remembers"
+    [ "read-from-aborted" ]
+    (Certify.violations c
+    |> List.map (fun (v : Certify.violation) -> v.code)
+    |> List.sort_uniq String.compare)
+
+(* --- certifying real scheduler runs --- *)
+
+let observe m =
+  let c = Certify.create () in
+  Manager.observe m
+    ~on_event:(Certify.on_engine_event c)
+    ~on_entangle:(fun ~event participants ->
+      Certify.on_entangle c ~event participants);
+  c
+
+let test_real_run_certifies () =
+  let m = Gen.travel_manager () in
+  let c = observe m in
+  List.iter
+    (fun (a, b) ->
+      ignore (Manager.submit_string m (Gen.flight_program a b)))
+    [ ("Mickey", "Minnie"); ("Minnie", "Mickey");
+      ("Donald", "Daffy"); ("Daffy", "Donald") ];
+  Manager.drain m;
+  Alcotest.(check bool) "ok" true (Certify.ok c);
+  let s = Certify.stats c in
+  Alcotest.(check bool) "committed some" true (s.committed >= 4);
+  Alcotest.(check bool) "saw quasi-reads" true (s.quasi_reads > 0)
+
+let prop_real_runs_certify_clean =
+  QCheck2.Test.make ~name:"real scheduler runs certify clean" ~count:15
+    Gen.entangled_batch_gen (fun (programs, _lonely) ->
+      let m = Gen.travel_manager () in
+      let c = observe m in
+      List.iter (fun p -> ignore (Manager.submit m p)) programs;
+      Manager.drain m;
+      Certify.ok c)
+
+(* --- the mutation suite --- *)
+
+(* A clean schedule with known structure: entangled pairs (grounding
+   overlap only, group-committed), then plain serial transactions each
+   writing its own object, optionally reading an earlier plain
+   transaction's object (real conflict edges, never a cycle). *)
+type clean = {
+  sched : op list;
+  pairs : (int * int) list;
+  plains : int list;
+}
+
+let obj_of t = Named (Printf.sprintf "o%d" t)
+let ground_of t = Named (Printf.sprintf "g%d" t)
+
+let build_clean n_pairs n_plains cross =
+  let next = ref 0 in
+  let fresh () = incr next; !next in
+  let pairs = List.init n_pairs (fun _ -> let a = fresh () in (a, fresh ())) in
+  let plains = List.init n_plains (fun _ -> fresh ()) in
+  let pair_seg i (a, b) =
+    [ Ground_read (a, ground_of a);
+      Ground_read (b, ground_of b);
+      Entangle (i + 1, [ a; b ]);
+      Write (a, obj_of a);
+      Commit a;
+      Write (b, obj_of b);
+      Commit b ]
+  in
+  let plain_seg i t =
+    let earlier = List.filteri (fun j _ -> j < i) plains in
+    let choice = List.nth cross i in
+    let reads =
+      if earlier = [] || choice = 0 then []
+      else [ Read (t, obj_of (List.nth earlier ((choice - 1) mod List.length earlier))) ]
+    in
+    reads @ [ Write (t, obj_of t); Commit t ]
+  in
+  let sched =
+    List.concat (List.mapi pair_seg pairs)
+    @ List.concat (List.mapi plain_seg plains)
+  in
+  { sched; pairs; plains }
+
+let clean_gen =
+  let open QCheck2.Gen in
+  let* n_pairs = int_range 1 2 in
+  let* n_plains = int_range 2 4 in
+  let* cross = list_size (return n_plains) (int_range 0 9) in
+  return (build_clean n_pairs n_plains cross)
+
+let rec insert_before p op = function
+  | [] -> [ op ]
+  | o :: rest when p o -> op :: o :: rest
+  | o :: rest -> o :: insert_before p op rest
+
+(* Each operator seeds one specific anomaly; [mutate] returns the
+   schedule plus the codes that prove the seed was caught. *)
+let mutate c kind =
+  let a, b = List.hd c.pairs in
+  let t = List.hd c.plains in
+  let u = List.nth c.plains (List.length c.plains - 1) in
+  match kind with
+  | 0 ->
+    (* widow_flip: break the group commit *)
+    ( List.map (function Commit n when n = b -> Abort b | o -> o) c.sched,
+      [ "widowed" ] )
+  | 1 ->
+    (* dirty_read: u reads t's write, then t aborts retroactively *)
+    ( List.map (function Commit n when n = t -> Abort t | o -> o) c.sched
+      |> insert_before (fun o -> o = Commit u) (Read (u, obj_of t)),
+      [ "read-from-aborted" ] )
+  | 2 ->
+    (* cycle: u writes t's object before t does and reads it after *)
+    ( Write (u, obj_of t)
+      :: insert_before (fun o -> o = Commit u) (Read (u, obj_of t)) c.sched,
+      [ "conflict-cycle" ] )
+  | 3 ->
+    (* drop_entangle: a's grounding read is never answered *)
+    ( List.filter
+        (function Entangle (_, ps) -> not (List.mem a ps) | _ -> true)
+        c.sched,
+      [ "ground-gap"; "unanswered-ground" ] )
+  | 4 ->
+    (* commit_swap: t's terminal migrates before its write *)
+    ( List.filter (fun o -> o <> Commit t) c.sched
+      |> insert_before (fun o -> o = Write (t, obj_of t)) (Commit t),
+      [ "post-terminal" ] )
+  | _ ->
+    (* double terminal *)
+    ( List.concat_map
+        (function Commit n when n = t -> [ Commit t; Commit t ] | o -> [ o ])
+        c.sched,
+      [ "double-terminal" ] )
+
+let prop_clean_certifies =
+  QCheck2.Test.make ~name:"generated clean schedules certify" ~count:100
+    clean_gen (fun c -> codes c.sched = [])
+
+let prop_mutations_rejected =
+  QCheck2.Test.make ~name:"seeded anomalies are rejected" ~count:240
+    QCheck2.Gen.(pair clean_gen (int_range 0 5))
+    (fun (c, kind) ->
+      let mutated, expected = mutate c kind in
+      let cs = codes mutated in
+      (* the certifier names the seeded anomaly ... *)
+      List.exists (fun e -> List.mem e cs) expected
+      (* ... and the offline checker concurs that something is wrong *)
+      &&
+      let r = Histcheck.check mutated in
+      r.validity <> [] || r.violations <> [])
+
+let () =
+  Alcotest.run "certify"
+    [ ( "unit",
+        [ Alcotest.test_case "clean schedules" `Quick test_clean;
+          Alcotest.test_case "conflict cycle" `Quick test_conflict_cycle;
+          Alcotest.test_case "read from aborted" `Quick test_read_from_aborted;
+          Alcotest.test_case "widowed" `Quick test_widowed;
+          Alcotest.test_case "unrepeatable quasi-read" `Quick
+            test_unrepeatable_quasi_read;
+          Alcotest.test_case "validity codes" `Quick test_validity_codes;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "violation cap" `Quick test_violation_cap;
+          Alcotest.test_case "agrees with histcheck" `Quick
+            test_agrees_with_histcheck ] );
+      ( "recorder",
+        [ Alcotest.test_case "cap bounds memory" `Quick test_recorder_cap;
+          Alcotest.test_case "sink certifies beyond cap" `Quick
+            test_recorder_sink_certifies_beyond_cap ] );
+      ( "real runs",
+        Alcotest.test_case "deterministic run" `Quick test_real_run_certifies
+        :: List.map Gen.to_alcotest [ prop_real_runs_certify_clean ] );
+      ( "mutations",
+        List.map Gen.to_alcotest
+          [ prop_clean_certifies; prop_mutations_rejected ] ) ]
