@@ -26,7 +26,13 @@
    throughput per series against a checked-in baseline and exits
    nonzero on a regression beyond the tolerance — CI's perf gate.
    With --certify, every figure cell runs under an online schedule
-   certifier (Ent_schedule.Certify) and any violation fails the run. *)
+   certifier (Ent_schedule.Certify) and any violation fails the run.
+
+   --parallel N runs the scale-up experiment: wall-clock time of the
+   same workloads on an OCaml-5 domain pool of 1, 2, ..., N domains,
+   written to BENCH_scaleup.json with --metrics. "perfgate --wallclock
+   BENCH_scaleup.json [--min-speedup 1.8]" gates the measured NoSocial
+   scale-up — CI's scaleup job. *)
 
 open Ent_core
 open Ent_workload
@@ -63,14 +69,14 @@ let point ~x (time, snap, attrib) =
       | Json.Null -> []
       | a -> [ ("latency_attribution", a) ])
 
-let bench_doc ~figure ~x_label series =
+let bench_doc ~figure ~x_label ~unit series =
   Json.Obj
     [
       ("schema_version", Json.Int Ent_obs.Schema.version);
       ("figure", Json.Str figure);
       ("bench_txns", Json.Int txns_total);
       ("x_label", Json.Str x_label);
-      ("unit", Json.Str "simulated_seconds");
+      ("unit", Json.Str unit);
       ( "series",
         Json.List
           (List.map
@@ -80,14 +86,14 @@ let bench_doc ~figure ~x_label series =
              series) );
     ]
 
-let write_doc ~figure ~x_label series =
+let write_doc ?(unit = "simulated_seconds") ~figure ~x_label series =
   if !metrics_enabled then begin
     let path = Printf.sprintf "BENCH_%s.json" figure in
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        output_string oc (Json.to_string (bench_doc ~figure ~x_label series));
+        output_string oc (Json.to_string (bench_doc ~figure ~x_label ~unit series));
         output_char oc '\n');
     Printf.printf "wrote %s\n%!" path
   end
@@ -337,6 +343,127 @@ let fig6c () =
       Printf.printf "\n%!")
     [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
   write_doc ~figure:"fig6c" ~x_label:"set_size" series
+
+(* --- Scale-up: wall-clock time vs OCaml domains (--parallel) ---
+
+   Unlike the Figure 6 sweeps, this experiment measures real elapsed
+   time: each cell runs the scheduler with an [Ent_par.Pool] of
+   [domains] domains (1 domain = the deterministic single-domain
+   scheduler) and reports wall-clock seconds for the whole
+   submit-and-drain. CI's scaleup job gates the NoSocial-T series with
+   "perfgate --wallclock" (DESIGN.md §9, EXPERIMENTS.md). *)
+
+let parallel_domains = ref 0
+
+let scaleup_workloads =
+  [ ("NoSocial-T", (true, Gen.No_social));
+    ("Social-T", (true, Gen.Social));
+    ("Entangled-T", (true, Gen.Entangled)) ]
+
+(* Domain counts 1, 2, 4, ... up to the --parallel bound (default 4). *)
+let scaleup_domain_counts () =
+  let bound = if !parallel_domains > 0 then !parallel_domains else 4 in
+  let rec up d = if d >= bound then [ bound ] else d :: up (2 * d) in
+  up 1
+
+let run_scaleup ~domains ~transactional kind ~n =
+  let runner = if domains > 1 then Some (Ent_par.Pool.create ~domains) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Ent_par.Pool.shutdown runner)
+    (fun () ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections = 100;
+          trigger = Scheduler.Every_arrivals 100;
+          runner;
+        }
+      in
+      let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+      let kind_name =
+        match kind with
+        | Gen.No_social -> "nosocial"
+        | Gen.Social -> "social"
+        | Gen.Entangled -> "entangled"
+      in
+      let certifier = attach_certifier world.manager in
+      let programs = Gen.batch world ~transactional kind ~n ~tag_base:0 in
+      let t0 = Unix.gettimeofday () in
+      let ids = List.map (Manager.submit world.manager) programs in
+      Manager.drain world.manager;
+      let wall = Unix.gettimeofday () -. t0 in
+      let committed =
+        List.length
+          (List.filter
+             (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+             ids)
+      in
+      if committed <> n then
+        Printf.eprintf "WARNING: %d/%d committed (%s d=%d)\n%!" committed n
+          kind_name domains;
+      finish_certifier
+        ~label:
+          (Printf.sprintf "%s-%s d=%d" kind_name
+             (if transactional then "t" else "q")
+             domains)
+        certifier;
+      wall)
+
+let scaleup () =
+  let n = txns_total in
+  heading
+    (Printf.sprintf
+       "Scale-up: wall-clock seconds vs OCaml domains\n\
+        %d transactions per cell, 100 connections, run frequency 100" n);
+  (* Event logging serializes every emission on the ring mutex, which
+     would distort a wall-clock scaling measurement; scale-up points
+     carry the per-cell Obs snapshot but no latency attribution. *)
+  let was_logging = Event.logging () in
+  Event.set_logging false;
+  Printf.printf "%8s %12s %12s %12s\n" "domains" "NoSocial-T" "Social-T"
+    "Entangled-T";
+  let series = List.map (fun (name, _) -> (name, ref [])) scaleup_workloads in
+  let baselines = Hashtbl.create 4 in
+  let counts = scaleup_domain_counts () in
+  List.iter
+    (fun domains ->
+      Printf.printf "%8d" domains;
+      List.iter
+        (fun (name, (transactional, kind)) ->
+          let cell =
+            cell_metrics (fun () -> run_scaleup ~domains ~transactional kind ~n)
+          in
+          let points = List.assoc name series in
+          points := point ~x:domains cell :: !points;
+          let t, _, _ = cell in
+          if domains = 1 then Hashtbl.replace baselines name t;
+          Printf.printf " %11.3f%!" t)
+        scaleup_workloads;
+      Printf.printf "\n%!")
+    counts;
+  let top = List.fold_left max 1 counts in
+  if top > 1 then begin
+    Printf.printf "%8s" "speedup";
+    List.iter
+      (fun (name, points) ->
+        let t1 = Hashtbl.find baselines name in
+        let t_top =
+          List.find_map
+            (fun p ->
+              match (Json.member "x" p, Json.member "time_s" p) with
+              | Some (Json.Int x), Some t when x = top -> Json.to_float_opt t
+              | _ -> None)
+            !points
+        in
+        match t_top with
+        | Some t -> Printf.printf " %10.2fx%!" (t1 /. t)
+        | None -> Printf.printf " %11s%!" "-")
+      series;
+    Printf.printf "   (1 -> %d domains)\n%!" top
+  end;
+  Event.set_logging was_logging;
+  write_doc ~unit:"wall_clock_seconds" ~figure:"scaleup" ~x_label:"domains"
+    series
 
 (* --- Ablations over the design choices of §4 --- *)
 
@@ -628,18 +755,28 @@ let microbenches () =
    per-transaction throughput over the points both documents share;
    the tolerance absorbs scale effects (cache warm-up, pool mixing). *)
 
+let load_json path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Json.of_string (In_channel.input_all ic))
+
 let perfgate ~tolerance ~fresh ~baseline =
-  let load path =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> Json.of_string (In_channel.input_all ic))
-  in
+  let load = load_json in
   let series_of doc =
     let txns =
       match Json.member "bench_txns" doc with
       | Some t -> Option.value ~default:1 (Json.to_int_opt t)
       | None -> 1
+    in
+    (* fig6c cells run max(200, BENCH_TXNS/5) transactions (see
+       [fig6c]), not BENCH_TXNS; use the effective per-cell count so
+       smoke runs compare against paper-scale baselines on honest
+       per-transaction throughput. *)
+    let txns =
+      match Json.member "figure" doc with
+      | Some (Json.Str "fig6c") -> max 200 (txns / 5)
+      | _ -> txns
     in
     match Json.member "series" doc with
     | Some (Json.List series) ->
@@ -710,6 +847,80 @@ let perfgate ~tolerance ~fresh ~baseline =
   end;
   exit (if !failed then 1 else 0)
 
+(* perfgate --wallclock: gate the measured multicore scale-up of a
+   BENCH_scaleup.json document. The NoSocial-T series — embarrassingly
+   parallel at the DB-lock level, so the honest measure of scheduler
+   overhead — must speed up by at least [min_speedup] from 1 domain to
+   the highest measured domain count; the other series are reported
+   for information only. *)
+
+let perfgate_wallclock ~min_speedup ~file =
+  let doc = load_json file in
+  let series =
+    match Json.member "series" doc with
+    | Some (Json.List series) ->
+      List.filter_map
+        (fun s ->
+          match (Json.member "name" s, Json.member "points" s) with
+          | Some (Json.Str name), Some (Json.List points) ->
+            Some
+              ( name,
+                List.filter_map
+                  (fun p ->
+                    match
+                      ( Option.bind (Json.member "x" p) Json.to_int_opt,
+                        Option.bind (Json.member "time_s" p) Json.to_float_opt
+                      )
+                    with
+                    | Some x, Some t when t > 0.0 -> Some (x, t)
+                    | _ -> None)
+                  points )
+          | _ -> None)
+        series
+    | _ -> []
+  in
+  let failed = ref false in
+  let gate_series = "NoSocial-T" in
+  List.iter
+    (fun (name, points) ->
+      let gated = name = gate_series in
+      match List.assoc_opt 1 points with
+      | None ->
+        Printf.eprintf "perfgate: series %s has no 1-domain point in %s\n%!"
+          name file;
+        if gated then failed := true
+      | Some t1 ->
+        let top = List.fold_left (fun acc (x, _) -> max acc x) 1 points in
+        if gated && top = 1 then begin
+          Printf.eprintf
+            "perfgate: series %s has no multi-domain point in %s\n%!" name file;
+          failed := true
+        end;
+        List.iter
+          (fun (x, t) ->
+            if x > 1 then begin
+              let speedup = t1 /. t in
+              let is_gate = gated && x = top in
+              let verdict =
+                if not is_gate then "(info)"
+                else if speedup >= min_speedup then "ok"
+                else "TOO SLOW"
+              in
+              Printf.printf
+                "%-14s %d -> %d domains: %8.3fs -> %8.3fs  speedup %5.2fx  %s\n%!"
+                name 1 x t1 t speedup verdict;
+              if is_gate && speedup < min_speedup then failed := true
+            end)
+          (List.sort compare points))
+    series;
+  if not (List.mem_assoc gate_series series) then begin
+    Printf.eprintf "perfgate: series %s missing from %s\n%!" gate_series file;
+    failed := true
+  end;
+  if !failed then
+    Printf.eprintf "perfgate: wall-clock scale-up below %.2fx\n%!" min_speedup;
+  exit (if !failed then 1 else 0)
+
 let validate files =
   let ok =
     List.fold_left
@@ -738,6 +949,13 @@ let () =
     validate files
   | _ :: "perfgate" :: rest -> (
     match rest with
+    | "--wallclock" :: file :: rest ->
+      let min_speedup =
+        match rest with
+        | [ "--min-speedup"; s ] -> (try float_of_string s with _ -> 1.8)
+        | _ -> 1.8
+      in
+      perfgate_wallclock ~min_speedup ~file
     | fresh :: baseline :: rest ->
       let tolerance =
         match rest with
@@ -747,7 +965,8 @@ let () =
       perfgate ~tolerance ~fresh ~baseline
     | _ ->
       prerr_endline
-        "usage: main.exe perfgate FRESH.json BASELINE.json [--tolerance 0.30]";
+        "usage: main.exe perfgate FRESH.json BASELINE.json [--tolerance 0.30]\n\
+        \       main.exe perfgate --wallclock BENCH_scaleup.json [--min-speedup 1.8]";
       exit 2)
   | _ :: args ->
     let selected = ref [] in
@@ -771,11 +990,23 @@ let () =
       | "--certify" :: rest ->
         certify_enabled := true;
         parse rest
+      | "--parallel" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+          parallel_domains := d;
+          parse rest
+        | _ ->
+          prerr_endline "--parallel expects a positive domain count";
+          exit 2)
       | name :: rest ->
         selected := name :: !selected;
         parse rest
     in
     parse args;
+    (* --parallel N with no experiment names means "measure scale-up":
+       the scale-up sweep is the only experiment the domain pool
+       affects, so do not drag a full figure sweep along with it. *)
+    if !parallel_domains > 0 && !selected = [] then selected := [ "scaleup" ];
     let run name f =
       if !selected = [] || List.mem name !selected then f ()
     in
@@ -805,6 +1036,7 @@ let () =
     run "fig6a" fig6a;
     run "fig6b" fig6b;
     run "fig6c" fig6c;
+    run "scaleup" scaleup;
     run "ablation-isolation" ablation_isolation;
     run "ablation-frequency" ablation_run_frequency;
     run "ablation-search" ablation_coordination_search;

@@ -23,8 +23,8 @@ let write_metrics = function
     Ent_obs.Obs.write_snapshot path;
     Printf.eprintf "wrote metrics snapshot to %s\n%!" path
 
-let run_script path connections frequency isolation_name show_tables verbose
-    metrics trace trace_out wait_graph wait_graph_dot certify =
+let run_script path connections frequency parallel isolation_name show_tables
+    verbose metrics trace trace_out wait_graph wait_graph_dot certify =
   match isolation_of_string isolation_name with
   | Error (`Msg msg) ->
     prerr_endline msg;
@@ -53,12 +53,20 @@ let run_script path connections frequency isolation_name show_tables verbose
         Ent_obs.Event.set_logging true;
         Ent_obs.Event.reset ()
       end;
+      let runner =
+        if parallel > 1 then Some (Ent_par.Pool.create ~domains:parallel)
+        else None
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Ent_par.Pool.shutdown runner)
+      @@ fun () ->
       let config =
         {
           Scheduler.default_config with
           connections;
           trigger = Scheduler.Every_arrivals frequency;
           isolation;
+          runner;
         }
       in
       let m = Manager.create ~config () in
@@ -275,6 +283,11 @@ let frequency =
   Arg.(value & opt int 1 & info [ "frequency"; "f" ]
          ~doc:"Run frequency: start a run after this many arrivals.")
 
+let parallel =
+  Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N"
+         ~doc:"Execute runs on a pool of $(docv) OCaml domains. 1 (the \
+               default) is the deterministic single-domain mode.")
+
 let isolation =
   Arg.(value & opt string "full" & info [ "isolation" ]
          ~doc:"Isolation level: full, no-group-commit, no-grounding-locks, read-uncommitted.")
@@ -320,9 +333,9 @@ let certify =
 let run_cmd =
   let doc = "execute a script of classical and entangled transactions" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_script $ path $ connections $ frequency $ isolation $ show
-          $ verbose $ metrics $ trace $ trace_out $ wait_graph $ wait_graph_dot
-          $ certify)
+    Term.(const run_script $ path $ connections $ frequency $ parallel
+          $ isolation $ show $ verbose $ metrics $ trace $ trace_out
+          $ wait_graph $ wait_graph_dot $ certify)
 
 let repl_cmd =
   let doc =

@@ -42,6 +42,12 @@ type config = {
   trigger : trigger;
   snapshot_pool : bool;
   evaluation : evaluation_strategy;
+  runner : Ent_par.Pool.t option;
+      (* [None] = the deterministic single-domain mode (bit-identical
+         to the pre-parallel scheduler); [Some pool] = step runnable
+         tasks and ground pending entangled queries on the pool's
+         domains. Coordination rounds, wake-ups, group commits and all
+         simulated-time accounting stay on the coordinator domain. *)
 }
 
 let default_config =
@@ -52,6 +58,7 @@ let default_config =
     trigger = Every_arrivals 1;
     snapshot_pool = false;
     evaluation = Search;
+    runner = None;
   }
 
 type outcome =
@@ -121,8 +128,12 @@ let create ?(config = default_config) engine =
   in
   (* Events carry simulated time alongside the monotonic stamp; the
      newest scheduler owns the clock (tests and tools run one at a
-     time). *)
+     time). The storage concurrency switch follows the same
+     newest-scheduler-wins convention: a parallel scheduler turns on
+     table-level locking/materialization, a deterministic one restores
+     the original lock-free lazy paths. *)
   Event.set_sim_clock (fun () -> Ent_sim.Pool.now t.pool);
+  Ent_storage.Table.set_concurrent (config.runner <> None);
   t
 
 let engine t = t.engine
@@ -357,23 +368,50 @@ let run_once t =
           Hashtbl.remove alive task.task_id)
         members
     in
+    (* Post-step bookkeeping shared by both modes: simulated-time
+       drain, entanglement-wait stamping, deadlock accounting. Runs on
+       the coordinator (it touches the sim pool and the stats). *)
+    let after_step (task : Executor.task) =
+      drain_work t task;
+      if task.status = Waiting_entangled && task.entangled_since = None then
+        task.entangled_since <- Some (now t);
+      if task.status = Failed Deadlock then begin
+        t.stats.deadlocks <- t.stats.deadlocks + 1;
+        Obs.incr m_deadlocks
+      end
+    in
     let progress = ref true in
     while !progress do
       progress := false;
       (* 1. step every runnable task *)
-      iter_live (fun (task : Executor.task) ->
-          if task.status = Runnable then begin
-            Fault.hit s_step;
-            Executor.step t.engine isolation costs task;
-            drain_work t task;
-            if task.status = Waiting_entangled && task.entangled_since = None
-            then task.entangled_since <- Some (now t);
-            if task.status = Failed Deadlock then begin
-              t.stats.deadlocks <- t.stats.deadlocks + 1;
-              Obs.incr m_deadlocks
-            end;
-            progress := true
-          end);
+      (match t.config.runner with
+      | None ->
+        iter_live (fun (task : Executor.task) ->
+            if task.status = Runnable then begin
+              Fault.hit s_step;
+              Executor.step t.engine isolation costs task;
+              after_step task;
+              progress := true
+            end)
+      | Some pool ->
+        (* Independent transactions step concurrently: [Executor.step]
+           only mutates task-private fields plus engine/storage state
+           that is shard- or mutex-guarded. A task that loses a lock
+           race simply parks as [Waiting_lock] and is woken in phase 2,
+           exactly like a sequentially blocked task. *)
+        let runnable =
+          List.filter
+            (fun (task : Executor.task) -> task.status = Runnable)
+            (live_tasks ())
+        in
+        if runnable <> [] then begin
+          let arr = Array.of_list runnable in
+          Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
+              Fault.hit s_step;
+              Executor.step t.engine isolation costs arr.(i));
+          Array.iter after_step arr;
+          progress := true
+        end);
       (* 2. lock wake-ups. Txn ids drift as -Q tasks autocommit, so the
          txn→task map is rebuilt per batch: O(live + woken), not
          O(live × woken). *)
@@ -440,49 +478,76 @@ let run_once t =
             (fun (task : Executor.task) -> task.status = Waiting_entangled)
             (live_tasks ())
         in
-        let entries =
+        (* Ground one pending entangled query: engine/cache side
+           effects happen here (safe from any domain); stats and
+           simulated-time accounting are left to the caller. *)
+        let ground_one (task : Executor.task) ir =
+          let access =
+            Ent_txn.Engine.access t.engine task.txn ~grounding:true
+              ~lock_reads:isolation.lock_grounding_reads ()
+          in
+          (* A cache hit re-acquires the footprint's grounding locks
+             through [touch]; blocking/deadlock there is handled
+             exactly like a blocked recomputation. *)
+          let touch tables =
+            Ent_txn.Engine.touch_grounding_tables t.engine task.txn
+              ~lock_reads:isolation.lock_grounding_reads tables
+          in
+          match Gcache.compute t.gcache ~access ~touch ~env:task.env ir with
+          | groundings, cached ->
+            task.work <-
+              task.work
+              +. (float_of_int (List.length groundings)
+                 *. if cached then costs.c_ground_hit else costs.c_ground);
+            `Ok (task, ir, groundings)
+          | exception Ent_txn.Engine.Blocked _ ->
+            (* retry grounding after a wake-up; the statement pointer
+               still sits at the entangled query *)
+            task.pending <- None;
+            task.status <- Waiting_lock;
+            `Gave_up
+          | exception Ent_txn.Engine.Deadlock_victim _ ->
+            Ent_txn.Engine.abort t.engine task.txn;
+            task.status <- Failed Deadlock;
+            `Deadlock
+          | exception Ground.Ground_error msg ->
+            Ent_txn.Engine.abort t.engine task.txn;
+            task.status <- Failed (Program_error msg);
+            `Gave_up
+        in
+        let settle = function
+          | `Ok ((task : Executor.task), ir, groundings) ->
+            drain_work t task;
+            Some (task, ir, groundings)
+          | `Deadlock ->
+            t.stats.deadlocks <- t.stats.deadlocks + 1;
+            None
+          | `Gave_up -> None
+        in
+        let with_ir =
           List.filter_map
             (fun (task : Executor.task) ->
-              match task.pending with
-              | None -> None
-              | Some ir -> (
-                let access =
-                  Ent_txn.Engine.access t.engine task.txn ~grounding:true
-                    ~lock_reads:isolation.lock_grounding_reads ()
-                in
-                (* A cache hit re-acquires the footprint's grounding
-                   locks through [touch]; blocking/deadlock there is
-                   handled exactly like a blocked recomputation. *)
-                let touch tables =
-                  Ent_txn.Engine.touch_grounding_tables t.engine task.txn
-                    ~lock_reads:isolation.lock_grounding_reads tables
-                in
-                match
-                  Gcache.compute t.gcache ~access ~touch ~env:task.env ir
-                with
-                | groundings, cached ->
-                  task.work <-
-                    task.work
-                    +. (float_of_int (List.length groundings)
-                       *. if cached then costs.c_ground_hit else costs.c_ground);
-                  drain_work t task;
-                  Some (task, ir, groundings)
-                | exception Ent_txn.Engine.Blocked _ ->
-                  (* retry grounding after a wake-up; the statement
-                     pointer still sits at the entangled query *)
-                  task.pending <- None;
-                  task.status <- Waiting_lock;
-                  None
-                | exception Ent_txn.Engine.Deadlock_victim _ ->
-                  Ent_txn.Engine.abort t.engine task.txn;
-                  task.status <- Failed Deadlock;
-                  t.stats.deadlocks <- t.stats.deadlocks + 1;
-                  None
-                | exception Ground.Ground_error msg ->
-                  Ent_txn.Engine.abort t.engine task.txn;
-                  task.status <- Failed (Program_error msg);
-                  None))
+              Option.map (fun ir -> (task, ir)) task.pending)
             pending
+        in
+        let entries =
+          match t.config.runner with
+          | None ->
+            List.filter_map
+              (fun ((task : Executor.task), ir) -> settle (ground_one task ir))
+              with_ir
+          | Some pool ->
+            (* Groundings only read (table-S locks) and no transaction
+               is stepping during this phase, so pending queries ground
+               concurrently; results settle in pool order on the
+               coordinator, keeping coordination input deterministic up
+               to lock outcomes. *)
+            let arr = Array.of_list with_ir in
+            let out = Array.make (Array.length arr) `Gave_up in
+            Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
+                let task, ir = arr.(i) in
+                out.(i) <- ground_one task ir);
+            List.filter_map settle (Array.to_list out)
         in
         if entries <> [] then begin
           t.stats.coordination_rounds <- t.stats.coordination_rounds + 1;

@@ -38,6 +38,15 @@ type config = {
   trigger : trigger;
   snapshot_pool : bool;  (** persist dormant pool to the WAL after each run *)
   evaluation : evaluation_strategy;
+  runner : Ent_par.Pool.t option;
+      (** [None] (the default) is the deterministic single-domain mode,
+          bit-identical to the pre-parallel scheduler. [Some pool]
+          executes the step phase and the grounding phase of each run
+          on the pool's domains (DESIGN.md §9): independent
+          transactions take no shared lock thanks to the sharded lock
+          manager, per-table storage mutexes and the gcache mutex.
+          Wake-ups, group commits, coordination rounds and all
+          simulated-time accounting remain on the coordinator. *)
 }
 
 val default_config : config

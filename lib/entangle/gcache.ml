@@ -46,6 +46,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  (* Guards [entries] and the counters: groundings for independent
+     pending tasks run concurrently on worker domains. Validation and
+     insertion happen under [mu]; the expensive part (valuation
+     enumeration, lock acquisition via [touch]) runs outside it. *)
+  mu : Mutex.t;
 }
 
 let create ?(max_entries = 4096) catalog =
@@ -56,7 +61,14 @@ let create ?(max_entries = 4096) catalog =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    mu = Mutex.create ();
   }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | v -> Mutex.unlock mu; v
+  | exception e -> Mutex.unlock mu; raise e
 
 let stats t = (t.hits, t.misses, t.invalidations)
 let size t = Hashtbl.length t.entries
@@ -207,36 +219,51 @@ let refresh entry =
 
 (* --- the cache --- *)
 
+(* Soundness under parallelism: groundings only read (table-S locks),
+   and the scheduler grounds pending tasks in a phase of its own where
+   no transaction is stepping, so a validated entry cannot be
+   invalidated by a concurrent writer between validation and [touch]. *)
 let compute t ?(limit = 10_000) ~access ~touch ~env (query : Ir.t) =
   let key = key_of ~env ~limit query.body in
-  match Hashtbl.find_opt t.entries key with
-  | Some entry when entry_valid t entry ->
-    refresh entry;
-    t.hits <- t.hits + 1;
-    Obs.incr m_hits;
+  let cached =
+    with_mu t.mu (fun () ->
+        match Hashtbl.find_opt t.entries key with
+        | Some entry when entry_valid t entry ->
+          refresh entry;
+          t.hits <- t.hits + 1;
+          Obs.incr m_hits;
+          Some entry
+        | found ->
+          (match found with
+          | Some _ ->
+            Hashtbl.remove t.entries key;
+            t.invalidations <- t.invalidations + 1;
+            Obs.incr m_invalidations
+          | None -> ());
+          t.misses <- t.misses + 1;
+          Obs.incr m_misses;
+          None)
+  in
+  match cached with
+  | Some entry ->
     (* reproduce the grounding-lock side effects before serving; may
        raise Blocked/Deadlock_victim exactly like a recomputation *)
     touch (List.map (fun te -> te.te_name) entry.e_tables);
     (Ground.groundings_of query entry.e_valuations, true)
-  | found ->
-    (match found with
-    | Some _ ->
-      Hashtbl.remove t.entries key;
-      t.invalidations <- t.invalidations + 1;
-      Obs.incr m_invalidations
-    | None -> ());
-    t.misses <- t.misses + 1;
-    Obs.incr m_misses;
+  | None ->
     let raccess, finish = recording access in
     let vals = Ground.valuations ~limit ~access:raccess ~env query.body in
     (match finish t.catalog with
     | tables ->
-      if Hashtbl.length t.entries >= t.max_entries then Hashtbl.reset t.entries;
-      Hashtbl.replace t.entries key { e_valuations = vals; e_tables = tables };
-      Obs.observe m_footprint
-        (float_of_int
-           (List.fold_left
-              (fun acc te -> acc + List.length te.te_reads)
-              0 tables))
+      with_mu t.mu (fun () ->
+          if Hashtbl.length t.entries >= t.max_entries then
+            Hashtbl.reset t.entries;
+          Hashtbl.replace t.entries key
+            { e_valuations = vals; e_tables = tables };
+          Obs.observe m_footprint
+            (float_of_int
+               (List.fold_left
+                  (fun acc te -> acc + List.length te.te_reads)
+                  0 tables)))
     | exception Exit -> ());
     (Ground.groundings_of query vals, false)

@@ -25,6 +25,7 @@ type t = {
   run : int;
   txn : int;
   task : int;
+  domain : int;
   kind : kind;
 }
 
@@ -39,6 +40,17 @@ let run_id = ref 0
 let sim_clock : (unit -> float) ref = ref (fun () -> 0.0)
 let txn_task : (int, int) Hashtbl.t = Hashtbl.create 256
 
+(* Guards the ring, [next] and the txn→task registry when engine layers
+   emit from worker domains. Only taken when logging is on, so the
+   off-by-default path stays one branch. *)
+let mu = Mutex.create ()
+
+let with_mu f =
+  Mutex.lock mu;
+  match f () with
+  | v -> Mutex.unlock mu; v
+  | exception e -> Mutex.unlock mu; raise e
+
 let set_capacity n =
   let n = max 1 n in
   ring := Array.make n None;
@@ -50,8 +62,10 @@ let reset () =
   run_id := 0;
   Hashtbl.reset txn_task
 
-let register_txn ~txn ~task = Hashtbl.replace txn_task txn task
-let task_of_txn txn = Hashtbl.find_opt txn_task txn
+let register_txn ~txn ~task =
+  with_mu (fun () -> Hashtbl.replace txn_task txn task)
+
+let task_of_txn txn = with_mu (fun () -> Hashtbl.find_opt txn_task txn)
 let set_sim_clock f = sim_clock := f
 
 let new_run () =
@@ -61,28 +75,29 @@ let new_run () =
 let current_run () = !run_id
 
 let emit ?(txn = -1) ?(task = -1) kind =
-  if !enabled then begin
-    let task =
-      if task >= 0 then task
-      else if txn >= 0 then
-        match Hashtbl.find_opt txn_task txn with Some t -> t | None -> -1
-      else -1
-    in
-    let e =
-      {
-        seq = !next;
-        t_mono = Clock.monotonic ();
-        t_sim = !sim_clock ();
-        run = !run_id;
-        txn;
-        task;
-        kind;
-      }
-    in
-    let r = !ring in
-    r.(!next mod Array.length r) <- Some e;
-    incr next
-  end
+  if !enabled then
+    with_mu (fun () ->
+        let task =
+          if task >= 0 then task
+          else if txn >= 0 then
+            match Hashtbl.find_opt txn_task txn with Some t -> t | None -> -1
+          else -1
+        in
+        let e =
+          {
+            seq = !next;
+            t_mono = Clock.monotonic ();
+            t_sim = !sim_clock ();
+            run = !run_id;
+            txn;
+            task;
+            domain = (Domain.self () :> int);
+            kind;
+          }
+        in
+        let r = !ring in
+        r.(!next mod Array.length r) <- Some e;
+        incr next)
 
 let dropped () = max 0 (!next - Array.length !ring)
 
@@ -171,5 +186,5 @@ let render e =
     | Widow_prevention | Pool_enter | Pool_exit ->
         ""
   in
-  Printf.sprintf "#%d run=%d sim=%.6f task=%d txn=%d %s%s" e.seq e.run e.t_sim
-    e.task e.txn (kind_name e.kind) detail
+  Printf.sprintf "#%d run=%d sim=%.6f task=%d txn=%d dom=%d %s%s" e.seq e.run
+    e.t_sim e.task e.txn e.domain (kind_name e.kind) detail

@@ -58,6 +58,8 @@ type t = {
   run : int;  (** scheduler run in progress, 0 before the first *)
   txn : int;  (** engine txn id, [-1] when unknown *)
   task : int;  (** scheduler task id, [-1] when unknown *)
+  domain : int;  (** OCaml domain that emitted the event (0 = initial
+                     domain; always 0 in deterministic mode) *)
   kind : kind;
 }
 

@@ -1,7 +1,8 @@
 (* Schema for the machine-readable benchmark artifacts.
 
    bench/main.exe --metrics writes one document per figure
-   (BENCH_fig6a.json / BENCH_fig6b.json / BENCH_fig6c.json):
+   (BENCH_fig6a.json / BENCH_fig6b.json / BENCH_fig6c.json, and
+   BENCH_scaleup.json for the --parallel wall-clock sweep):
 
      { "schema_version": 1,
        "figure": "fig6a",
@@ -36,7 +37,14 @@ let expected_series = function
     Some
       ( "set_size",
         [ "Spoke-hub f=10"; "Spoke-hub f=50"; "Cycle f=10"; "Cycle f=50" ] )
+  | "scaleup" -> Some ("domains", [ "NoSocial-T"; "Social-T"; "Entangled-T" ])
   | _ -> None
+
+(* The figure sweeps report simulated time; the multicore scale-up
+   sweep (bench --parallel) measures real elapsed time. *)
+let expected_unit = function
+  | "scaleup" -> "wall_clock_seconds"
+  | _ -> "simulated_seconds"
 
 let layers = [ "txn."; "storage."; "entangle."; "core." ]
 
@@ -188,9 +196,14 @@ let validate (doc : Json.t) =
   (match Option.bind (Json.member "bench_txns" doc) Json.to_int_opt with
   | Some n when n > 0 -> ()
   | _ -> err "bench_txns missing or not positive");
-  (match Option.bind (Json.member "unit" doc) Json.to_string_opt with
-  | Some "simulated_seconds" -> ()
-  | _ -> err "unit missing or not \"simulated_seconds\"");
+  (let unit =
+     expected_unit
+       (Option.value ~default:""
+          (Option.bind (Json.member "figure" doc) Json.to_string_opt))
+   in
+   match Option.bind (Json.member "unit" doc) Json.to_string_opt with
+   | Some u when u = unit -> ()
+   | _ -> err "unit missing or not %S" unit);
   (match Option.bind (Json.member "figure" doc) Json.to_string_opt with
   | None -> err "figure missing"
   | Some figure -> (

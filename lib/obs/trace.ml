@@ -74,6 +74,7 @@ let to_json evs =
                 ("seq", Json.Int e.seq);
                 ("txn", Json.Int e.txn);
                 ("task", Json.Int e.task);
+                ("domain", Json.Int e.domain);
                 ("sim_s", Json.Float e.t_sim);
               ]) );
       ]

@@ -25,6 +25,16 @@ type change = {
    changed. *)
 let changelog_cap = 256
 
+(* Concurrent mode (set while a scheduler runs with a domain pool):
+   mutators take the per-table mutex and read paths materialize their
+   result under it, because IS (reader) and IX (writer) DB locks are
+   compatible, so an index probe can race a concurrent insert's
+   Hashtbl mutation. In the default deterministic mode every code path
+   below is exactly the pre-parallel one — no locking, same lazy
+   sequences — so existing fixtures stay bit-identical. *)
+let concurrent = Atomic.make false
+let set_concurrent b = Atomic.set concurrent b
+
 type t = {
   name : string;
   schema : Schema.t;
@@ -36,10 +46,11 @@ type t = {
      statement instead of a structural List.find_opt *)
   indexes : (int list, Index.t) Hashtbl.t;
   ordered : (int, Ordered_index.t) Hashtbl.t;
-  mutable version : int;
+  version : int Atomic.t;
   mutable changes : (int * change) list;  (* newest first *)
   mutable changes_len : int;
   mutable change_floor : int;
+  mu : Mutex.t;
 }
 
 let create ?(name = "<anon>") schema =
@@ -51,18 +62,32 @@ let create ?(name = "<anon>") schema =
     live = 0;
     indexes = Hashtbl.create 4;
     ordered = Hashtbl.create 4;
-    version = 0;
+    version = Atomic.make 0;
     changes = [];
     changes_len = 0;
     change_floor = 0;
+    mu = Mutex.create ();
   }
 
 let name t = t.name
 let schema t = t.schema
-let version t = t.version
+let version t = Atomic.get t.version
+
+(* Run [f] under the table mutex in concurrent mode, plainly otherwise.
+   Never nested: internal helpers (note_change, iter, get, ...) do not
+   lock themselves. *)
+let locked t f =
+  if Atomic.get concurrent then begin
+    Mutex.lock t.mu;
+    match f () with
+    | v -> Mutex.unlock t.mu; v
+    | exception e -> Mutex.unlock t.mu; raise e
+  end
+  else f ()
 
 let note_change t before after =
-  t.version <- t.version + 1;
+  let version = Atomic.get t.version + 1 in
+  Atomic.set t.version version;
   if t.changes_len >= changelog_cap then begin
     (* keep the newest half; everything older falls below the floor *)
     let keep = changelog_cap / 2 in
@@ -79,27 +104,29 @@ let note_change t before after =
     t.changes_len <- !n;
     t.change_floor <- !floor
   end;
-  t.changes <- (t.version, { c_before = before; c_after = after }) :: t.changes;
+  t.changes <- (version, { c_before = before; c_after = after }) :: t.changes;
   t.changes_len <- t.changes_len + 1
 
 (* A structural change (new index changing plan-dependent result order,
    bulk clear) conservatively invalidates all history. *)
 let note_reshape t =
-  t.version <- t.version + 1;
+  Atomic.set t.version (Atomic.get t.version + 1);
   t.changes <- [];
   t.changes_len <- 0;
-  t.change_floor <- t.version
+  t.change_floor <- Atomic.get t.version
 
 let changes_since t since =
-  if since < t.change_floor then None
-  else if since >= t.version then Some []
-  else begin
-    let rec collect acc = function
-      | (ver, change) :: rest when ver > since -> collect (change :: acc) rest
-      | _ -> acc
-    in
-    Some (collect [] t.changes)
-  end
+  locked t (fun () ->
+      if since < t.change_floor then None
+      else if since >= Atomic.get t.version then Some []
+      else begin
+        let rec collect acc = function
+          | (ver, change) :: rest when ver > since ->
+            collect (change :: acc) rest
+          | _ -> acc
+        in
+        Some (collect [] t.changes)
+      end)
 
 let ensure_capacity t id =
   let n = Array.length t.slots in
@@ -125,53 +152,57 @@ let index_remove t row id =
 let insert t row =
   Obs.incr m_inserts;
   let row = Tuple.of_array t.schema row in
-  let id = t.next_id in
-  ensure_capacity t id;
-  t.slots.(id) <- Some row;
-  t.next_id <- id + 1;
-  t.live <- t.live + 1;
-  index_insert t row id;
-  note_change t None (Some row);
-  id
+  locked t (fun () ->
+      let id = t.next_id in
+      ensure_capacity t id;
+      t.slots.(id) <- Some row;
+      t.next_id <- id + 1;
+      t.live <- t.live + 1;
+      index_insert t row id;
+      note_change t None (Some row);
+      id)
 
 let get t id =
   if id < 0 || id >= t.next_id then None else t.slots.(id)
 
 let delete t id =
-  match get t id with
-  | None -> None
-  | Some row ->
-    Obs.incr m_deletes;
-    t.slots.(id) <- None;
-    t.live <- t.live - 1;
-    index_remove t row id;
-    note_change t (Some row) None;
-    Some row
+  locked t (fun () ->
+      match get t id with
+      | None -> None
+      | Some row ->
+        Obs.incr m_deletes;
+        t.slots.(id) <- None;
+        t.live <- t.live - 1;
+        index_remove t row id;
+        note_change t (Some row) None;
+        Some row)
 
 let update t id row =
-  match get t id with
-  | None -> None
-  | Some old ->
-    Obs.incr m_updates;
-    let row = Tuple.of_array t.schema row in
-    t.slots.(id) <- Some row;
-    index_remove t old id;
-    index_insert t row id;
-    note_change t (Some old) (Some row);
-    Some old
+  locked t (fun () ->
+      match get t id with
+      | None -> None
+      | Some old ->
+        Obs.incr m_updates;
+        let row = Tuple.of_array t.schema row in
+        t.slots.(id) <- Some row;
+        index_remove t old id;
+        index_insert t row id;
+        note_change t (Some old) (Some row);
+        Some old)
 
 let restore t id row =
   if id < 0 then invalid_arg "Table.restore: negative row id";
   let row = Tuple.of_array t.schema row in
-  ensure_capacity t id;
-  (match t.slots.(id) with
-  | Some _ -> invalid_arg "Table.restore: row id occupied"
-  | None -> ());
-  t.slots.(id) <- Some row;
-  if id >= t.next_id then t.next_id <- id + 1;
-  t.live <- t.live + 1;
-  index_insert t row id;
-  note_change t None (Some row)
+  locked t (fun () ->
+      ensure_capacity t id;
+      (match t.slots.(id) with
+      | Some _ -> invalid_arg "Table.restore: row id occupied"
+      | None -> ());
+      t.slots.(id) <- Some row;
+      if id >= t.next_id then t.next_id <- id + 1;
+      t.live <- t.live + 1;
+      index_insert t row id;
+      note_change t None (Some row))
 
 let cardinal t = t.live
 
@@ -210,24 +241,34 @@ let counted seq =
       pair)
     seq
 
+(* Read-path publication: deterministic mode streams the raw sequence
+   lazily (unchanged behaviour); concurrent mode forces it to a list
+   under the table mutex, then streams the list. Row-read metrics are
+   charged per row consumed in both modes. *)
+let published t raw =
+  if Atomic.get concurrent then
+    counted (List.to_seq (locked t (fun () -> List.of_seq (raw ()))))
+  else counted (raw ())
+
 let to_seq t =
   Obs.incr m_scans;
-  counted (seq_slots t)
+  published t (fun () -> seq_slots t)
 
 let to_list t =
   Obs.incr m_scans;
-  (* single pass: build the list and count the rows in the same fold *)
-  let n = ref 0 in
-  let rows =
-    List.rev
-      (fold
-         (fun id row acc ->
-           incr n;
-           (id, row) :: acc)
-         t [])
-  in
-  Obs.incr ~n:!n m_rows_read;
-  rows
+  locked t (fun () ->
+      (* single pass: build the list and count the rows in the same fold *)
+      let n = ref 0 in
+      let rows =
+        List.rev
+          (fold
+             (fun id row acc ->
+               incr n;
+               (id, row) :: acc)
+             t [])
+      in
+      Obs.incr ~n:!n m_rows_read;
+      rows)
 
 (* Lookups canonicalize the probe to sorted column positions, so a
    WHERE clause listing columns in any order still finds the index. *)
@@ -240,43 +281,47 @@ let find_index t positions = Hashtbl.find_opt t.indexes positions
 
 let add_index t ~positions =
   let positions = List.sort_uniq Int.compare positions in
-  match find_index t positions with
-  | Some _ -> ()
-  | None ->
-    let ix = Index.create ~positions in
-    iter (fun id row -> Index.insert ix (Index.key_of ix row) id) t;
-    Hashtbl.replace t.indexes positions ix;
-    (* a new index changes which access paths serve which reads; cached
-       readers must not mix results across the change *)
-    note_reshape t
+  locked t (fun () ->
+      match find_index t positions with
+      | Some _ -> ()
+      | None ->
+        let ix = Index.create ~positions in
+        iter (fun id row -> Index.insert ix (Index.key_of ix row) id) t;
+        Hashtbl.replace t.indexes positions ix;
+        (* a new index changes which access paths serve which reads;
+           cached readers must not mix results across the change *)
+        note_reshape t)
 
 let lookup_seq t ~positions key =
   let positions, key = canonical_probe positions key in
   match find_index t positions with
   | Some ix ->
     Obs.incr m_index_lookups;
-    counted
-      (Seq.filter_map
-         (fun id -> Option.map (fun row -> (id, row)) (get t id))
-         (List.to_seq (Index.lookup ix key)))
+    published t (fun () ->
+        Seq.filter_map
+          (fun id -> Option.map (fun row -> (id, row)) (get t id))
+          (List.to_seq (Index.lookup ix key)))
   | None ->
     Obs.incr m_scan_lookups;
-    counted
-      (Seq.filter
-         (fun (_, row) ->
-           let projected = List.map (fun i -> Tuple.get row i) positions in
-           List.equal Value.equal projected key)
-         (seq_slots t))
+    published t (fun () ->
+        Seq.filter
+          (fun (_, row) ->
+            let projected = List.map (fun i -> Tuple.get row i) positions in
+            List.equal Value.equal projected key)
+          (seq_slots t))
 
 let lookup t ~positions key = List.of_seq (lookup_seq t ~positions key)
 
 let add_ordered_index t ~position =
-  if not (Hashtbl.mem t.ordered position) then begin
-    let ox = Ordered_index.create ~position in
-    iter (fun id row -> Ordered_index.insert ox (Tuple.get row position) id) t;
-    Hashtbl.replace t.ordered position ox;
-    note_reshape t
-  end
+  locked t (fun () ->
+      if not (Hashtbl.mem t.ordered position) then begin
+        let ox = Ordered_index.create ~position in
+        iter
+          (fun id row -> Ordered_index.insert ox (Tuple.get row position) id)
+          t;
+        Hashtbl.replace t.ordered position ox;
+        note_reshape t
+      end)
 
 let has_ordered_index t ~position = Hashtbl.mem t.ordered position
 
@@ -295,22 +340,23 @@ let range_lookup_seq t ~position ~lo ~hi =
   match Hashtbl.find_opt t.ordered position with
   | Some ox ->
     Obs.incr m_range_lookups;
-    counted
-      (Seq.filter_map
-         (fun id -> Option.map (fun row -> (id, row)) (get t id))
-         (List.to_seq (Ordered_index.range ox ~lo ~hi)))
+    published t (fun () ->
+        Seq.filter_map
+          (fun id -> Option.map (fun row -> (id, row)) (get t id))
+          (List.to_seq (Ordered_index.range ox ~lo ~hi)))
   | None ->
     Obs.incr m_range_scans;
-    counted
-      (Seq.filter
-         (fun (_, row) -> in_bounds ~lo ~hi (Tuple.get row position))
-         (seq_slots t))
+    published t (fun () ->
+        Seq.filter
+          (fun (_, row) -> in_bounds ~lo ~hi (Tuple.get row position))
+          (seq_slots t))
 
 let range_lookup t ~position ~lo ~hi =
   List.of_seq (range_lookup_seq t ~position ~lo ~hi)
 
 let clear t =
-  iter (fun id row -> index_remove t row id) t;
-  Array.fill t.slots 0 (Array.length t.slots) None;
-  t.live <- 0;
-  note_reshape t
+  locked t (fun () ->
+      iter (fun id row -> index_remove t row id) t;
+      Array.fill t.slots 0 (Array.length t.slots) None;
+      t.live <- 0;
+      note_reshape t)

@@ -10,6 +10,15 @@ type t
 
 type row_id = int
 
+(** Concurrent mode, set by the scheduler while a domain pool is
+    active: mutators take a per-table mutex and lazy read paths
+    materialize their result under it (an IS-locked index probe may
+    otherwise race a compatible IX writer's index maintenance). Off —
+    the default — every path is the original lock-free lazy code, so
+    deterministic runs are bit-identical to the pre-parallel engine.
+    Global, not per-table: flip it only around a parallel run. *)
+val set_concurrent : bool -> unit
+
 (** One committed-or-not physical write, as seen by the changelog:
     insert = [None -> Some], delete = [Some -> None], update = both. *)
 type change = {

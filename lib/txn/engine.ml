@@ -50,7 +50,19 @@ type t = {
   mutable wakeups : int list;
   mutable on_event : (event -> unit) option;
   mutable constraints : (string * (Catalog.t -> bool)) list;
-  mutable write_seq : int;
+  write_seq : int Atomic.t;
+  (* [mu] guards the txn table, id allocation and the wakeup list;
+     [obs_mu] serializes [on_event] dispatch so downstream observers
+     (the online certifier above all) see one linear event stream.
+     That stream respects the conflict order: every Ev_read/Ev_write is
+     emitted while the corresponding DB lock is held, so two
+     conflicting operations' events cannot reorder across a
+     release/acquire boundary. Both mutexes are uncontended (and the
+     interleavings identical) in single-domain deterministic mode.
+     Order, where nested: mu -> obs_mu; neither is held while calling
+     back into the engine. *)
+  mu : Mutex.t;
+  obs_mu : Mutex.t;
 }
 
 let create ?(wal = false) ?on_event catalog =
@@ -63,8 +75,16 @@ let create ?(wal = false) ?on_event catalog =
     wakeups = [];
     on_event;
     constraints = [];
-    write_seq = 0;
+    write_seq = Atomic.make 0;
+    mu = Mutex.create ();
+    obs_mu = Mutex.create ();
   }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | v -> Mutex.unlock mu; v
+  | exception e -> Mutex.unlock mu; raise e
 
 let catalog t = t.catalog
 let log t = t.wal
@@ -83,7 +103,7 @@ let add_on_event t f =
 
 let emit t ev =
   match t.on_event with
-  | Some f -> f ev
+  | Some f -> with_mu t.obs_mu (fun () -> f ev)
   | None -> ()
 
 let log_record t record =
@@ -106,24 +126,32 @@ let load t name row =
   id
 
 let begin_txn t =
-  let id = t.next_txn in
-  t.next_txn <- id + 1;
-  Hashtbl.replace t.txns id
-    { id; writes = []; write_count = 0; grounding_tables = []; finished = false };
+  let id =
+    with_mu t.mu (fun () ->
+        let id = t.next_txn in
+        t.next_txn <- id + 1;
+        Hashtbl.replace t.txns id
+          { id; writes = []; write_count = 0; grounding_tables = [];
+            finished = false };
+        id)
+  in
   log_record t (Begin id);
   emit t (Ev_begin id);
   Obs.incr m_begins;
   id
 
 let is_active t id =
-  match Hashtbl.find_opt t.txns id with
-  | Some txn -> not txn.finished
-  | None -> false
+  with_mu t.mu (fun () ->
+      match Hashtbl.find_opt t.txns id with
+      | Some txn -> not txn.finished
+      | None -> false)
 
 let find_txn t id =
-  match Hashtbl.find_opt t.txns id with
-  | Some txn when not txn.finished -> txn
-  | _ -> invalid_arg (Printf.sprintf "Engine: transaction %d is not active" id)
+  with_mu t.mu (fun () ->
+      match Hashtbl.find_opt t.txns id with
+      | Some txn when not txn.finished -> txn
+      | _ ->
+        invalid_arg (Printf.sprintf "Engine: transaction %d is not active" id))
 
 (* Acquire a lock or suspend/abort the requester. *)
 let acquire t txn_id resource mode =
@@ -155,9 +183,9 @@ let table_of t name =
   | None -> raise (Ent_sql.Eval.Eval_error ("unknown table " ^ name))
 
 let record_write t txn table_name row before after =
-  t.write_seq <- t.write_seq + 1;
+  let w_seq = Atomic.fetch_and_add t.write_seq 1 + 1 in
   txn.writes <-
-    { w_seq = t.write_seq; w_table = table_name; w_row = row;
+    { w_seq; w_table = table_name; w_row = row;
       w_before = before; w_after = after }
     :: txn.writes;
   txn.write_count <- txn.write_count + 1;
@@ -347,7 +375,7 @@ let rollback_to t txn_id sp =
 let finish t txn =
   txn.finished <- true;
   let woken = Lock.release_all t.locks ~txn:txn.id in
-  t.wakeups <- t.wakeups @ woken
+  with_mu t.mu (fun () -> t.wakeups <- t.wakeups @ woken)
 
 (* Undo one write (compensation-logged). *)
 let undo_write t txn_id (w : write) =
@@ -465,8 +493,13 @@ let set_lock_group t ~txn ~group = Lock.set_group t.locks ~txn ~group
 let log_pool_snapshot t programs = log_record t (Pool_snapshot programs)
 
 let take_wakeups t =
-  let woken = List.sort_uniq Int.compare t.wakeups in
-  t.wakeups <- [];
+  let woken =
+    with_mu t.mu (fun () ->
+        let w = t.wakeups in
+        t.wakeups <- [];
+        w)
+  in
+  let woken = List.sort_uniq Int.compare woken in
   (* Only report transactions that are still alive and no longer
      waiting on anything. *)
   List.filter (fun id -> is_active t id && not (Lock.is_waiting t.locks ~txn:id)) woken

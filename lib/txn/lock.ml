@@ -45,36 +45,104 @@ type entry = {
   mutable queue : (int * mode) list;  (* FIFO: head is the oldest waiter *)
 }
 
-type t = {
-  entries : (resource, entry) Hashtbl.t;
-  owned : (int, resource list) Hashtbl.t;  (* resources a txn holds or waits on *)
-  groups : (int, int) Hashtbl.t;  (* txn -> entanglement group tag *)
+(* The entry map is sharded by resource hash so that transactions
+   touching disjoint keys never contend on a lock-manager mutex — the
+   DB-level locks were already disjoint, this makes the manager's own
+   synchronization disjoint too. [owned] is striped by txn id (a txn's
+   requests come from one domain at a time, so stripes only order
+   request-vs-release). [groups] is a single small map behind its own
+   mutex. Mutex order, where nested: shard -> (owned stripe | groups).
+   Stripe and group mutexes are leaves. In the deterministic
+   single-domain mode every mutex is uncontended, and all observable
+   outputs below are sorted, so sharding is invisible to existing
+   fixtures. *)
+
+let n_shards = 16
+let n_stripes = 16
+
+type shard = {
+  sh_mu : Mutex.t;
+  sh_entries : (resource, entry) Hashtbl.t;
 }
 
-let create () =
-  { entries = Hashtbl.create 64; owned = Hashtbl.create 16; groups = Hashtbl.create 16 }
+type stripe = {
+  st_mu : Mutex.t;
+  st_owned : (int, resource list) Hashtbl.t;  (* resources held or waited on *)
+}
 
-let set_group t ~txn ~group = Hashtbl.replace t.groups txn group
+type t = {
+  shards : shard array;
+  stripes : stripe array;
+  groups_mu : Mutex.t;
+  groups : (int, int) Hashtbl.t;  (* txn -> entanglement group tag *)
+  total_entries : int Atomic.t;
+}
+
+let shard_count = n_shards
+
+let shard_of resource = Hashtbl.hash resource mod n_shards
+
+let create () =
+  {
+    shards =
+      Array.init n_shards (fun _ ->
+          { sh_mu = Mutex.create (); sh_entries = Hashtbl.create 16 });
+    stripes =
+      Array.init n_stripes (fun _ ->
+          { st_mu = Mutex.create (); st_owned = Hashtbl.create 8 });
+    groups_mu = Mutex.create ();
+    groups = Hashtbl.create 16;
+    total_entries = Atomic.make 0;
+  }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | v -> Mutex.unlock mu; v
+  | exception e -> Mutex.unlock mu; raise e
+
+let stripe_for t txn = t.stripes.(abs (txn mod n_stripes))
+
+let lock_all_shards t =
+  Array.iter (fun sh -> Mutex.lock sh.sh_mu) t.shards
+
+let unlock_all_shards t =
+  Array.iter (fun sh -> Mutex.unlock sh.sh_mu) t.shards
+
+let with_all_shards t f =
+  lock_all_shards t;
+  match f () with
+  | v -> unlock_all_shards t; v
+  | exception e -> unlock_all_shards t; raise e
+
+let set_group t ~txn ~group =
+  with_mu t.groups_mu (fun () -> Hashtbl.replace t.groups txn group)
 
 let same_owner t a b =
   a = b
-  ||
-  match Hashtbl.find_opt t.groups a, Hashtbl.find_opt t.groups b with
-  | Some ga, Some gb -> ga = gb
-  | _ -> false
+  || with_mu t.groups_mu (fun () ->
+         match Hashtbl.find_opt t.groups a, Hashtbl.find_opt t.groups b with
+         | Some ga, Some gb -> ga = gb
+         | _ -> false)
 
-let entry_for t resource =
-  match Hashtbl.find_opt t.entries resource with
+(* Callers hold [sh.sh_mu]. *)
+let entry_for t sh resource =
+  match Hashtbl.find_opt sh.sh_entries resource with
   | Some e -> e
   | None ->
     let e = { holders = []; queue = [] } in
-    Hashtbl.add t.entries resource e;
+    Hashtbl.add sh.sh_entries resource e;
+    Atomic.incr t.total_entries;
     e
 
 let note_owned t txn resource =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.owned txn) in
-  if not (List.mem resource existing) then
-    Hashtbl.replace t.owned txn (resource :: existing)
+  let st = stripe_for t txn in
+  with_mu st.st_mu (fun () ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt st.st_owned txn)
+      in
+      if not (List.mem resource existing) then
+        Hashtbl.replace st.st_owned txn (resource :: existing))
 
 type outcome =
   | Granted
@@ -88,48 +156,53 @@ let grantable t entry txn need =
 
 let request t ~txn resource mode =
   Obs.incr m_requests;
-  Obs.set m_entries (float_of_int (Hashtbl.length t.entries));
-  let entry = entry_for t resource in
-  let held = List.assoc_opt txn entry.holders in
-  let need =
-    match held with
-    | Some h -> lub h mode
-    | None -> mode
-  in
-  match held with
-  | Some h when covers h mode ->
-    Obs.incr m_granted;
-    Granted
-  | _ ->
-    if List.exists (fun (o, _) -> o = txn) entry.queue then begin
-      (* already queued; strengthen the queued mode if needed *)
-      entry.queue <-
-        List.map
-          (fun (o, m) -> if o = txn then (o, lub m need) else (o, m))
-          entry.queue;
-      Obs.incr m_waits;
-      Waiting
-    end
-    else begin
-      let is_upgrade = held <> None in
-      (* Upgrades may jump the queue (a blocked upgrade behind a new
-         waiter on the same resource would deadlock trivially). Fresh
-         requests respect FIFO order. *)
-      if grantable t entry txn need && (entry.queue = [] || is_upgrade) then begin
-        entry.holders <-
-          (txn, need) :: List.filter (fun (o, _) -> o <> txn) entry.holders;
-        note_owned t txn resource;
+  Obs.set m_entries (float_of_int (Atomic.get t.total_entries));
+  let sh = t.shards.(shard_of resource) in
+  with_mu sh.sh_mu (fun () ->
+      let entry = entry_for t sh resource in
+      let held = List.assoc_opt txn entry.holders in
+      let need =
+        match held with
+        | Some h -> lub h mode
+        | None -> mode
+      in
+      match held with
+      | Some h when covers h mode ->
         Obs.incr m_granted;
         Granted
-      end
-      else begin
-        entry.queue <- entry.queue @ [ (txn, need) ];
-        note_owned t txn resource;
-        Obs.incr m_waits;
-        Waiting
-      end
-    end
+      | _ ->
+        if List.exists (fun (o, _) -> o = txn) entry.queue then begin
+          (* already queued; strengthen the queued mode if needed *)
+          entry.queue <-
+            List.map
+              (fun (o, m) -> if o = txn then (o, lub m need) else (o, m))
+              entry.queue;
+          Obs.incr m_waits;
+          Waiting
+        end
+        else begin
+          let is_upgrade = held <> None in
+          (* Upgrades may jump the queue (a blocked upgrade behind a new
+             waiter on the same resource would deadlock trivially). Fresh
+             requests respect FIFO order. *)
+          if grantable t entry txn need && (entry.queue = [] || is_upgrade)
+          then begin
+            entry.holders <-
+              (txn, need)
+              :: List.filter (fun (o, _) -> o <> txn) entry.holders;
+            note_owned t txn resource;
+            Obs.incr m_granted;
+            Granted
+          end
+          else begin
+            entry.queue <- entry.queue @ [ (txn, need) ];
+            note_owned t txn resource;
+            Obs.incr m_waits;
+            Waiting
+          end
+        end)
 
+(* Callers hold the entry's shard mutex. *)
 let promote_waiters t entry =
   (* Grant from the front of the queue while compatible. *)
   let granted = ref [] in
@@ -150,30 +223,41 @@ let promote_waiters t entry =
 
 let release_all t ~txn =
   Obs.incr m_releases;
-  let resources = Option.value ~default:[] (Hashtbl.find_opt t.owned txn) in
-  Hashtbl.remove t.owned txn;
-  Hashtbl.remove t.groups txn;
+  let st = stripe_for t txn in
+  let resources =
+    with_mu st.st_mu (fun () ->
+        let r = Option.value ~default:[] (Hashtbl.find_opt st.st_owned txn) in
+        Hashtbl.remove st.st_owned txn;
+        r)
+  in
+  with_mu t.groups_mu (fun () -> Hashtbl.remove t.groups txn);
   let woken = ref [] in
   List.iter
     (fun resource ->
-      match Hashtbl.find_opt t.entries resource with
-      | None -> ()
-      | Some entry ->
-        entry.holders <- List.filter (fun (o, _) -> o <> txn) entry.holders;
-        entry.queue <- List.filter (fun (o, _) -> o <> txn) entry.queue;
-        woken := promote_waiters t entry @ !woken;
-        if entry.holders = [] && entry.queue = [] then
-          Hashtbl.remove t.entries resource)
+      let sh = t.shards.(shard_of resource) in
+      with_mu sh.sh_mu (fun () ->
+          match Hashtbl.find_opt sh.sh_entries resource with
+          | None -> ()
+          | Some entry ->
+            entry.holders <- List.filter (fun (o, _) -> o <> txn) entry.holders;
+            entry.queue <- List.filter (fun (o, _) -> o <> txn) entry.queue;
+            woken := promote_waiters t entry @ !woken;
+            if entry.holders = [] && entry.queue = [] then begin
+              Hashtbl.remove sh.sh_entries resource;
+              Atomic.decr t.total_entries
+            end))
     resources;
-  Obs.set m_entries (float_of_int (Hashtbl.length t.entries));
+  Obs.set m_entries (float_of_int (Atomic.get t.total_entries));
   let woken = List.sort_uniq Int.compare !woken in
   Obs.incr ~n:(List.length woken) m_wakeups;
   woken
 
 let holders t resource =
-  match Hashtbl.find_opt t.entries resource with
-  | None -> []
-  | Some e -> e.holders
+  let sh = t.shards.(shard_of resource) in
+  with_mu sh.sh_mu (fun () ->
+      match Hashtbl.find_opt sh.sh_entries resource with
+      | None -> []
+      | Some e -> e.holders)
 
 let held t ~txn resource = List.assoc_opt txn (holders t resource)
 
@@ -200,30 +284,50 @@ let blockers_of_entry t entry txn =
     in
     from_holders @ earlier [] entry.queue
 
-let blockers t ~txn =
-  Hashtbl.fold
-    (fun _ entry acc -> blockers_of_entry t entry txn @ acc)
-    t.entries []
+(* Requires all shard mutexes (or single-domain quiescence). *)
+let blockers_unlocked t ~txn =
+  Array.fold_left
+    (fun acc sh ->
+      Hashtbl.fold
+        (fun _ entry acc -> blockers_of_entry t entry txn @ acc)
+        sh.sh_entries acc)
+    [] t.shards
   |> List.sort_uniq Int.compare
 
+let blockers t ~txn = with_all_shards t (fun () -> blockers_unlocked t ~txn)
+
 let is_waiting t ~txn =
-  Hashtbl.fold
-    (fun _ entry acc -> acc || List.exists (fun (o, _) -> o = txn) entry.queue)
-    t.entries false
+  Array.exists
+    (fun sh ->
+      with_mu sh.sh_mu (fun () ->
+          Hashtbl.fold
+            (fun _ entry acc ->
+              acc || List.exists (fun (o, _) -> o = txn) entry.queue)
+            sh.sh_entries false))
+    t.shards
 
 let waits t ~txn =
-  Hashtbl.fold
-    (fun resource entry acc ->
-      match List.find_opt (fun (o, _) -> o = txn) entry.queue with
-      | Some (_, need) -> (resource, need) :: acc
-      | None -> acc)
-    t.entries []
+  Array.fold_left
+    (fun acc sh ->
+      with_mu sh.sh_mu (fun () ->
+          Hashtbl.fold
+            (fun resource entry acc ->
+              match List.find_opt (fun (o, _) -> o = txn) entry.queue with
+              | Some (_, need) -> (resource, need) :: acc
+              | None -> acc)
+            sh.sh_entries acc))
+    [] t.shards
   |> List.sort compare
 
 let dump t =
-  Hashtbl.fold
-    (fun resource entry acc -> (resource, entry.holders, entry.queue) :: acc)
-    t.entries []
+  with_all_shards t (fun () ->
+      Array.fold_left
+        (fun acc sh ->
+          Hashtbl.fold
+            (fun resource entry acc ->
+              (resource, entry.holders, entry.queue) :: acc)
+            sh.sh_entries acc)
+        [] t.shards)
   |> List.sort compare
 
 let mode_to_string = function IS -> "IS" | IX -> "IX" | S -> "S" | X -> "X"
@@ -234,22 +338,24 @@ let resource_to_string = function
 
 let deadlock_cycle t ~txn =
   (* DFS over the waits-for graph starting from [txn], looking for a
-     path back to [txn]. *)
-  let rec dfs path visited node =
-    let next = blockers t ~txn:node in
-    if List.mem txn next then Some (List.rev (node :: path))
-    else
-      List.fold_left
-        (fun acc n ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-            if List.mem n !visited then None
-            else begin
-              visited := n :: !visited;
-              dfs (node :: path) visited n
-            end)
-        None next
-  in
-  let visited = ref [ txn ] in
-  dfs [] visited txn
+     path back to [txn]. All shards are locked for the duration so the
+     graph is a consistent snapshot even under parallel execution. *)
+  with_all_shards t (fun () ->
+      let rec dfs path visited node =
+        let next = blockers_unlocked t ~txn:node in
+        if List.mem txn next then Some (List.rev (node :: path))
+        else
+          List.fold_left
+            (fun acc n ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if List.mem n !visited then None
+                else begin
+                  visited := n :: !visited;
+                  dfs (node :: path) visited n
+                end)
+            None next
+      in
+      let visited = ref [ txn ] in
+      dfs [] visited txn)

@@ -22,6 +22,14 @@ type t
 
 val create : unit -> t
 
+(** The entry map is sharded by resource hash so that transactions
+    touching disjoint keys never contend on lock-manager-internal
+    synchronization. [shard_of] is the (pure) shard map; exposed so
+    tests can construct same-shard / cross-shard workloads. *)
+val shard_count : int
+
+val shard_of : resource -> int
+
 (** Group-aware ownership: transactions tagged with the same group
     never conflict with each other. The scheduler tags the members of
     an entanglement group — they are guaranteed to commit or abort

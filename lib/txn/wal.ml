@@ -36,17 +36,26 @@ type record =
         (string * (string * Schema.col_type) list * (int * Tuple.t) list) list;
     }
 
-type t = { mutable log : record list; mutable len : int; mutable torn : bool }
+type t = {
+  mutable log : record list;
+  mutable len : int;
+  mutable torn : bool;
+  mu : Mutex.t;
+}
 (* [log] is kept reversed for O(1) append. [torn] marks the final
    record as half-durable: it is in the in-memory log but would not
-   survive a crash (see [crash_records]). *)
+   survive a crash (see [crash_records]). [mu] makes appends atomic
+   under domain-parallel execution; readers (records, save, compact)
+   run at quiescence on the coordinator. *)
 
-let create () = { log = []; len = 0; torn = false }
+let create () = { log = []; len = 0; torn = false; mu = Mutex.create () }
 
 let push t record =
+  Mutex.lock t.mu;
   let lsn = t.len in
   t.log <- record :: t.log;
   t.len <- t.len + 1;
+  Mutex.unlock t.mu;
   Obs.incr m_appends;
   Obs.set m_records (float_of_int t.len);
   lsn
