@@ -206,6 +206,183 @@ let fig6a () =
     [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
   write_doc ~figure:"fig6a" ~x_label:"connections" series
 
+(* --- 2PL vs SI: time vs connections, Social-T plus parked readers ---
+
+   In the run-based execution model, plain transactions execute to
+   completion inside a run, so their locks never block anyone; read
+   locks only hurt when a transaction {e parks} mid-coordination and
+   keeps them across a run boundary (§4). This sweep reproduces that
+   case: most transactions are plain Social-T writers (each books a
+   row in Reserve), and a fraction are entangled readers that scan
+   Reserve — no index, hence a table-S lock — and then coordinate
+   with a partner who only arrives in the {e next} block of arrivals.
+   Under Strict 2PL every parked reader holds its table-S across the
+   run boundary, so the writers behind it block, are aborted at the
+   end of the run, and re-execute later (the paper's repool path).
+   Snapshot readers take no read locks at all — same begin-stamp
+   version-chain reads, write sets validated at commit — so the same
+   stream runs without a single repool. Both series run the identical
+   program stream; only the per-transaction isolation level differs.
+   Runs only when named explicitly ("si"): the default sweep stays
+   identical to the pre-MVCC harness. *)
+
+let si_workloads =
+  [ ("Social-T 2pl", `All_2pl);
+    ("Social-T si", `All_si);
+    ("Social-T mixed", `Mixed) ]
+
+(* si_aborts of the most recent cell (the scheduler stat is not an Obs
+   counter, so deterministic 2PL snapshots stay unchanged) *)
+let last_si_aborts = ref 0
+
+let retag_isolation level (programs : Program.t list) =
+  let snap (p : Program.t) =
+    Program.make ~label:p.label ~transactional:p.transactional
+      ~isolation:Ent_txn.Engine.Snapshot p.ast
+  in
+  match level with
+  | `All_2pl -> programs
+  | `All_si -> List.map snap programs
+  | `Mixed -> List.mapi (fun i p -> if i land 1 = 1 then snap p else p) programs
+
+(* One parked reader: a full scan of the reservation list (a
+   table-level S lock under 2PL — a predicated read would go through
+   the lookup path and lock only the matching rows), then coordinate
+   with [partner]. It writes nothing, so the pair never self-conflicts
+   on its own read lock. *)
+let si_reader world ~uid ~partner ~tag =
+  Program.of_string ~label:(Printf.sprintf "si-reader-%d-%d" uid tag)
+    (Printf.sprintf
+       "BEGIN TRANSACTION;\n\
+        SELECT fid FROM Reserve;\n\
+        SELECT %d, %d, dst AS @destination INTO ANSWER Meet\n\
+        WHERE (dst) IN (SELECT destination FROM Flight WHERE source='%s')\n\
+        AND (%d, %d, dst) IN ANSWER Meet\n\
+        CHOOSE 1;\n\
+        COMMIT;"
+       uid tag (Travel.hometown world uid) partner tag)
+
+(* The partner half: coordination only, no data read. If the closer
+   also scanned Reserve, its table-S would queue FIFO behind the
+   blocked writers' IX requests and never be granted — the opener
+   would stay unanswered and the whole 2PL pool would livelock. *)
+let si_closer world ~uid ~partner ~tag =
+  Program.of_string ~label:(Printf.sprintf "si-closer-%d-%d" uid tag)
+    (Printf.sprintf
+       "BEGIN TRANSACTION;\n\
+        SELECT %d, %d, dst AS @destination INTO ANSWER Meet\n\
+        WHERE (dst) IN (SELECT destination FROM Flight WHERE source='%s')\n\
+        AND (%d, %d, dst) IN ANSWER Meet\n\
+        CHOOSE 1;\n\
+        COMMIT;"
+       uid tag (Travel.hometown world uid) partner tag)
+
+(* The submission stream, in blocks of [frequency] arrivals (one run
+   each): every block first closes the reader pairs opened by the
+   previous block, opens new ones (only when the next block has room to
+   close them), and fills the rest with plain Social-T writers. The
+   openers park at the coordination barrier, so under 2PL their
+   Reserve table-S blocks every writer behind them until the end of the
+   run — abort and repool, the cost 2PL pays and SI does not. *)
+let si_stream world ~frequency ~n =
+  let readers_per_block = max 1 (frequency / 8) in
+  let programs = ref [] in
+  let emitted = ref 0 in
+  let pair = ref 0 in
+  let pending = Queue.create () in
+  let push p =
+    programs := p :: !programs;
+    incr emitted
+  in
+  while !emitted < n do
+    let block_end = min n (!emitted + frequency) in
+    while (not (Queue.is_empty pending)) && !emitted < block_end do
+      let uid, partner, tag = Queue.pop pending in
+      push (si_closer world ~uid ~partner ~tag)
+    done;
+    if n - block_end >= readers_per_block then
+      for _ = 1 to readers_per_block do
+        if !emitted < block_end then begin
+          let a = 2 * !pair mod world_users
+          and b = (2 * !pair + 1) mod world_users in
+          let tag = 1_000_000 + !pair in
+          incr pair;
+          Queue.add (b, a, tag) pending;
+          push (si_reader world ~uid:a ~partner:b ~tag)
+        end
+      done;
+    while !emitted < block_end do
+      let i = !emitted in
+      push
+        (Gen.program world ~transactional:true Gen.Social
+           ~uid:(i * 13 mod world_users) ~partner:(-1) ~tag:i)
+    done
+  done;
+  List.rev !programs
+
+let run_workload_si ~connections ~frequency ~level ~n =
+  let config =
+    {
+      Scheduler.default_config with
+      connections;
+      trigger = Scheduler.Every_arrivals frequency;
+    }
+  in
+  let world = Travel.build ~users:world_users ~cities:world_cities ~config () in
+  let certifier = attach_certifier world.manager in
+  let programs = retag_isolation level (si_stream world ~frequency ~n) in
+  let ids = List.map (Manager.submit world.manager) programs in
+  Manager.drain world.manager;
+  let committed =
+    List.length
+      (List.filter
+         (fun id -> Manager.outcome world.manager id = Some Scheduler.Committed)
+         ids)
+  in
+  let level_name =
+    match level with
+    | `All_2pl -> "2pl"
+    | `All_si -> "si"
+    | `Mixed -> "mixed"
+  in
+  if committed <> n then
+    Printf.eprintf "WARNING: %d/%d committed (social-t %s c=%d)\n%!" committed n
+      level_name connections;
+  finish_certifier
+    ~label:(Printf.sprintf "social-t-%s c=%d" level_name connections)
+    certifier;
+  last_si_aborts := (Manager.stats world.manager).si_aborts;
+  Manager.now world.manager
+
+let si_experiment () =
+  heading
+    (Printf.sprintf
+       "2PL vs SI: total time (simulated s) vs concurrent connections\n\
+        Social-T writers + parked entangled readers, %d transactions per \
+        cell, run frequency 100"
+       txns_total);
+  Printf.printf "%8s %14s %14s %14s %10s\n" "conns" "Social-T 2pl"
+    "Social-T si" "Social-T mixed" "si aborts";
+  let series = List.map (fun (name, _) -> (name, ref [])) si_workloads in
+  List.iter
+    (fun connections ->
+      Printf.printf "%8d" connections;
+      let si_aborts = ref 0 in
+      List.iter
+        (fun (name, level) ->
+          let cell =
+            cell_metrics (fun () ->
+                run_workload_si ~connections ~frequency:100 ~level ~n:txns_total)
+          in
+          si_aborts := !si_aborts + !last_si_aborts;
+          let points = List.assoc name series in
+          points := point ~x:connections cell :: !points;
+          Printf.printf " %14.2f%!" (let t, _, _ = cell in t))
+        si_workloads;
+      Printf.printf " %10d\n%!" !si_aborts)
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  write_doc ~figure:"si" ~x_label:"connections" series
+
 (* --- Figure 6(b): time vs pending transactions, per run frequency --- *)
 
 let run_pending ~p ~frequency ~n =
@@ -921,6 +1098,89 @@ let perfgate_wallclock ~min_speedup ~file =
     Printf.eprintf "perfgate: wall-clock scale-up below %.2fx\n%!" min_speedup;
   exit (if !failed then 1 else 0)
 
+(* perfgate --si: gate the 2PL-vs-SI comparison of a BENCH_si.json
+   document. Snapshot isolation drops the read locks, so on Social-T
+   it must be at least as fast as Strict 2PL (mean per-transaction
+   throughput over the shared sweep points, with [tolerance] slack);
+   the mixed series is reported for information only. *)
+
+let perfgate_si ~tolerance ~file =
+  let doc = load_json file in
+  let series =
+    match Json.member "series" doc with
+    | Some (Json.List series) ->
+      List.filter_map
+        (fun s ->
+          match (Json.member "name" s, Json.member "points" s) with
+          | Some (Json.Str name), Some (Json.List points) ->
+            Some
+              ( name,
+                List.filter_map
+                  (fun p ->
+                    match
+                      ( Option.bind (Json.member "x" p) Json.to_int_opt,
+                        Option.bind (Json.member "time_s" p) Json.to_float_opt
+                      )
+                    with
+                    | Some x, Some t when t > 0.0 -> Some (x, t)
+                    | _ -> None)
+                  points )
+          | _ -> None)
+        series
+    | _ -> []
+  in
+  let mean_over shared sel =
+    List.fold_left (fun acc p -> acc +. sel p) 0.0 shared
+    /. float_of_int (List.length shared)
+  in
+  let compare_against base_points (name, points) ~gated =
+    let shared =
+      List.filter_map
+        (fun (x, base_t) ->
+          Option.map (fun t -> (base_t, t)) (List.assoc_opt x points))
+        base_points
+    in
+    if shared = [] then begin
+      Printf.eprintf "perfgate: series %s shares no points with the 2pl \
+                      series in %s\n%!" name file;
+      gated
+    end
+    else begin
+      let base_mean = mean_over shared fst and mean = mean_over shared snd in
+      (* same transaction count per cell: time ratio = inverse
+         throughput ratio *)
+      let speedup = base_mean /. mean in
+      let ok = speedup >= 1.0 -. tolerance in
+      Printf.printf "%-16s 2pl %10.2fs  %s %10.2fs  speedup %5.2fx  %s\n%!"
+        name base_mean
+        (if gated then "si " else "mix")
+        mean speedup
+        (if not gated then "(info)" else if ok then "ok" else "SLOWER THAN 2PL");
+      gated && not ok
+    end
+  in
+  match List.assoc_opt "Social-T 2pl" series with
+  | None ->
+    Printf.eprintf "perfgate: series \"Social-T 2pl\" missing from %s\n%!" file;
+    exit 1
+  | Some base_points ->
+    let failed = ref false in
+    (match List.assoc_opt "Social-T si" series with
+    | None ->
+      Printf.eprintf "perfgate: series \"Social-T si\" missing from %s\n%!" file;
+      failed := true
+    | Some points ->
+      if compare_against base_points ("Social-T si", points) ~gated:true then
+        failed := true);
+    (match List.assoc_opt "Social-T mixed" series with
+    | None -> ()
+    | Some points ->
+      ignore (compare_against base_points ("Social-T mixed", points) ~gated:false));
+    if !failed then
+      Printf.eprintf "perfgate: snapshot isolation slower than 2PL on \
+                      Social-T\n%!";
+    exit (if !failed then 1 else 0)
+
 let validate files =
   let ok =
     List.fold_left
@@ -956,6 +1216,13 @@ let () =
         | _ -> 1.8
       in
       perfgate_wallclock ~min_speedup ~file
+    | "--si" :: file :: rest ->
+      let tolerance =
+        match rest with
+        | [ "--tolerance"; t ] -> (try float_of_string t with _ -> 0.0)
+        | _ -> 0.0
+      in
+      perfgate_si ~tolerance ~file
     | fresh :: baseline :: rest ->
       let tolerance =
         match rest with
@@ -966,7 +1233,8 @@ let () =
     | _ ->
       prerr_endline
         "usage: main.exe perfgate FRESH.json BASELINE.json [--tolerance 0.30]\n\
-        \       main.exe perfgate --wallclock BENCH_scaleup.json [--min-speedup 1.8]";
+        \       main.exe perfgate --wallclock BENCH_scaleup.json [--min-speedup 1.8]\n\
+        \       main.exe perfgate --si BENCH_si.json [--tolerance 0.0]";
       exit 2)
   | _ :: args ->
     let selected = ref [] in
@@ -1034,6 +1302,8 @@ let () =
         Event.set_logging was_logging)
       !trace_out;
     run "fig6a" fig6a;
+    (* explicit-only: the default sweep stays identical to pre-MVCC *)
+    if List.mem "si" !selected then si_experiment ();
     run "fig6b" fig6b;
     run "fig6c" fig6c;
     run "scaleup" scaleup;

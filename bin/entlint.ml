@@ -105,16 +105,70 @@ let serializability_of = function
   | "off" -> Ok `Off
   | s -> Error (Printf.sprintf "unknown serializability mode %S (auto|on|off)" s)
 
-let check_main path serializability =
+(* --si takes "all" or a comma-separated transaction-id list; the
+   history notation itself carries no isolation levels. *)
+let si_levels_of history = function
+  | None -> Ok None
+  | Some "all" ->
+    Ok
+      (Some
+         (List.map
+            (fun txn -> (txn, Ent_txn.Engine.Snapshot))
+            (Ent_schedule.History.txns history)))
+  | Some spec -> (
+    match
+      List.map
+        (fun part ->
+          match int_of_string_opt (String.trim part) with
+          | Some txn -> (txn, Ent_txn.Engine.Snapshot)
+          | None -> raise Exit)
+        (String.split_on_char ',' spec)
+    with
+    | levels -> Ok (Some levels)
+    | exception Exit ->
+      Error
+        (Printf.sprintf
+           "bad --si %S: expected \"all\" or comma-separated transaction ids"
+           spec))
+
+let check_main path serializability si_txns =
   match serializability_of serializability with
   | Error msg -> fail_input msg
   | Ok serializability -> (
     match Result.bind (read_input path) Driver.history_of_text with
     | Error msg -> fail_input msg
-    | Ok history ->
-      let report = Histcheck.check ~serializability history in
-      Format.printf "%a@.%!" Histcheck.pp report;
-      if Histcheck.ok report then 0 else 1)
+    | Ok history -> (
+      match si_levels_of history si_txns with
+      | Error msg -> fail_input msg
+      | Ok None ->
+        let report = Histcheck.check ~serializability history in
+        Format.printf "%a@.%!" Histcheck.pp report;
+        if Histcheck.ok report then 0 else 1
+      | Ok (Some levels) ->
+        (* Mixed-level history: the strict-serializability oracle no
+           longer applies to the SI members, so judge the schedule with
+           the level-aware certifier instead. *)
+        let violations = Ent_schedule.Certify.check_history ~levels history in
+        let si =
+          String.concat ","
+            (List.map (fun (txn, _) -> string_of_int txn) levels)
+        in
+        if violations = [] then begin
+          Format.printf "certify: ok under mixed levels (si: %s)@.%!" si;
+          0
+        end
+        else begin
+          Format.printf "certify: %d violation%s under mixed levels (si: %s)@\n"
+            (List.length violations)
+            (if List.length violations = 1 then "" else "s")
+            si;
+          List.iter
+            (fun v ->
+              Format.printf "  %a@\n" Ent_schedule.Certify.pp_violation v)
+            violations;
+          Format.printf "%!";
+          1
+        end))
 
 (* --- record --- *)
 
@@ -122,16 +176,37 @@ let record_main path isolation frequency serializability print_history =
   match serializability_of serializability with
   | Error msg -> fail_input msg
   | Ok serializability -> (
+    (* si / mixed select per-transaction levels over the full lock
+       protocol; the rest are the scheduler's 2PL weakening presets. *)
+    let isolation, txn_isolation =
+      match isolation with
+      | "si" | "snapshot" -> ("full", "si")
+      | "mixed" -> ("full", "mixed")
+      | other -> (other, "2pl")
+    in
+    let certifier =
+      if txn_isolation = "2pl" then None
+      else Some (Ent_schedule.Certify.create ())
+    in
     match
-      Result.bind (read_input path) (Driver.record_script ~isolation ~frequency)
+      Result.bind (read_input path)
+        (Driver.record_script ~isolation ~txn_isolation ~frequency ?certifier)
     with
     | Error msg -> fail_input msg
-    | Ok history ->
+    | Ok history -> (
       if print_history then
         Format.printf "%a@." Ent_schedule.History.pp history;
-      let report = Histcheck.check ~serializability history in
-      Format.printf "%a@.%!" Histcheck.pp report;
-      if Histcheck.ok report then 0 else 1)
+      match certifier with
+      | None ->
+        let report = Histcheck.check ~serializability history in
+        Format.printf "%a@.%!" Histcheck.pp report;
+        if Histcheck.ok report then 0 else 1
+      | Some c ->
+        (* Mixed-level run: Appendix C's strict-serializability oracle
+           does not apply to the SI members — report the level-aware
+           online certifier instead. *)
+        Format.printf "%a@.%!" Ent_schedule.Certify.pp_report c;
+        if Ent_schedule.Certify.ok c then 0 else 1))
 
 (* --- command line --- *)
 
@@ -186,7 +261,16 @@ let serializability =
 let isolation =
   Arg.(value & opt string "full" & info [ "isolation" ]
          ~doc:"Isolation level for record: full, no-group-commit, \
-               no-grounding-locks, read-uncommitted.")
+               no-grounding-locks, read-uncommitted (2PL presets); si \
+               (snapshot isolation for every transaction) or mixed \
+               (alternate 2PL and si), judged by the level-aware \
+               certifier instead of the Appendix C checker.")
+
+let si_txns =
+  Arg.(value & opt (some string) None & info [ "si" ] ~docv:"TXNS"
+         ~doc:"Treat these transactions of the history as snapshot-isolation \
+               ($(docv) is \"all\" or comma-separated ids) and check with \
+               the level-aware certifier instead of the Appendix C checker.")
 
 let frequency =
   Arg.(value & opt int 1 & info [ "frequency"; "f" ]
@@ -211,7 +295,7 @@ let matrix_cmd =
 let check_cmd =
   let doc = "check a schedule history against the Appendix C requirements" in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const check_main $ history_file $ serializability)
+    Term.(const check_main $ history_file $ serializability $ si_txns)
 
 let record_cmd =
   let doc = "execute a script, record its schedule, and check it" in

@@ -70,7 +70,14 @@ let report_failure ~out cfg (o : Harness.outcome) =
     shrunk
 
 let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
-    max_arms break_group_commit combined certify out_path trace_out verbose =
+    max_arms break_group_commit combined certify isolation out_path trace_out
+    verbose =
+  if not (List.mem isolation [ "2pl"; "si"; "snapshot"; "mixed" ]) then begin
+    prerr_endline
+      ("entsim: bad --isolation " ^ isolation ^ " (2pl|si|mixed)");
+    exit 2
+  end;
+  let isolation = if isolation = "snapshot" then "si" else isolation in
   (* The harness leaves the last executed schedule's events in the ring;
      [--trace-out] exports them as a Perfetto/chrome://tracing trace. *)
   let write_trace () =
@@ -94,6 +101,7 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       break_group_commit;
       combined;
       certify;
+      isolation;
     }
   in
   match plan_str with
@@ -219,6 +227,17 @@ let certify =
            violation is reported (and shrunken) like any other invariant \
            violation.")
 
+let isolation =
+  Arg.(
+    value & opt string Harness.default.isolation
+    & info [ "isolation" ] ~docv:"LEVEL"
+        ~doc:
+          "Per-transaction isolation of the workload: 2pl (all Strict 2PL), \
+           si (all snapshot isolation), or mixed (alternating). Snapshot \
+           transactions read begin-stamp versions and take no read locks; \
+           the harness additionally checks that version chains are empty \
+           after recovery and at quiescence.")
+
 let out =
   Arg.(
     value & opt (some string) None
@@ -244,6 +263,6 @@ let cmd =
     Term.(
       const main $ seeds $ seed $ plan $ pairs $ rollback_pairs $ plain $ lonely
       $ users $ cities $ max_arms $ break_group_commit $ combined $ certify
-      $ out $ trace_out $ verbose)
+      $ isolation $ out $ trace_out $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,12 +10,31 @@
 
 open Ent_core
 
+(* The isolation flag selects either a 2PL weakening preset (the
+   scheduler's lock-protocol knobs) or a per-transaction level: [si]
+   runs every submitted transaction under snapshot isolation, [mixed]
+   alternates 2PL and SI per submission order. *)
+type levels =
+  | All_2pl
+  | All_si
+  | Mixed
+
 let isolation_of_string = function
-  | "full" -> Ok Isolation.full
-  | "no-group-commit" -> Ok Isolation.no_group_commit
-  | "no-grounding-locks" -> Ok Isolation.no_grounding_locks
-  | "read-uncommitted" -> Ok Isolation.read_uncommitted
+  | "full" -> Ok (Isolation.full, All_2pl)
+  | "no-group-commit" -> Ok (Isolation.no_group_commit, All_2pl)
+  | "no-grounding-locks" -> Ok (Isolation.no_grounding_locks, All_2pl)
+  | "read-uncommitted" -> Ok (Isolation.read_uncommitted, All_2pl)
+  | "si" | "snapshot" -> Ok (Isolation.full, All_si)
+  | "mixed" -> Ok (Isolation.full, Mixed)
   | s -> Error (`Msg (Printf.sprintf "unknown isolation level %S" s))
+
+let level_of_count levels count =
+  match levels with
+  | All_2pl -> Ent_txn.Engine.Serializable_2pl
+  | All_si -> Ent_txn.Engine.Snapshot
+  | Mixed ->
+    if count land 1 = 1 then Ent_txn.Engine.Snapshot
+    else Ent_txn.Engine.Serializable_2pl
 
 let write_metrics = function
   | None -> ()
@@ -29,7 +48,7 @@ let run_script path connections frequency parallel isolation_name show_tables
   | Error (`Msg msg) ->
     prerr_endline msg;
     2
-  | Ok isolation -> (
+  | Ok (isolation, levels) -> (
     let input =
       match path with
       | Some p ->
@@ -92,7 +111,8 @@ let run_script path connections frequency parallel isolation_name show_tables
           | Ent_sql.Parser.Program ast ->
             incr count;
             let label = Printf.sprintf "txn-%d" !count in
-            let id = Manager.submit m (Program.make ~label ast) in
+            let level = level_of_count levels !count in
+            let id = Manager.submit m (Program.make ~isolation:level ~label ast) in
             submitted := (id, label) :: !submitted)
         items;
       Manager.drain m;
@@ -123,6 +143,8 @@ let run_script path connections frequency parallel isolation_name show_tables
          timeouts: %d, simulated time: %.3f ms\n"
         s.runs s.commits s.entangle_events s.repooled s.timeouts
         (1000.0 *. Manager.now m);
+      if levels <> All_2pl then
+        Printf.printf "-- si aborts (first-committer-wins): %d\n" s.si_aborts;
       List.iter
         (fun table ->
           Printf.printf "-- table %s:\n" table;
@@ -174,7 +196,12 @@ let repl path isolation_name =
   | Error (`Msg msg) ->
     prerr_endline msg;
     2
-  | Ok isolation ->
+  | Ok (_, (All_si | Mixed)) ->
+    prerr_endline
+      "snapshot isolation applies to the run command; repl sessions are \
+       Strict 2PL";
+    2
+  | Ok (isolation, All_2pl) ->
     let input =
       match path with
       | Some p ->
@@ -290,7 +317,10 @@ let parallel =
 
 let isolation =
   Arg.(value & opt string "full" & info [ "isolation" ]
-         ~doc:"Isolation level: full, no-group-commit, no-grounding-locks, read-uncommitted.")
+         ~doc:"Isolation level: full, no-group-commit, no-grounding-locks, \
+               read-uncommitted (2PL presets); si (every transaction reads a \
+               begin-time snapshot, first-committer-wins validation at \
+               commit); mixed (alternate 2PL and si per submission).")
 
 let show =
   Arg.(value & opt_all string [] & info [ "show" ]

@@ -119,12 +119,25 @@ let isolation_of_name = function
   | "read-uncommitted" -> Ok Ent_core.Isolation.read_uncommitted
   | s -> Error (Printf.sprintf "unknown isolation level %S" s)
 
+let txn_isolation_of_name = function
+  | "2pl" -> Ok `All_2pl
+  | "si" | "snapshot" -> Ok `All_si
+  | "mixed" -> Ok `Mixed
+  | s ->
+    Error (Printf.sprintf "unknown transaction isolation %S (2pl|si|mixed)" s)
+
 (* Execute a script under a recorder and return the schedule of the
    terminated transactions — the bridge from the simulator to the
-   formal checkers. *)
-let record_script ?(isolation = "full") ?(frequency = 1) text =
+   formal checkers. [txn_isolation] tags the submitted programs:
+   [si] runs them all under snapshot isolation, [mixed] alternates per
+   submission. [certifier], when given, is subscribed to the engine and
+   entanglement hooks alongside the recorder — the online mixed-level
+   checker, since the offline history notation carries no levels. *)
+let record_script ?(isolation = "full") ?(txn_isolation = "2pl")
+    ?(frequency = 1) ?certifier text =
   let open Ent_core in
   let* isolation = isolation_of_name isolation in
+  let* txn_isolation = txn_isolation_of_name txn_isolation in
   let* items =
     match Parser.parse_script text with
     | items -> Ok items
@@ -141,11 +154,19 @@ let record_script ?(isolation = "full") ?(frequency = 1) text =
   let m = Manager.create ~config () in
   let recorder = Ent_schedule.Recorder.create () in
   Ent_txn.Engine.set_on_event (Manager.engine m)
-    (Some (Ent_schedule.Recorder.on_engine_event recorder));
+    (Some
+       (fun ev ->
+         Ent_schedule.Recorder.on_engine_event recorder ev;
+         Option.iter
+           (fun c -> Ent_schedule.Certify.on_engine_event c ev)
+           certifier));
   Scheduler.set_on_entangle (Manager.scheduler m)
     (Some
        (fun ~event participants ->
-         Ent_schedule.Recorder.on_entangle recorder ~event participants));
+         Ent_schedule.Recorder.on_entangle recorder ~event participants;
+         Option.iter
+           (fun c -> Ent_schedule.Certify.on_entangle c ~event participants)
+           certifier));
   let access = Ent_sql.Eval.direct_access (Manager.catalog m) in
   let env = Ent_sql.Eval.fresh_env () in
   let count = ref 0 in
@@ -157,7 +178,15 @@ let record_script ?(isolation = "full") ?(frequency = 1) text =
         | Parser.Program ast ->
           incr count;
           let label = Printf.sprintf "txn-%d" !count in
-          ignore (Manager.submit m (Program.make ~label ast)))
+          let level =
+            match txn_isolation with
+            | `All_2pl -> Ent_txn.Engine.Serializable_2pl
+            | `All_si -> Ent_txn.Engine.Snapshot
+            | `Mixed ->
+              if !count land 1 = 1 then Ent_txn.Engine.Snapshot
+              else Ent_txn.Engine.Serializable_2pl
+          in
+          ignore (Manager.submit m (Program.make ~isolation:level ~label ast)))
       items;
     Manager.drain m
   with

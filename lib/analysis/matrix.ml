@@ -22,9 +22,14 @@ type verdict =
   | Row_conflict
   | Table_conflict
 
+type si_hazard =
+  | Lost_update of string
+  | Write_skew of string * string
+
 type cell = {
   verdict : verdict;
   witnesses : witness list;
+  si_hazards : si_hazard list;
 }
 
 type edge = {
@@ -100,7 +105,31 @@ let classify_pair (sa : Summary.t) (sb : Summary.t) =
       Table_conflict
     else Row_conflict
   in
-  { verdict; witnesses }
+  (* Demoting both sides to snapshot isolation drops their read locks,
+     so 2PL blocking no longer serializes the pair. Two shapes make
+     that demotion unsafe:
+     - lost-update: the writes themselves overlap. First-committer-wins
+       turns the 2PL wait into a commit-time abort, and a
+       read-modify-write over the region is exactly the lost update SI
+       validation exists to kill — the pair trades blocking for aborts
+       and must not expect to run concurrently.
+     - write-skew: each side reads a region the other writes while the
+       write sets stay disjoint, so validation sees no conflict and the
+       interleaving commits — the canonical SI anomaly. *)
+  let si_hazards =
+    let tables_where pred =
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun w -> if pred w then Some w.table else None)
+           witnesses)
+    in
+    let ww = tables_where (fun w -> is_write w.left_mode && is_write w.right_mode) in
+    let rw = tables_where (fun w -> (not (is_write w.left_mode)) && is_write w.right_mode) in
+    let wr = tables_where (fun w -> is_write w.left_mode && not (is_write w.right_mode)) in
+    List.map (fun tbl -> Lost_update tbl) ww
+    @ List.concat_map (fun a -> List.map (fun b -> Write_skew (a, b)) wr) rw
+  in
+  { verdict; witnesses; si_hazards }
 
 (* ------------------------------------------------------------------ *)
 (* Lock-order graph (moved from the per-suite deadlock lint)           *)
@@ -283,6 +312,12 @@ let mode_name (m : Summary.mode) =
   | Summary.Ground_read -> "ground-read"
   | Summary.Write -> "write"
 
+let si_hazard_name = function
+  | Lost_update t -> Printf.sprintf "lost-update on %s" t
+  | Write_skew (a, b) ->
+    if a = b then Printf.sprintf "write-skew on %s" a
+    else Printf.sprintf "write-skew across %s/%s" a b
+
 let pp ppf t =
   let n = Array.length t.inputs in
   Format.fprintf ppf "conflict/commutativity matrix (%d program%s)@\n" n
@@ -323,6 +358,10 @@ let pp ppf t =
     "@\npairs (unordered, diagonal included): %d commute, %d row-conflict, %d \
      table-conflict"
     !commuting (List.length row_cells) (List.length table_cells);
+  let si_unsafe =
+    List.length (List.filter (fun (_, _, c) -> c.si_hazards <> []) !conflicts)
+  in
+  Format.fprintf ppf "; %d unsafe to demote to snapshot isolation" si_unsafe;
   (* the full pair listing only for suites small enough to read *)
   if n <= 12 then
     List.iter
@@ -334,7 +373,10 @@ let pp ppf t =
           (fun w ->
             Format.fprintf ppf "@\n      %s: %s %s vs %s" w.table
               (scope_name w.scope) (mode_name w.left_mode) (mode_name w.right_mode))
-          c.witnesses)
+          c.witnesses;
+        if c.si_hazards <> [] then
+          Format.fprintf ppf "@\n      si-demotion: unsafe (%s)"
+            (String.concat "; " (List.map si_hazard_name c.si_hazards)))
       (List.rev !conflicts)
   else begin
     let tables =
@@ -402,6 +444,17 @@ let to_json t =
              ])
          t.inputs)
   in
+  let hazard_json = function
+    | Lost_update t ->
+      Json.Obj
+        [ ("kind", Json.Str "lost-update"); ("tables", Json.List [ Json.Str t ]) ]
+    | Write_skew (a, b) ->
+      Json.Obj
+        [
+          ("kind", Json.Str "write-skew");
+          ("tables", Json.List [ Json.Str a; Json.Str b ]);
+        ]
+  in
   let cell_json (c : cell) =
     Json.Obj
       [
@@ -418,6 +471,8 @@ let to_json t =
                      ("right_mode", Json.Str (mode_name w.right_mode));
                    ])
                c.witnesses) );
+        ("si_demotion_safe", Json.Bool (c.si_hazards = []));
+        ("si_hazards", Json.List (List.map hazard_json c.si_hazards));
       ]
   in
   Json.Obj

@@ -41,9 +41,22 @@ type verdict =
   | Row_conflict
   | Table_conflict
 
+(** Why a conflicting pair is unsafe to demote to snapshot isolation
+    (both sides running SI, so no read locks serialize them).
+    [Lost_update t]: the write sets overlap on [t] —
+    first-committer-wins turns the 2PL wait into commit-time aborts.
+    [Write_skew (a, b)]: one side reads a region of [a] the other
+    writes, and vice versa on [b], with no write-write overlap needed —
+    the canonical SI anomaly, invisible to write-set validation. *)
+type si_hazard =
+  | Lost_update of string
+  | Write_skew of string * string
+
 type cell = {
   verdict : verdict;
   witnesses : witness list;
+  si_hazards : si_hazard list;
+      (** empty iff the pair is safe to demote to snapshot isolation *)
 }
 
 (** A static lock-order edge: program [prog] (index into the input

@@ -4,6 +4,7 @@ module Event = Ent_obs.Event
 
 type failure =
   | Deadlock
+  | Si_conflict of string * int
   | Explicit_rollback
   | Program_error of string
 
@@ -50,7 +51,8 @@ let make_task ~task_id ~arrival (program : Program.t) =
   }
 
 let start engine (costs : Ent_sim.Cost.t) task =
-  task.txn <- Ent_txn.Engine.begin_txn engine;
+  task.txn <-
+    Ent_txn.Engine.begin_txn ~isolation:task.program.isolation engine;
   (* The engine allocates the txn id, so the txn→task registration (and
      hence the Begin event, which needs both ids) must happen here, the
      first place both are known. *)
@@ -107,7 +109,8 @@ let autocommit_boundary engine (costs : Ent_sim.Cost.t) task =
     let wrote = Ent_txn.Engine.savepoint engine task.txn > 0 in
     Ent_txn.Engine.commit engine task.txn;
     if wrote then task.work <- task.work +. costs.c_commit;
-    task.txn <- Ent_txn.Engine.begin_txn engine;
+    task.txn <-
+      Ent_txn.Engine.begin_txn ~isolation:task.program.isolation engine;
     if Event.logging () then begin
       Event.register_txn ~txn:task.txn ~task:task.task_id;
       Event.emit ~txn:task.txn ~task:task.task_id Event.Begin
@@ -158,6 +161,12 @@ let rec step engine (isolation : Isolation.t) (costs : Ent_sim.Cost.t) task =
         Ent_txn.Engine.abort engine task.txn;
         task.work <- task.work +. costs.c_abort;
         task.status <- Failed Deadlock
+      | exception Ent_txn.Engine.Si_conflict _ ->
+        (* snapshot write lost first-committer-wins mid-statement;
+           abort and retry on a fresh snapshot (row id unknown here) *)
+        Ent_txn.Engine.abort engine task.txn;
+        task.work <- task.work +. costs.c_abort;
+        task.status <- Failed (Si_conflict ("", -1))
       | exception Ent_sql.Eval.Eval_error msg ->
         Ent_txn.Engine.abort engine task.txn;
         task.work <- task.work +. costs.c_abort;
@@ -218,7 +227,7 @@ let reset_for_retry task =
   end
 
 let failure_is_final = function
-  | Deadlock -> false
+  | Deadlock | Si_conflict _ -> false
   | Explicit_rollback | Program_error _ -> true
 
 let pp_status ppf status =
@@ -229,6 +238,9 @@ let pp_status ppf status =
     | Waiting_lock -> "waiting-lock"
     | Ready -> "ready"
     | Failed Deadlock -> "failed(deadlock)"
+    | Failed (Si_conflict (table, row)) ->
+      if table = "" then "failed(si-conflict)"
+      else Printf.sprintf "failed(si-conflict %s/%d)" table row
     | Failed Explicit_rollback -> "failed(rollback)"
     | Failed (Program_error msg) -> "failed(" ^ msg ^ ")"
   in

@@ -10,6 +10,10 @@ open Ent_entangle
 
 type failure =
   | Deadlock  (** chosen as deadlock victim; retryable *)
+  | Si_conflict of string * int
+      (** snapshot transaction lost first-committer-wins validation on
+          (table, row) — [("", -1)] when the conflict surfaced
+          mid-statement; retryable on a fresh snapshot *)
   | Explicit_rollback  (** the program executed ROLLBACK; final *)
   | Program_error of string  (** unsafe query, type error...; final *)
 

@@ -91,5 +91,9 @@ let run_solo engine (program : Program.t) oracle =
       { outcome = Solo_error "deadlock in solo execution";
         valid = !valid;
         answers_given = List.rev !answers_given }
+    | Executor.Failed (Executor.Si_conflict _) ->
+      { outcome = Solo_error "snapshot conflict in solo execution";
+        valid = !valid;
+        answers_given = List.rev !answers_given }
   in
   loop ()

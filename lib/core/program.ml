@@ -2,16 +2,29 @@ type t = {
   label : string;
   ast : Ent_sql.Ast.program;
   transactional : bool;
+  isolation : Ent_txn.Engine.level;
 }
 
-let make ?(label = "txn") ?(transactional = true) ast = { label; ast; transactional }
+let make ?(label = "txn") ?(transactional = true)
+    ?(isolation = Ent_txn.Engine.Serializable_2pl) ast =
+  { label; ast; transactional; isolation }
 
-let of_string ?(label = "txn") ?(transactional = true) input =
-  { label; ast = Ent_sql.Parser.parse_program input; transactional }
+let of_string ?(label = "txn") ?(transactional = true)
+    ?(isolation = Ent_txn.Engine.Serializable_2pl) input =
+  { label; ast = Ent_sql.Parser.parse_program input; transactional; isolation }
 
 let to_string t =
-  Format.asprintf "-- label: %s@\n-- transactional: %b@\n%a" t.label
-    t.transactional Ent_sql.Pretty.pp_program t.ast
+  (* The isolation header appears only for non-default levels, keeping
+     serialized 2PL programs byte-identical to the pre-MVCC format. *)
+  match t.isolation with
+  | Ent_txn.Engine.Serializable_2pl ->
+    Format.asprintf "-- label: %s@\n-- transactional: %b@\n%a" t.label
+      t.transactional Ent_sql.Pretty.pp_program t.ast
+  | Ent_txn.Engine.Snapshot ->
+    Format.asprintf "-- label: %s@\n-- transactional: %b@\n-- isolation: %s@\n%a"
+      t.label t.transactional
+      (Ent_txn.Engine.level_to_string t.isolation)
+      Ent_sql.Pretty.pp_program t.ast
 
 let header_value line prefix =
   if String.length line > String.length prefix
@@ -30,7 +43,14 @@ let of_serialized input =
     | Some "false" -> false
     | Some _ | None -> true
   in
-  { label; ast = Ent_sql.Parser.parse_program input; transactional }
+  let isolation =
+    match List.find_map (fun l -> header_value l "-- isolation: ") lines with
+    | Some s ->
+      Option.value ~default:Ent_txn.Engine.Serializable_2pl
+        (Ent_txn.Engine.level_of_string s)
+    | None -> Ent_txn.Engine.Serializable_2pl
+  in
+  { label; ast = Ent_sql.Parser.parse_program input; transactional; isolation }
 
 let entangled_count t =
   List.length

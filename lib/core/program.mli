@@ -11,15 +11,30 @@ type t = {
           itself (MySQL autocommit). Entangled queries still
           coordinate, but atomicity, group commit and held locks only
           span one statement. *)
+  isolation : Ent_txn.Engine.level;
+      (** Isolation level the program's transactions run at
+          ([Serializable_2pl] by default). [Snapshot] programs read a
+          begin-stamp snapshot without read locks and validate their
+          write set at commit. *)
 }
 
-val make : ?label:string -> ?transactional:bool -> Ent_sql.Ast.program -> t
+val make :
+  ?label:string ->
+  ?transactional:bool ->
+  ?isolation:Ent_txn.Engine.level ->
+  Ent_sql.Ast.program ->
+  t
 
 (** Parse a [BEGIN TRANSACTION ... COMMIT] block. *)
-val of_string : ?label:string -> ?transactional:bool -> string -> t
+val of_string :
+  ?label:string ->
+  ?transactional:bool ->
+  ?isolation:Ent_txn.Engine.level ->
+  string ->
+  t
 
-(** Serialize to re-parseable SQL. The label is carried in a leading
-    comment. *)
+(** Serialize to re-parseable SQL. The label (and, for non-default
+    levels, the isolation) is carried in leading comments. *)
 val to_string : t -> string
 
 (** Inverse of {!to_string} (label recovered from the comment). *)

@@ -74,6 +74,7 @@ type stats = {
   mutable timeouts : int;
   mutable entangle_events : int;
   mutable deadlocks : int;
+  mutable si_aborts : int;
   mutable coordination_rounds : int;
 }
 
@@ -119,6 +120,7 @@ let create ?(config = default_config) engine =
         timeouts = 0;
         entangle_events = 0;
         deadlocks = 0;
+        si_aborts = 0;
         coordination_rounds = 0;
       };
       on_entangle = None;
@@ -134,6 +136,11 @@ let create ?(config = default_config) engine =
      the original lock-free lazy paths. *)
   Event.set_sim_clock (fun () -> Ent_sim.Pool.now t.pool);
   Ent_storage.Table.set_concurrent (config.runner <> None);
+  (* Versioned mode follows the same newest-scheduler-wins convention,
+     but is enabled lazily by [submit] on the first Snapshot program —
+     a pure-2PL scheduler never touches version chains and stays
+     byte-identical to the pre-MVCC engine. *)
+  Ent_storage.Table.set_versioned false;
   t
 
 let engine t = t.engine
@@ -263,7 +270,7 @@ let fail_or_repool t (task : Executor.task) =
       (match failure with
       | Explicit_rollback -> Rolled_back
       | Program_error msg -> Errored msg
-      | Deadlock -> assert false)
+      | Deadlock | Si_conflict _ -> assert false)
   | _ ->
     (* An injected timeout models the client giving up on a pooled
        transaction, whatever its declared deadline. *)
@@ -375,10 +382,12 @@ let run_once t =
       drain_work t task;
       if task.status = Waiting_entangled && task.entangled_since = None then
         task.entangled_since <- Some (now t);
-      if task.status = Failed Deadlock then begin
+      match task.status with
+      | Failed Deadlock ->
         t.stats.deadlocks <- t.stats.deadlocks + 1;
         Obs.incr m_deadlocks
-      end
+      | Failed (Si_conflict _) -> t.stats.si_aborts <- t.stats.si_aborts + 1
+      | _ -> ()
     in
     let progress = ref true in
     while !progress do
@@ -446,25 +455,51 @@ let run_once t =
             let to_commit =
               if isolation.group_commit then member_tasks else [ task ]
             in
-            (* Integrity check (Assumption 3.1/3.5): refuse to commit a
-               (group of) transaction(s) whose writes leave the
-               database inconsistent. The whole group fails
-               permanently: retrying would re-derive the same state. *)
-            match Ent_txn.Engine.violated_constraint t.engine with
-            | Some name ->
+            (* First-committer-wins (snapshot isolation): a member
+               whose write set was overwritten by a commit after its
+               snapshot dooms the whole group. Abort and repool —
+               the retry runs on a fresh snapshot. *)
+            let si_conflict =
+              List.find_map
+                (fun (o : Executor.task) ->
+                  Ent_txn.Engine.validate_snapshot t.engine o.txn)
+                to_commit
+            in
+            match si_conflict with
+            | Some (table, row) ->
               Ent_txn.Engine.abort_group t.engine
                 (List.map (fun (o : Executor.task) -> o.txn) to_commit);
               List.iter
                 (fun (member : Executor.task) ->
+                  member.status <-
+                    Executor.Failed (Executor.Si_conflict (table, row));
                   member.work <- member.work +. costs.c_abort;
                   drain_work t member;
-                  finalize t member (Errored ("constraint violated: " ^ name));
-                  Hashtbl.remove alive member.task_id)
+                  t.stats.si_aborts <- t.stats.si_aborts + 1;
+                  Hashtbl.remove alive member.task_id;
+                  fail_or_repool t member)
                 to_commit;
               committed_some := true
-            | None ->
-              commit_group t to_commit;
-              committed_some := true
+            | None -> (
+              (* Integrity check (Assumption 3.1/3.5): refuse to commit
+                 a (group of) transaction(s) whose writes leave the
+                 database inconsistent. The whole group fails
+                 permanently: retrying would re-derive the same state. *)
+              match Ent_txn.Engine.violated_constraint t.engine with
+              | Some name ->
+                Ent_txn.Engine.abort_group t.engine
+                  (List.map (fun (o : Executor.task) -> o.txn) to_commit);
+                List.iter
+                  (fun (member : Executor.task) ->
+                    member.work <- member.work +. costs.c_abort;
+                    drain_work t member;
+                    finalize t member (Errored ("constraint violated: " ^ name));
+                    Hashtbl.remove alive member.task_id)
+                  to_commit;
+                committed_some := true
+              | None ->
+                commit_group t to_commit;
+                committed_some := true)
           end
         end
       in
@@ -493,7 +528,13 @@ let run_once t =
             Ent_txn.Engine.touch_grounding_tables t.engine task.txn
               ~lock_reads:isolation.lock_grounding_reads tables
           in
-          match Gcache.compute t.gcache ~access ~touch ~env:task.env ir with
+          (* Snapshot tasks ground against their begin-stamp snapshot,
+             which the cache — keyed to live table versions — cannot
+             serve: bypass it entirely (no lookup, no insert). *)
+          let bypass =
+            task.program.isolation = Ent_txn.Engine.Snapshot
+          in
+          match Gcache.compute ~bypass t.gcache ~access ~touch ~env:task.env ir with
           | groundings, cached ->
             task.work <-
               task.work
@@ -705,6 +746,10 @@ let run_once t =
         end)
       leftovers;
     List.iter (fun task -> fail_or_repool t task) leftovers;
+    (* Every transaction of this run is finished now, so the oldest
+       live snapshot horizon is the current commit stamp: GC empties
+       the version chains entirely. No-op in pure-2PL mode. *)
+    Ent_txn.Engine.gc_versions t.engine;
     (* A dropped snapshot models the middleware failing to persist its
        pool state: recovery then falls back to the previous snapshot. *)
     if t.config.snapshot_pool && not (Fault.drops s_pool_snapshot) then
@@ -718,10 +763,17 @@ let run_once t =
     t.last_run_end <- now t
   end
 
-let submit t program =
+let submit t (program : Program.t) =
   let task_id = t.next_task in
   t.next_task <- task_id + 1;
   Obs.incr m_submitted;
+  (* First snapshot-isolation program: turn on version chains from here
+     on. Never turned back off mid-scheduler — earlier 2PL writers left
+     no chain entries, which reads exactly like "visible to all". *)
+  if
+    program.isolation = Ent_txn.Engine.Snapshot
+    && not (Ent_storage.Table.versioned_enabled ())
+  then Ent_storage.Table.set_versioned true;
   let task = Executor.make_task ~task_id ~arrival:(now t) program in
   Hashtbl.replace t.task_index task_id task;
   Event.emit ~task:task_id Event.Pool_enter;

@@ -64,6 +64,9 @@ type stats = {
   mutable timeouts : int;
   mutable entangle_events : int;
   mutable deadlocks : int;
+  mutable si_aborts : int;
+      (** snapshot transactions aborted by first-committer-wins
+          validation (at commit or mid-statement) *)
   mutable coordination_rounds : int;
 }
 

@@ -223,7 +223,17 @@ let refresh entry =
    and the scheduler grounds pending tasks in a phase of its own where
    no transaction is stepping, so a validated entry cannot be
    invalidated by a concurrent writer between validation and [touch]. *)
-let compute t ?(limit = 10_000) ~access ~touch ~env (query : Ir.t) =
+let compute t ?(limit = 10_000) ?(bypass = false) ~access ~touch ~env
+    (query : Ir.t) =
+  if bypass then
+    (* Snapshot-isolation grounding: the footprint validation above is
+       keyed to LIVE table versions, but the caller reads an older
+       snapshot — neither serving nor populating the cache is sound.
+       Run the enumeration fresh; [touch] is unused (snapshot reads
+       take no locks). *)
+    let vals = Ground.valuations ~limit ~access ~env query.body in
+    (Ground.groundings_of query vals, false)
+  else
   let key = key_of ~env ~limit query.body in
   let cached =
     with_mu t.mu (fun () ->

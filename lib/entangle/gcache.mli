@@ -41,10 +41,17 @@ val create : ?max_entries:int -> Ent_storage.Catalog.t -> t
     is called with the footprint's table names in first-read order so
     the caller can re-acquire grounding locks — it must raise (like the
     blocked/deadlocked access reads would) to veto the hit.
+
+    [bypass] (default false) skips the cache entirely — no lookup, no
+    insertion, no hit/miss accounting — and runs the enumeration fresh
+    through [access]. Used for snapshot-isolation grounding, whose
+    reads see an older snapshot than the live table versions the
+    footprint validation is keyed to.
     @raise Ground.Ground_error and whatever [access]/[touch] raise. *)
 val compute :
   t ->
   ?limit:int ->
+  ?bypass:bool ->
   access:Ent_sql.Eval.access ->
   touch:(string list -> unit) ->
   env:Ent_sql.Eval.env ->

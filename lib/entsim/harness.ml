@@ -31,6 +31,9 @@ type config = {
   break_group_commit : bool;  (* run without group commit (widow detector test) *)
   combined : bool;  (* combined-query evaluation instead of coordination search *)
   certify : bool;  (* online schedule certification per epoch *)
+  isolation : string;
+      (* per-transaction level of the workload: "2pl" (all Strict 2PL),
+         "si" (all snapshot), "mixed" (alternating) *)
 }
 
 let default =
@@ -46,6 +49,7 @@ let default =
     break_group_commit = false;
     combined = false;
     certify = false;
+    isolation = "2pl";
   }
 
 type violation = {
@@ -108,7 +112,18 @@ let build_programs cfg world =
       ~n:cfg.plain ~tag_base:200
   in
   let lonely = Ent_workload.Gen.lonely world ~n:cfg.lonely ~tag_base:300 in
-  entangled @ rollback @ plain @ lonely
+  let programs = entangled @ rollback @ plain @ lonely in
+  (* Per-transaction isolation: snapshot programs survive pool
+     snapshots too — the level travels in the serialized header. *)
+  let snap (p : Program.t) =
+    Program.make ~label:p.label ~transactional:p.transactional
+      ~isolation:Ent_txn.Engine.Snapshot p.ast
+  in
+  match cfg.isolation with
+  | "si" -> List.map snap programs
+  | "mixed" ->
+    List.mapi (fun i p -> if i land 1 = 1 then snap p else p) programs
+  | _ -> programs
 
 (* --- invariant machinery --- *)
 
@@ -314,6 +329,11 @@ let run cfg plan =
               (durable records are not re-logged), so crashing again at
               any point cannot lose previously durable state. *)
            let engine, _ = Ent_txn.Engine.recover image in
+           (* Version chains are volatile MVCC state: a recovered
+              engine must start from the durable images alone. *)
+           if Ent_txn.Engine.chain_entries engine <> 0 then
+             viol [] "version-gc"
+               "recovered engine starts with non-empty version chains";
            mgr := Manager.create_with_engine ~config:sched_config engine;
            let r, c = attach !mgr in
            recorder := r;
@@ -381,6 +401,14 @@ let run cfg plan =
       viol analysis.group_victims "widow"
         (Printf.sprintf "quiescent log has entanglement-rule victims: %s"
            (ints analysis.group_victims));
+    (* MVCC GC: with the pool drained no snapshot is live, so every
+       version chain must have been garbage-collected by run end. *)
+    let chains = Ent_txn.Engine.chain_entries (Manager.engine !mgr) in
+    if chains <> 0 then
+      viol [] "version-gc"
+        (Printf.sprintf "quiescent engine retains %d version-chain entr%s"
+           chains
+           (if chains = 1 then "y" else "ies"));
     (* Durability at quiescence: replaying the final log reproduces the
        live store exactly. *)
     (match Recovery.replay final_records with
@@ -504,7 +532,7 @@ let shrink cfg plan =
 (* The one-line repro command for a failing (config, plan). *)
 let repro cfg plan =
   let flag name v d = if v = d then "" else Printf.sprintf " --%s %d" name v in
-  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
+  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
     (flag "pairs" cfg.pairs default.pairs)
     (flag "rollback-pairs" cfg.rollback_pairs default.rollback_pairs)
     (flag "plain" cfg.plain default.plain)
@@ -514,4 +542,6 @@ let repro cfg plan =
     (if cfg.break_group_commit then " --break-group-commit" else "")
     (if cfg.combined then " --combined" else "")
     (if cfg.certify then " --certify" else "")
+    (if cfg.isolation = default.isolation then ""
+     else " --isolation " ^ cfg.isolation)
     (Plan.to_string plan)

@@ -56,6 +56,11 @@ type edge_state =
 type edge = {
   mutable state : edge_state;
   ewitness : string;
+  (* true while every conflict folded into this edge is a pure
+     read-write antidependency (earlier read, later write). A cycle of
+     such edges among snapshot transactions is write-skew — permitted
+     by SI, reported as a named anomaly rather than a violation. *)
+  mutable rw_only : bool;
 }
 
 type ginfo = {
@@ -95,9 +100,19 @@ type t = {
   (* entanglement groups *)
   ginfos : (int, ginfo) Hashtbl.t;
   groups_of_txn : (int, int list ref) Hashtbl.t;
+  (* mixed-isolation tracking: declared level per transaction (2PL
+     when absent), the snapshot anchor position for SI transactions
+     (explicit via Ev_begin, else the first data operation), and
+     commit positions for first-committer-wins auditing *)
+  levels : (int, Ent_txn.Engine.level) Hashtbl.t;
+  begin_pos : (int, int) Hashtbl.t;
+  commit_pos : (int, int) Hashtbl.t;
   mutable violations : violation list;  (* newest first *)
   mutable violation_count : int;
   seen_violations : (string, unit) Hashtbl.t;
+  (* SI-permitted anomalies: named, reported, but not failing *)
+  mutable anomaly_list : violation list;  (* newest first *)
+  mutable anomaly_count : int;
 }
 
 let create () =
@@ -120,9 +135,14 @@ let create () =
     tainted = Hashtbl.create 8;
     ginfos = Hashtbl.create 32;
     groups_of_txn = Hashtbl.create 64;
+    levels = Hashtbl.create 16;
+    begin_pos = Hashtbl.create 16;
+    commit_pos = Hashtbl.create 64;
     violations = [];
     violation_count = 0;
     seen_violations = Hashtbl.create 8;
+    anomaly_list = [];
+    anomaly_count = 0;
   }
 
 let violate t code detail =
@@ -136,8 +156,25 @@ let violate t code detail =
     t.violation_count <- t.violation_count + 1
   end
 
+let anomaly t code detail =
+  let key = "a\x00" ^ code ^ "\x00" ^ detail in
+  if
+    t.anomaly_count < max_violations
+    && not (Hashtbl.mem t.seen_violations key)
+  then begin
+    Hashtbl.replace t.seen_violations key ();
+    t.anomaly_list <- { code; detail } :: t.anomaly_list;
+    t.anomaly_count <- t.anomaly_count + 1
+  end
+
 let violations t = List.rev t.violations
+let anomalies t = List.rev t.anomaly_list
 let ok t = t.violations = []
+
+let set_level t txn level = Hashtbl.replace t.levels txn level
+
+let is_si t txn =
+  Hashtbl.find_opt t.levels txn = Some Ent_txn.Engine.Snapshot
 
 let obj_str x = Format.asprintf "%a" History.pp_obj x
 
@@ -192,7 +229,10 @@ let succs_of t txn =
 
 (* On activation of a -> b: a path b ->* a in the committed graph
    closes a cycle through the new edge. DFS with parents reconstructs
-   it for the witness. *)
+   it for the witness. A cycle whose members all run under snapshot
+   isolation and whose edges are all pure read-write antidependencies
+   is write-skew — SI permits it, so it is reported as the named
+   anomaly [si-write-skew] instead of failing certification. *)
 let check_cycle t a b witness =
   let parent : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let rec dfs u =
@@ -211,10 +251,27 @@ let check_cycle t a b witness =
   if dfs b then begin
     let rec collect acc u = if u = b then u :: acc else collect (u :: acc) (Hashtbl.find parent u) in
     let path = collect [] a (* b ... a *) in
-    violate t "conflict-cycle"
-      (Printf.sprintf "%s -> T%d (closing conflict: %s)"
-         (String.concat " -> " (List.map (fun i -> "T" ^ string_of_int i) path))
-         b witness)
+    let detail =
+      Printf.sprintf "%s -> T%d (closing conflict: %s)"
+        (String.concat " -> " (List.map (fun i -> "T" ^ string_of_int i) path))
+        b witness
+    in
+    let rec cycle_edges = function
+      | u :: (v :: _ as rest) -> (u, v) :: cycle_edges rest
+      | [ last ] -> [ (last, b) ]
+      | [] -> []
+    in
+    let all_rw =
+      List.for_all
+        (fun uv ->
+          match Hashtbl.find_opt t.potential uv with
+          | Some e -> e.rw_only
+          | None -> false)
+        (cycle_edges path)
+    in
+    if all_rw && List.for_all (is_si t) path then
+      anomaly t "si-write-skew" detail
+    else violate t "conflict-cycle" detail
   end
 
 let activate t (a, b) (e : edge) =
@@ -224,26 +281,29 @@ let activate t (a, b) (e : edge) =
   s := b :: !s;
   check_cycle t a b e.ewitness
 
-let add_edge t a b witness =
-  if a <> b && not (Hashtbl.mem t.potential (a, b)) then begin
-    let status x = Hashtbl.find_opt t.status x in
-    match status a, status b with
-    | Some Aborted, _ | _, Some Aborted -> ()
-    | sa, sb ->
-      let e = { state = Pending; ewitness = witness } in
-      Hashtbl.add t.potential (a, b) e;
-      if sa = Some Committed && sb = Some Committed then activate t (a, b) e
-      else begin
-        (* park on the not-yet-committed endpoint(s) *)
-        if sa = None then begin
-          let l = incident_of t a in
-          l := (a, b) :: !l
-        end;
-        if sb = None then begin
-          let l = incident_of t b in
-          l := (a, b) :: !l
-        end
-      end
+let add_edge t ?(rw = false) a b witness =
+  if a <> b then begin
+    match Hashtbl.find_opt t.potential (a, b) with
+    | Some e -> e.rw_only <- e.rw_only && rw
+    | None -> (
+      let status x = Hashtbl.find_opt t.status x in
+      match status a, status b with
+      | Some Aborted, _ | _, Some Aborted -> ()
+      | sa, sb ->
+        let e = { state = Pending; ewitness = witness; rw_only = rw } in
+        Hashtbl.add t.potential (a, b) e;
+        if sa = Some Committed && sb = Some Committed then activate t (a, b) e
+        else begin
+          (* park on the not-yet-committed endpoint(s) *)
+          if sa = None then begin
+            let l = incident_of t a in
+            l := (a, b) :: !l
+          end;
+          if sb = None then begin
+            let l = incident_of t b in
+            l := (a, b) :: !l
+          end
+        end)
   end
 
 (* --- data operations --- *)
@@ -260,16 +320,21 @@ let is_read = function
 
 (* Scan one span table of potential conflict partners: every other
    transaction whose span starts before [p] conflicts towards the new
-   operation, every one extending past [p] conflicts away from it. *)
-let scan_spans t ~txn ~p ~wit_new ~other_is_write ~taint_reads spans =
+   operation, every one extending past [p] conflicts away from it.
+   [other_is_write] says whether [spans] is a write-span table and
+   [new_is_write] whether the new operation writes; a conflict is a
+   pure read-write antidependency exactly when the earlier side reads
+   and the later writes. *)
+let scan_spans t ~txn ~p ~wit_new ~other_is_write ~new_is_write ~taint_reads
+    spans =
   Hashtbl.iter
     (fun j (s : span) ->
       if j <> txn then begin
         if s.first < p then
-          add_edge t j txn
+          add_edge t ~rw:((not other_is_write) && new_is_write) j txn
             (Printf.sprintf "T%d@%d before %s" j s.first wit_new);
         if s.last > p then
-          add_edge t txn j
+          add_edge t ~rw:((not new_is_write) && other_is_write) txn j
             (Printf.sprintf "%s before T%d@%d" wit_new j s.last);
         if
           taint_reads && other_is_write && s.first < p
@@ -313,7 +378,7 @@ let data_op t kind txn obj p =
     Printf.sprintf "%s%d(%s)@%d" (if is_w then "W" else "R") txn (obj_str obj) p
   in
   let scan ?(taint = false) spans =
-    scan_spans t ~txn ~p ~wit_new ~other_is_write:taint
+    scan_spans t ~txn ~p ~wit_new ~other_is_write:taint ~new_is_write:is_w
       ~taint_reads:(taint && is_read kind)
       spans
   in
@@ -361,9 +426,12 @@ let data_op t kind txn obj p =
     | None -> ()
   end
   else begin
-    (* a read of an object whose quasi-read was invalidated earlier *)
+    (* a read of an object whose quasi-read was invalidated earlier —
+       except under snapshot isolation, where every read of the
+       transaction comes from the same begin-stamp snapshot and a
+       foreign write cannot make a re-read observe a different state *)
     match Hashtbl.find_opt t.quasi_by_txn_key (txn, key) with
-    | Some records ->
+    | Some records when not (is_si t txn) ->
       List.iter
         (fun q ->
           if q.armed >= 0 && q.armed < p && History.overlaps q.qobj obj then
@@ -373,7 +441,7 @@ let data_op t kind txn obj p =
                   and T%d read it again at %d"
                  txn (obj_str q.qobj) q.qpos q.armed txn p))
         !records
-    | None -> ()
+    | Some _ | None -> ()
   end
 
 let buffer_of t txn =
@@ -408,6 +476,7 @@ let terminal t txn ~committed =
       (Printf.sprintf "T%d has several terminal operations" txn)
   | None -> ());
   Hashtbl.replace t.status txn (if committed then Committed else Aborted);
+  if committed then Hashtbl.replace t.commit_pos txn t.pos;
   (* C.1: no commit with an unanswered grounding read *)
   (match Hashtbl.find_opt t.ground_buffer txn with
   | Some l when !l <> [] ->
@@ -417,11 +486,73 @@ let terminal t txn ~committed =
     l := []
   | _ -> ());
   if committed then begin
-    (* C.3: tainted readers of aborted writes become violations now *)
+    (* C.3: tainted readers of aborted writes become violations now.
+       For a snapshot reader the same evidence means its MVCC read
+       observed an uncommitted (later aborted) version — a distinct
+       defect, since version visibility should have hidden it. *)
     (match Hashtbl.find_opt t.tainted txn with
     | Some why ->
-      violate t "read-from-aborted" (Printf.sprintf "T%d committed after it %s" txn why)
+      violate t
+        (if is_si t txn then "si-read-uncommitted" else "read-from-aborted")
+        (Printf.sprintf "T%d committed after it %s" txn why)
     | None -> ());
+    (* First-committer-wins audit: a snapshot transaction that commits
+       a write to a row some other transaction committed after this
+       one's snapshot was taken is a lost update the engine should
+       have aborted. *)
+    if is_si t txn then begin
+      let my_begin =
+        Option.value ~default:0 (Hashtbl.find_opt t.begin_pos txn)
+      in
+      let audit obj (w_spans : (int, span) Hashtbl.t) =
+        Hashtbl.iter
+          (fun j (_ : span) ->
+            (* entanglement partners commit as one unit and share lock
+               ownership; their interleaved writes are not lost
+               updates *)
+            let same_group =
+              List.exists
+                (fun e -> List.mem e (groups_of t j))
+                (groups_of t txn)
+            in
+            if
+              j <> txn && (not same_group)
+              && Hashtbl.find_opt t.status j = Some Committed
+            then
+              match Hashtbl.find_opt t.commit_pos j with
+              | Some cp when cp > my_begin ->
+                violate t "si-lost-update"
+                  (Printf.sprintf
+                     "T%d (snapshot from %d) committed a write to %s \
+                      although T%d committed its own write to it at %d"
+                     txn my_begin (obj_str obj) j cp)
+              | _ -> ())
+          w_spans
+      in
+      match Hashtbl.find_opt t.writes_of txn with
+      | Some writes ->
+        List.iter
+          (fun (obj, _) ->
+            let g = group_for t (key_of_obj obj) in
+            match obj with
+            | History.Row (_, row) ->
+              (* same-row writers, plus table-level writers (a whole-
+                 table write overlaps every row) *)
+              (match Hashtbl.find_opt g.rows row with
+              | Some s -> audit obj s.w
+              | None -> ());
+              audit obj g.whole.w
+            | History.Table _ ->
+              (* a table-level write overlaps both the other table-
+                 level writes and every row write *)
+              audit obj g.whole.w;
+              audit obj g.agg.w
+            | History.Named _ ->
+              (* the synthetic notation's single-cell objects *)
+              audit obj g.whole.w)
+          !writes
+      | None -> ()
+    end;
     (* activate conflict edges whose other endpoint already committed *)
     match Hashtbl.find_opt t.incident txn with
     | Some l ->
@@ -467,7 +598,9 @@ let terminal t txn ~committed =
             in
             match Hashtbl.find_opt t.status j with
             | Some Committed ->
-              violate t "read-from-aborted"
+              violate t
+                (if is_si t j then "si-read-uncommitted"
+                 else "read-from-aborted")
                 (Printf.sprintf "T%d committed after it %s" j why)
             | Some Aborted -> ()
             | None ->
@@ -564,11 +697,32 @@ let next_pos t =
   t.pos <- t.pos + 1;
   t.pos
 
+(* The schedule position an operation of [txn] is judged at. Snapshot
+   transactions read from their begin-stamp snapshot, so every read is
+   repositioned to the snapshot anchor — the Ev_begin position when
+   the stream carries begins, else the transaction's first operation.
+   Writes stay at their live position (they hit the live table). *)
+let read_pos t txn p =
+  if is_si t txn then begin
+    match Hashtbl.find_opt t.begin_pos txn with
+    | Some b -> b
+    | None ->
+      Hashtbl.replace t.begin_pos txn p;
+      p
+  end
+  else p
+
+let anchor t txn p =
+  if is_si t txn && not (Hashtbl.mem t.begin_pos txn) then
+    Hashtbl.replace t.begin_pos txn p
+
 let on_op t (op : History.op) =
   match op with
-  | Read (i, x) -> data_op t R i x (next_pos t)
-  | Ground_read (i, x) ->
+  | Read (i, x) ->
     let p = next_pos t in
+    data_op t R i x (read_pos t i p)
+  | Ground_read (i, x) ->
+    let p = read_pos t i (next_pos t) in
     let l = buffer_of t i in
     l := !l @ [ (p, x) ];
     data_op t G i x p
@@ -587,7 +741,10 @@ let on_op t (op : History.op) =
     push t.quasi_by_key key;
     push t.quasi_by_txn_key (i, key);
     data_op t Q i x p
-  | Write (i, x) -> data_op t W i x (next_pos t)
+  | Write (i, x) ->
+    let p = next_pos t in
+    anchor t i p;
+    data_op t W i x p
   | Entangle (k, participants) ->
     ignore (next_pos t);
     entangle t k participants
@@ -608,7 +765,12 @@ let on_engine_event t (ev : Ent_txn.Engine.event) =
   | Ev_write (txn, table, row) -> on_op t (History.Write (txn, Row (table, row)))
   | Ev_commit txn -> on_op t (History.Commit txn)
   | Ev_abort txn -> on_op t (History.Abort txn)
-  | Ev_begin _ -> ()
+  | Ev_begin (txn, level) ->
+    (* not a schedule position of its own; it declares the level and,
+       for snapshot transactions, pins the snapshot anchor *)
+    set_level t txn level;
+    if level = Ent_txn.Engine.Snapshot then
+      Hashtbl.replace t.begin_pos txn t.pos
 
 let on_entangle t ~event participants =
   on_op t (History.Entangle (event, List.map fst participants))
@@ -630,8 +792,9 @@ let stats t =
     quasi_reads = t.quasi_count;
   }
 
-let check_history history =
+let check_history ?(levels = []) history =
   let t = create () in
+  List.iter (fun (txn, level) -> set_level t txn level) levels;
   List.iter (on_op t) history;
   violations t
 
@@ -649,4 +812,7 @@ let pp_report ppf t =
     s.ops s.committed s.aborted s.edges s.quasi_reads;
   List.iter
     (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v)
-    (violations t)
+    (violations t);
+  List.iter
+    (fun a -> Format.fprintf ppf "@\n  (anomaly, allowed by SI) %a" pp_violation a)
+    (anomalies t)

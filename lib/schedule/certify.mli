@@ -22,6 +22,23 @@
     - [post-terminal] / [double-terminal]: operations after, or more
       than one, terminal operation (C.1 validity).
 
+    {b Mixed isolation levels.} Transactions declared as
+    {!Ent_txn.Engine.Snapshot} (via [Ev_begin], {!set_level} or the
+    [levels] argument of {!check_history}) are judged against snapshot
+    isolation instead of strict serializability: their reads are
+    repositioned to the snapshot anchor (the begin position, or the
+    first operation when the stream carries no begins), re-reads after
+    a foreign write are not unrepeatable (same snapshot), and two SI
+    checks are added — [si-lost-update], a committed SI write to a row
+    another transaction committed after the snapshot was taken
+    (first-committer-wins must have aborted it), and
+    [si-read-uncommitted], the SI rename of [read-from-aborted]
+    (version visibility should have hidden the aborted write). A
+    conflict cycle whose members are all SI and whose edges are all
+    pure read-write antidependencies is write-skew — allowed by SI —
+    and is reported through {!anomalies} as [si-write-skew] without
+    failing certification.
+
     Instead of the history, the certifier keeps per-object first/last
     access positions per transaction, so memory is bounded by (live
     objects x touching transactions), not by run length. Conflict
@@ -61,17 +78,28 @@ val on_engine_event : t -> Ent_txn.Engine.event -> unit
     {!Recorder.on_entangle}. *)
 val on_entangle : t -> event:int -> (int * string list) list -> unit
 
+(** Declare a transaction's isolation level (normally learned from
+    [Ev_begin]; explicit declaration serves offline histories). *)
+val set_level : t -> int -> Ent_txn.Engine.level -> unit
+
 (** Violations found so far, in detection order (deduplicated; at most
     {!max_violations} retained). *)
 val violations : t -> violation list
+
+(** SI-permitted anomalies ([si-write-skew]) found so far: named and
+    reported, but not certification failures — {!ok} ignores them. *)
+val anomalies : t -> violation list
 
 val max_violations : int
 val ok : t -> bool
 val stats : t -> stats
 
 (** Replay a complete recorded history through a fresh certifier —
-    the offline entry point (mutation tests, [entlint]). *)
-val check_history : History.t -> violation list
+    the offline entry point (mutation tests, [entlint]). [levels]
+    declares per-transaction isolation ahead of replay (2PL when
+    absent). *)
+val check_history :
+  ?levels:(int * Ent_txn.Engine.level) list -> History.t -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
 

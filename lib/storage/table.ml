@@ -35,6 +35,25 @@ let changelog_cap = 256
 let concurrent = Atomic.make false
 let set_concurrent b = Atomic.set concurrent b
 
+(* Versioned mode (set by the scheduler once a snapshot-isolation
+   transaction is submitted): every mutation additionally pushes a
+   writer-tagged before-image onto the row's version chain, so
+   snapshot readers can reconstruct the row as of their begin
+   timestamp. Off — the default — no chain is ever touched, keeping
+   deterministic 2PL runs bit-identical to the unversioned engine. *)
+let versioned = Atomic.make false
+let set_versioned b = Atomic.set versioned b
+let versioned_enabled () = Atomic.get versioned
+
+(* One link of a row's version chain, newest first: [v_writer] made a
+   write whose before-image was [v_before] ([None] = the row did not
+   exist). The value *after* the newest entry's write is the live
+   slot; the value after entry [i] is entry [i-1]'s before-image. *)
+type ventry = {
+  v_writer : int;
+  v_before : Tuple.t option;
+}
+
 type t = {
   name : string;
   schema : Schema.t;
@@ -46,6 +65,7 @@ type t = {
      statement instead of a structural List.find_opt *)
   indexes : (int list, Index.t) Hashtbl.t;
   ordered : (int, Ordered_index.t) Hashtbl.t;
+  chains : (int, ventry list) Hashtbl.t;  (* row id -> versions, newest first *)
   version : int Atomic.t;
   mutable changes : (int * change) list;  (* newest first *)
   mutable changes_len : int;
@@ -62,6 +82,7 @@ let create ?(name = "<anon>") schema =
     live = 0;
     indexes = Hashtbl.create 4;
     ordered = Hashtbl.create 4;
+    chains = Hashtbl.create 8;
     version = Atomic.make 0;
     changes = [];
     changes_len = 0;
@@ -128,6 +149,14 @@ let changes_since t since =
         Some (collect [] t.changes)
       end)
 
+(* Called under [locked] by every mutator: in versioned mode, push the
+   before-image onto the row's chain, tagged with the writing
+   transaction (0 = bootstrap/recovery, visible to everyone). *)
+let note_version t ~writer id before =
+  if Atomic.get versioned then
+    let entries = Option.value ~default:[] (Hashtbl.find_opt t.chains id) in
+    Hashtbl.replace t.chains id ({ v_writer = writer; v_before = before } :: entries)
+
 let ensure_capacity t id =
   let n = Array.length t.slots in
   if id >= n then begin
@@ -149,7 +178,7 @@ let index_remove t row id =
     (fun position ox -> Ordered_index.remove ox (Tuple.get row position) id)
     t.ordered
 
-let insert t row =
+let insert ?(writer = 0) t row =
   Obs.incr m_inserts;
   let row = Tuple.of_array t.schema row in
   locked t (fun () ->
@@ -160,12 +189,13 @@ let insert t row =
       t.live <- t.live + 1;
       index_insert t row id;
       note_change t None (Some row);
+      note_version t ~writer id None;
       id)
 
 let get t id =
   if id < 0 || id >= t.next_id then None else t.slots.(id)
 
-let delete t id =
+let delete ?(writer = 0) t id =
   locked t (fun () ->
       match get t id with
       | None -> None
@@ -175,9 +205,10 @@ let delete t id =
         t.live <- t.live - 1;
         index_remove t row id;
         note_change t (Some row) None;
+        note_version t ~writer id (Some row);
         Some row)
 
-let update t id row =
+let update ?(writer = 0) t id row =
   locked t (fun () ->
       match get t id with
       | None -> None
@@ -188,9 +219,10 @@ let update t id row =
         index_remove t old id;
         index_insert t row id;
         note_change t (Some old) (Some row);
+        note_version t ~writer id (Some old);
         Some old)
 
-let restore t id row =
+let restore ?(writer = 0) t id row =
   if id < 0 then invalid_arg "Table.restore: negative row id";
   let row = Tuple.of_array t.schema row in
   locked t (fun () ->
@@ -202,7 +234,8 @@ let restore t id row =
       if id >= t.next_id then t.next_id <- id + 1;
       t.live <- t.live + 1;
       index_insert t row id;
-      note_change t None (Some row))
+      note_change t None (Some row);
+      note_version t ~writer id None)
 
 let cardinal t = t.live
 
@@ -354,9 +387,103 @@ let range_lookup_seq t ~position ~lo ~hi =
 let range_lookup t ~position ~lo ~hi =
   List.of_seq (range_lookup_seq t ~position ~lo ~hi)
 
+(* --- snapshot reads over the version chains ---
+
+   [visible w] decides whether writer [w]'s effects belong to the
+   reader's snapshot. The row as the snapshot sees it is recovered by
+   walking the chain newest-first: start from the live slot (the value
+   after the newest write) and undo every invisible write by stepping
+   to its before-image; the first visible writer terminates the walk.
+   A row with an empty (or absent) chain is all-committed-long-ago and
+   read straight from the slot. *)
+
+let value_at_unlocked t id ~visible =
+  let slot = if id < 0 || id >= t.next_id then None else t.slots.(id) in
+  match Hashtbl.find_opt t.chains id with
+  | None -> slot
+  | Some entries ->
+    let rec walk value = function
+      | [] -> value
+      | e :: rest -> if visible e.v_writer then value else walk e.v_before rest
+    in
+    walk slot entries
+
+let read_at t id ~visible =
+  locked t (fun () -> value_at_unlocked t id ~visible)
+
+(* Snapshot scans materialize under the mutex (concurrent mode) or
+   plainly (deterministic mode): they must visit deleted slots whose
+   chains still hold a version some snapshot can see, so the lazy
+   slot sequence does not apply. Indexes reflect the live state only
+   and are bypassed; row-read metrics are charged per element
+   consumed, as on the live paths. *)
+let rows_at t ~visible =
+  locked t (fun () ->
+      let acc = ref [] in
+      for id = t.next_id - 1 downto 0 do
+        match value_at_unlocked t id ~visible with
+        | Some row -> acc := (id, row) :: !acc
+        | None -> ()
+      done;
+      !acc)
+
+let to_seq_at t ~visible =
+  Obs.incr m_scans;
+  counted (List.to_seq (rows_at t ~visible))
+
+let lookup_seq_at t ~positions key ~visible =
+  let positions, key = canonical_probe positions key in
+  Obs.incr m_scan_lookups;
+  counted
+    (List.to_seq
+       (List.filter
+          (fun (_, row) ->
+            let projected = List.map (fun i -> Tuple.get row i) positions in
+            List.equal Value.equal projected key)
+          (rows_at t ~visible)))
+
+let range_lookup_seq_at t ~position ~lo ~hi ~visible =
+  Obs.incr m_range_scans;
+  counted
+    (List.to_seq
+       (List.filter
+          (fun (_, row) -> in_bounds ~lo ~hi (Tuple.get row position))
+          (rows_at t ~visible)))
+
+(* [gc_versions t ~obsolete] truncates every chain at the newest entry
+   whose writer is obsolete (committed before the oldest live snapshot,
+   or finished aborting): such an entry's effects are visible to every
+   possible reader, so its before-image — and everything older — can
+   never be reached by a chain walk again. *)
+let gc_versions t ~obsolete =
+  locked t (fun () ->
+      let truncated =
+        Hashtbl.fold
+          (fun id entries acc ->
+            let rec keep = function
+              | [] -> []
+              | e :: _ when obsolete e.v_writer -> []
+              | e :: rest -> e :: keep rest
+            in
+            let kept = keep entries in
+            if List.length kept = List.length entries then acc
+            else (id, kept) :: acc)
+          t.chains []
+      in
+      List.iter
+        (fun (id, kept) ->
+          if kept = [] then Hashtbl.remove t.chains id
+          else Hashtbl.replace t.chains id kept)
+        truncated)
+
+let chain_entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ es acc -> acc + List.length es) t.chains 0)
+
 let clear t =
   locked t (fun () ->
       iter (fun id row -> index_remove t row id) t;
       Array.fill t.slots 0 (Array.length t.slots) None;
+      Hashtbl.reset t.chains;
       t.live <- 0;
       note_reshape t)

@@ -19,6 +19,18 @@ type row_id = int
     Global, not per-table: flip it only around a parallel run. *)
 val set_concurrent : bool -> unit
 
+(** Versioned mode, set by the scheduler once a snapshot-isolation
+    transaction has been submitted: every row mutation additionally
+    pushes a writer-tagged before-image onto the row's version chain,
+    enabling the [_at] snapshot read paths below. Off — the default —
+    chains are never touched and the table behaves exactly as the
+    unversioned engine (deterministic 2PL runs stay bit-identical).
+    Global, like {!set_concurrent}. *)
+val set_versioned : bool -> unit
+
+(** Whether versioned mode is currently on. *)
+val versioned_enabled : unit -> bool
+
 (** One committed-or-not physical write, as seen by the changelog:
     insert = [None -> Some], delete = [Some -> None], update = both. *)
 type change = {
@@ -43,24 +55,27 @@ val version : t -> int
 val changes_since : t -> int -> change list option
 
 (** [insert t row] checks the row against the schema and returns its
-    fresh row id. *)
-val insert : t -> Tuple.t -> row_id
+    fresh row id. [writer] tags the version-chain entry in versioned
+    mode (0 — the default — is bootstrap/recovery, visible to every
+    snapshot) and is ignored otherwise; likewise for the other
+    mutators below. *)
+val insert : ?writer:int -> t -> Tuple.t -> row_id
 
 (** [get t id] is [Some row] for a live row, [None] for a deleted or
     never-assigned id. *)
 val get : t -> row_id -> Tuple.t option
 
 (** [delete t id] removes a live row and returns its old value. *)
-val delete : t -> row_id -> Tuple.t option
+val delete : ?writer:int -> t -> row_id -> Tuple.t option
 
 (** [update t id row] replaces a live row, maintaining indexes, and
     returns the old value. *)
-val update : t -> row_id -> Tuple.t -> Tuple.t option
+val update : ?writer:int -> t -> row_id -> Tuple.t -> Tuple.t option
 
 (** [restore t id row] re-inserts a row under a specific id (used by
     transaction rollback and recovery). The id must be unoccupied but
     may be below the current high-water mark. *)
-val restore : t -> row_id -> Tuple.t -> unit
+val restore : ?writer:int -> t -> row_id -> Tuple.t -> unit
 
 (** Live row count. *)
 val cardinal : t -> int
@@ -117,5 +132,53 @@ val lookup : t -> positions:int list -> Value.t list -> (row_id * Tuple.t) list
 val lookup_seq :
   t -> positions:int list -> Value.t list -> (row_id * Tuple.t) Seq.t
 
-(** Remove all rows (indexes kept, row ids keep growing). *)
+(** Remove all rows (indexes kept, row ids keep growing). Version
+    chains are dropped too. *)
 val clear : t -> unit
+
+(** {2 Snapshot reads (versioned mode)}
+
+    [visible w] decides whether writer [w]'s effects belong to the
+    caller's snapshot; the row state is reconstructed by undoing every
+    invisible write along the version chain (newest first). These
+    paths never consult indexes — a deleted slot may still carry a
+    version some snapshot sees — and charge the usual scan/row-read
+    metrics per element consumed. *)
+
+(** The row as the snapshot sees it, or [None] when no visible version
+    exists. *)
+val read_at : t -> row_id -> visible:(int -> bool) -> Tuple.t option
+
+(** Snapshot scan in ascending row-id order, materialized eagerly
+    (under the table mutex in concurrent mode). *)
+val to_seq_at : t -> visible:(int -> bool) -> (row_id * Tuple.t) Seq.t
+
+(** Snapshot {!lookup_seq}: filter-scan over the visible rows (probes
+    canonicalized like the live path, indexes bypassed). *)
+val lookup_seq_at :
+  t ->
+  positions:int list ->
+  Value.t list ->
+  visible:(int -> bool) ->
+  (row_id * Tuple.t) Seq.t
+
+(** Snapshot {!range_lookup_seq}: filter-scan over the visible rows. *)
+val range_lookup_seq_at :
+  t ->
+  position:int ->
+  lo:Ordered_index.bound ->
+  hi:Ordered_index.bound ->
+  visible:(int -> bool) ->
+  (row_id * Tuple.t) Seq.t
+
+(** [gc_versions t ~obsolete] truncates each version chain at the
+    newest entry whose writer satisfies [obsolete] (committed before
+    the oldest live snapshot, or finished aborting): that entry's
+    before-image and everything older are unreachable by any snapshot
+    and are dropped. *)
+val gc_versions : t -> obsolete:(int -> bool) -> unit
+
+(** Total version-chain entries currently retained (0 once every
+    transaction finished and {!gc_versions} ran — the entsim
+    quiescence invariant). *)
+val chain_entries : t -> int

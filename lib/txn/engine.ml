@@ -12,6 +12,20 @@ let m_checkpoints = Obs.counter "txn.engine.checkpoints"
 
 exception Blocked of int
 exception Deadlock_victim of int
+exception Si_conflict of int
+
+type level =
+  | Serializable_2pl
+  | Snapshot
+
+let level_to_string = function
+  | Serializable_2pl -> "2pl"
+  | Snapshot -> "si"
+
+let level_of_string = function
+  | "2pl" | "serializable" -> Some Serializable_2pl
+  | "si" | "snapshot" -> Some Snapshot
+  | _ -> None
 
 type read_target =
   | T_table of string
@@ -21,7 +35,7 @@ type event =
   | Ev_read of int * read_target
   | Ev_grounding_read of int * string
   | Ev_write of int * string * int
-  | Ev_begin of int
+  | Ev_begin of int * level
   | Ev_commit of int
   | Ev_abort of int
 
@@ -35,6 +49,8 @@ type write = {
 
 type txn = {
   id : int;
+  level : level;
+  begin_ts : int;  (* commit-stamp counter at begin: the snapshot *)
   mutable writes : write list;  (* newest first *)
   mutable write_count : int;
   mutable grounding_tables : string list;
@@ -51,6 +67,21 @@ type t = {
   mutable on_event : (event -> unit) option;
   mutable constraints : (string * (Catalog.t -> bool)) list;
   write_seq : int Atomic.t;
+  (* MVCC bookkeeping, populated only while [Table.versioned_enabled]:
+     [commit_stamp] is the logical commit clock (a transaction's
+     snapshot is the clock value at its begin), [committed_at] maps
+     finished writers to their commit stamp (entries at or below every
+     live snapshot are pruned by [gc_versions] — a missing, inactive
+     writer therefore committed long ago, or aborted and fully
+     compensated, and is visible either way), [last_write] is the
+     newest committed stamp per (table, row) for first-committer-wins
+     validation, and [snapshots] registers live snapshot transactions'
+     begin stamps so GC knows the oldest snapshot. All three maps are
+     guarded by [mu]. *)
+  commit_stamp : int Atomic.t;
+  committed_at : (int, int) Hashtbl.t;
+  last_write : (string * int, int) Hashtbl.t;
+  snapshots : (int, int) Hashtbl.t;
   (* [mu] guards the txn table, id allocation and the wakeup list;
      [obs_mu] serializes [on_event] dispatch so downstream observers
      (the online certifier above all) see one linear event stream.
@@ -76,6 +107,10 @@ let create ?(wal = false) ?on_event catalog =
     on_event;
     constraints = [];
     write_seq = Atomic.make 0;
+    commit_stamp = Atomic.make 0;
+    committed_at = Hashtbl.create 32;
+    last_write = Hashtbl.create 64;
+    snapshots = Hashtbl.create 8;
     mu = Mutex.create ();
     obs_mu = Mutex.create ();
   }
@@ -125,18 +160,20 @@ let load t name row =
   log_record t (Write { txn = 0; table = name; row = id; before = None; after = Some row });
   id
 
-let begin_txn t =
+let begin_txn ?(isolation = Serializable_2pl) t =
   let id =
     with_mu t.mu (fun () ->
         let id = t.next_txn in
         t.next_txn <- id + 1;
+        let begin_ts = Atomic.get t.commit_stamp in
         Hashtbl.replace t.txns id
-          { id; writes = []; write_count = 0; grounding_tables = [];
-            finished = false };
+          { id; level = isolation; begin_ts; writes = []; write_count = 0;
+            grounding_tables = []; finished = false };
+        if isolation = Snapshot then Hashtbl.replace t.snapshots id begin_ts;
         id)
   in
   log_record t (Begin id);
-  emit t (Ev_begin id);
+  emit t (Ev_begin (id, isolation));
   Obs.incr m_begins;
   id
 
@@ -152,6 +189,27 @@ let find_txn t id =
       | Some txn when not txn.finished -> txn
       | _ ->
         invalid_arg (Printf.sprintf "Engine: transaction %d is not active" id))
+
+let level_of t id =
+  with_mu t.mu (fun () ->
+      match Hashtbl.find_opt t.txns id with
+      | Some txn -> txn.level
+      | None -> Serializable_2pl)
+
+(* Snapshot visibility: writer [w]'s effects belong to [self]'s
+   snapshot when [w] is the bootstrap pseudo-transaction, [self]
+   itself, or committed at or before [self]'s begin stamp. A writer
+   with no [committed_at] entry that is no longer active either
+   committed before the oldest live snapshot (its entry was pruned) or
+   aborted — and an aborted writer's chain carries its compensations
+   too, so treating the whole pair as visible lands on the original
+   before-image. Active uncommitted writers are invisible. *)
+let visible_of t self begin_ts w =
+  w = 0 || w = self
+  ||
+  match with_mu t.mu (fun () -> Hashtbl.find_opt t.committed_at w) with
+  | Some stamp -> stamp <= begin_ts
+  | None -> not (is_active t w)
 
 (* Acquire a lock or suspend/abort the requester. *)
 let acquire t txn_id resource mode =
@@ -193,7 +251,7 @@ let record_write t txn table_name row before after =
     (Write { txn = txn.id; table = table_name; row; before; after });
   emit t (Ev_write (txn.id, table_name, row))
 
-let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
+let access_2pl t txn_id ~grounding ~lock_reads () : Ent_sql.Eval.access =
   let read_table name =
     (* Full scans take a table-level shared lock whether grounding or
        not: there is no finer lock that protects against phantoms. *)
@@ -250,7 +308,7 @@ let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
       (fun name row ->
         let txn = find_txn t txn_id in
         acquire t txn_id (Lock.Table name) Lock.IX;
-        let id = Table.insert (table_of t name) row in
+        let id = Table.insert ~writer:txn_id (table_of t name) row in
         (match Lock.request t.locks ~txn:txn_id (Lock.Row (name, id)) Lock.X with
         | Lock.Granted -> ()
         | Lock.Waiting -> assert false (* fresh row: no competitors *));
@@ -260,14 +318,14 @@ let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
       (fun name id row ->
         let txn = find_txn t txn_id in
         write_locks name id;
-        match Table.update (table_of t name) id row with
+        match Table.update ~writer:txn_id (table_of t name) id row with
         | Some before -> record_write t txn name id (Some before) (Some row)
         | None -> raise (Ent_sql.Eval.Eval_error "update of missing row"));
     delete =
       (fun name id ->
         let txn = find_txn t txn_id in
         write_locks name id;
-        match Table.delete (table_of t name) id with
+        match Table.delete ~writer:txn_id (table_of t name) id with
         | Some before -> record_write t txn name id (Some before) None
         | None -> raise (Ent_sql.Eval.Eval_error "delete of missing row"));
     create =
@@ -314,6 +372,116 @@ let access t txn_id ~grounding ?(lock_reads = true) () : Ent_sql.Eval.access =
     drop = (fun name -> Catalog.drop t.catalog name);
   }
 
+(* Snapshot data access: every read reconstructs the row state as of
+   the transaction's begin stamp from the version chains and takes NO
+   lock — the central MVCC payoff; grounding reads still register
+   their quasi-read tables and emit grounding events, they just cannot
+   block behind writers. Writes keep the 2PL write locks (IX + row X),
+   tag the version chain with the writer, and leave conflicts with
+   concurrently committed writers to commit-time first-committer-wins
+   validation ({!validate_snapshot}); an update/delete whose victim
+   row already vanished from the live table is doomed there anyway and
+   raises [Si_conflict] immediately. *)
+let access_snapshot t txn_id ~grounding () : Ent_sql.Eval.access =
+  let begin_ts = (find_txn t txn_id).begin_ts in
+  let visible = visible_of t txn_id begin_ts in
+  let register_grounding name =
+    let txn = find_txn t txn_id in
+    if not (List.mem name txn.grounding_tables) then
+      txn.grounding_tables <- name :: txn.grounding_tables;
+    emit t (Ev_grounding_read (txn_id, name))
+  in
+  let row_events name seq =
+    if grounding then seq
+    else
+      Seq.map
+        (fun (id, row) ->
+          emit t (Ev_read (txn_id, T_row (name, id)));
+          (id, row))
+        seq
+  in
+  let write_locks name row =
+    acquire t txn_id (Lock.Table name) Lock.IX;
+    acquire t txn_id (Lock.Row (name, row)) Lock.X
+  in
+  {
+    schema_of = (fun name -> Table.schema (table_of t name));
+    scan =
+      (fun name ->
+        if grounding then register_grounding name
+        else emit t (Ev_read (txn_id, T_table name));
+        Table.to_seq_at (table_of t name) ~visible);
+    lookup =
+      (fun name ~positions key ->
+        if grounding then register_grounding name;
+        row_events name
+          (Table.lookup_seq_at (table_of t name) ~positions key ~visible));
+    insert =
+      (fun name row ->
+        let txn = find_txn t txn_id in
+        acquire t txn_id (Lock.Table name) Lock.IX;
+        let id = Table.insert ~writer:txn_id (table_of t name) row in
+        (match Lock.request t.locks ~txn:txn_id (Lock.Row (name, id)) Lock.X with
+        | Lock.Granted -> ()
+        | Lock.Waiting -> assert false (* fresh row: no competitors *));
+        record_write t txn name id None (Some row);
+        id);
+    update =
+      (fun name id row ->
+        let txn = find_txn t txn_id in
+        write_locks name id;
+        match Table.update ~writer:txn_id (table_of t name) id row with
+        | Some before -> record_write t txn name id (Some before) (Some row)
+        | None -> raise (Si_conflict txn_id));
+    delete =
+      (fun name id ->
+        let txn = find_txn t txn_id in
+        write_locks name id;
+        match Table.delete ~writer:txn_id (table_of t name) id with
+        | Some before -> record_write t txn name id (Some before) None
+        | None -> raise (Si_conflict txn_id));
+    create =
+      (fun name schema -> ignore (create_table t name schema));
+    create_index =
+      (fun name columns ->
+        let table = table_of t name in
+        let schema = Table.schema table in
+        let positions =
+          List.map
+            (fun c ->
+              if Schema.mem schema c then Schema.index_of schema c
+              else
+                raise
+                  (Ent_sql.Eval.Eval_error
+                     (Printf.sprintf "CREATE INDEX: unknown column %s on %s" c name)))
+            columns
+        in
+        Table.add_index table ~positions);
+    create_ordered_index =
+      (fun name column ->
+        let table = table_of t name in
+        let schema = Table.schema table in
+        if not (Schema.mem schema column) then
+          raise
+            (Ent_sql.Eval.Eval_error
+               (Printf.sprintf "CREATE ORDERED INDEX: unknown column %s on %s"
+                  column name));
+        Table.add_ordered_index table ~position:(Schema.index_of schema column));
+    range =
+      (fun name ~position ~lo ~hi ->
+        if grounding then register_grounding name;
+        row_events name
+          (Table.range_lookup_seq_at (table_of t name) ~position ~lo ~hi ~visible));
+    has_range =
+      (fun name position -> Table.has_ordered_index (table_of t name) ~position);
+    drop = (fun name -> Catalog.drop t.catalog name);
+  }
+
+let access t txn_id ~grounding ?(lock_reads = true) () =
+  match level_of t txn_id with
+  | Snapshot -> access_snapshot t txn_id ~grounding ()
+  | Serializable_2pl -> access_2pl t txn_id ~grounding ~lock_reads ()
+
 (* Reproduce the locking side effects of a grounding computation
    without re-reading the data: used when a cached grounding is served,
    so a hit acquires exactly the table-S locks (and registers exactly
@@ -353,10 +521,14 @@ let rollback_to t txn_id sp =
         txn.write_count <- txn.write_count - 1;
         Obs.incr m_undone;
         let table = table_of t w.w_table in
+        (* compensations carry the aborting writer's tag too, so a
+           snapshot that deems the txn visible sees write+undo as a
+           pair and lands back on the pre-transaction image *)
         (match w.w_before, w.w_after with
-        | None, Some _ -> ignore (Table.delete table w.w_row)
-        | Some before, Some _ -> ignore (Table.update table w.w_row before)
-        | Some before, None -> Table.restore table w.w_row before
+        | None, Some _ -> ignore (Table.delete ~writer:txn_id table w.w_row)
+        | Some before, Some _ ->
+          ignore (Table.update ~writer:txn_id table w.w_row before)
+        | Some before, None -> Table.restore ~writer:txn_id table w.w_row before
         | None, None -> ());
         log_record t
           (Write
@@ -375,16 +547,20 @@ let rollback_to t txn_id sp =
 let finish t txn =
   txn.finished <- true;
   let woken = Lock.release_all t.locks ~txn:txn.id in
-  with_mu t.mu (fun () -> t.wakeups <- t.wakeups @ woken)
+  with_mu t.mu (fun () ->
+      if txn.level = Snapshot then Hashtbl.remove t.snapshots txn.id;
+      t.wakeups <- t.wakeups @ woken)
 
-(* Undo one write (compensation-logged). *)
+(* Undo one write (compensation-logged, writer-tagged like
+   [rollback_to]). *)
 let undo_write t txn_id (w : write) =
   Obs.incr m_undone;
   let table = table_of t w.w_table in
   (match w.w_before, w.w_after with
-  | None, Some _ -> ignore (Table.delete table w.w_row)
-  | Some before, Some _ -> ignore (Table.update table w.w_row before)
-  | Some before, None -> Table.restore table w.w_row before
+  | None, Some _ -> ignore (Table.delete ~writer:txn_id table w.w_row)
+  | Some before, Some _ ->
+    ignore (Table.update ~writer:txn_id table w.w_row before)
+  | Some before, None -> Table.restore ~writer:txn_id table w.w_row before
   | None, None -> ());
   log_record t
     (Write
@@ -425,8 +601,34 @@ let abort_group t txn_ids =
       finish t txn)
     members
 
+(* First-committer-wins validation: a snapshot transaction may commit
+   only if no other transaction committed a write to any of its written
+   rows after its snapshot was taken. Returns the first conflicting
+   (table, row), or [None] when the transaction may commit (always for
+   2PL transactions — their row X locks already serialize writes). *)
+let validate_snapshot t txn_id =
+  let txn = find_txn t txn_id in
+  if txn.level <> Snapshot then None
+  else
+    with_mu t.mu (fun () ->
+        List.find_map
+          (fun w ->
+            match Hashtbl.find_opt t.last_write (w.w_table, w.w_row) with
+            | Some stamp when stamp > txn.begin_ts ->
+              Some (w.w_table, w.w_row)
+            | _ -> None)
+          txn.writes)
+
 let commit t txn_id =
   let txn = find_txn t txn_id in
+  if Table.versioned_enabled () then begin
+    let stamp = Atomic.fetch_and_add t.commit_stamp 1 + 1 in
+    with_mu t.mu (fun () ->
+        Hashtbl.replace t.committed_at txn_id stamp;
+        List.iter
+          (fun w -> Hashtbl.replace t.last_write (w.w_table, w.w_row) stamp)
+          txn.writes)
+  end;
   log_record t (Commit txn_id);
   emit t (Ev_commit txn_id);
   Event.emit ~txn:txn_id Event.Commit;
@@ -482,6 +684,12 @@ let recover records =
       0 records
   in
   t.next_txn <- high_water + 1;
+  (* Version chains are volatile MVCC state, but [Recovery.replay]
+     writes through the (process-global) versioned table layer when a
+     snapshot transaction ever ran: drop them so the recovered engine
+     starts from the durable images alone. *)
+  Catalog.iter (fun _ table -> Table.gc_versions table ~obsolete:(fun _ -> true))
+    t.catalog;
   checkpoint t;
   (t, analysis)
 
@@ -505,3 +713,51 @@ let take_wakeups t =
   List.filter (fun id -> is_active t id && not (Lock.is_waiting t.locks ~txn:id)) woken
 
 let grounding_reads t txn_id = (find_txn t txn_id).grounding_tables
+
+(* Version-chain garbage collection. A chain entry is unreachable when
+   its writer's effects are visible to every snapshot that will ever be
+   taken: bootstrap writes, writes committed at or before the oldest
+   live snapshot, and finished (committed-long-ago or aborted) writers.
+   Also prunes the commit-stamp maps below the same horizon — safe
+   because the visibility closure treats a missing, inactive writer as
+   visible, which is exactly what pruning implies. *)
+let gc_versions t =
+  if Table.versioned_enabled () then begin
+    let s_min =
+      with_mu t.mu (fun () ->
+          Hashtbl.fold
+            (fun _ ts acc -> min ts acc)
+            t.snapshots
+            (Atomic.get t.commit_stamp))
+    in
+    let obsolete w =
+      w = 0
+      ||
+      match with_mu t.mu (fun () -> Hashtbl.find_opt t.committed_at w) with
+      | Some stamp -> stamp <= s_min
+      | None -> not (is_active t w)
+    in
+    List.iter
+      (fun name ->
+        Table.gc_versions (Catalog.find_exn t.catalog name) ~obsolete)
+      (Catalog.table_names t.catalog);
+    with_mu t.mu (fun () ->
+        let prune tbl =
+          let dead =
+            Hashtbl.fold
+              (fun k stamp acc -> if stamp <= s_min then k :: acc else acc)
+              tbl []
+          in
+          List.iter (Hashtbl.remove tbl) dead
+        in
+        prune t.committed_at;
+        prune t.last_write)
+  end
+
+(* Total retained version-chain entries across the catalog (0 at
+   quiescence once {!gc_versions} ran — the entsim invariant). *)
+let chain_entries t =
+  List.fold_left
+    (fun acc name -> acc + Table.chain_entries (Catalog.find_exn t.catalog name))
+    0
+    (Catalog.table_names t.catalog)

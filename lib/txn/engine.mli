@@ -15,6 +15,26 @@ exception Blocked of int  (** payload: the blocked transaction id *)
 
 exception Deadlock_victim of int
 
+(** Raised by snapshot-isolation data access when an update/delete
+    targets a row whose live version already vanished — the transaction
+    is doomed by first-committer-wins and should abort and retry on a
+    fresh snapshot. Payload: the transaction id. *)
+exception Si_conflict of int
+
+(** Per-transaction isolation level. [Serializable_2pl] is the default
+    strict two-phase locking of the paper; [Snapshot] reads a
+    begin-stamp snapshot from the version chains, takes zero read
+    locks, and validates its write set at commit
+    (first-committer-wins). *)
+type level =
+  | Serializable_2pl
+  | Snapshot
+
+val level_to_string : level -> string
+
+(** Accepts ["2pl"]/["serializable"] and ["si"]/["snapshot"]. *)
+val level_of_string : string -> level option
+
 (** What a read touched, mirroring the lock taken: full scans read (and
     table-S-lock) the whole table; indexed lookups read specific rows. *)
 type read_target =
@@ -25,7 +45,7 @@ type event =
   | Ev_read of int * read_target
   | Ev_grounding_read of int * string  (** grounding reads are always table-level *)
   | Ev_write of int * string * int  (** (txn, table, row) *)
-  | Ev_begin of int
+  | Ev_begin of int * level
   | Ev_commit of int
   | Ev_abort of int
 
@@ -54,10 +74,19 @@ val create_table : t -> string -> Schema.t -> Table.t
     logged, never locked. *)
 val load : t -> string -> Value.t array -> int
 
-val begin_txn : t -> int
+(** [begin_txn ?isolation t] starts a transaction. A [Snapshot]
+    transaction additionally records the current commit stamp as its
+    snapshot and registers itself for version-chain GC purposes; the
+    version chains themselves are only populated while
+    {!Ent_storage.Table.set_versioned} is on. *)
+val begin_txn : ?isolation:level -> t -> int
 
 (** True when the id denotes a live (begun, not yet finished) txn. *)
 val is_active : t -> int -> bool
+
+(** The isolation level of a transaction ([Serializable_2pl] for
+    unknown/finished ids). *)
+val level_of : t -> int -> level
 
 (** [access t txn] is the locked {!Ent_sql.Eval.access} view for a
     transaction. [grounding] selects table-level shared locks on reads
@@ -91,7 +120,16 @@ val add_constraint : t -> name:string -> (Ent_storage.Catalog.t -> bool) -> unit
     state, if any. *)
 val violated_constraint : t -> string option
 
-(** Commit: logs, releases locks, queues wake-ups. *)
+(** First-committer-wins validation for a snapshot transaction: the
+    first written (table, row) that some other transaction committed a
+    write to after this transaction's snapshot was taken, or [None]
+    when the commit is admissible. Always [None] for 2PL transactions.
+    Call before {!commit}; a conflict means the caller must abort. *)
+val validate_snapshot : t -> int -> (string * int) option
+
+(** Commit: logs, releases locks, queues wake-ups. In versioned mode
+    also stamps the transaction on the commit clock and records its
+    write set for first-committer-wins validation of others. *)
 val commit : t -> int -> unit
 
 (** Abort: undoes all writes, logs, releases locks, queues wake-ups. *)
@@ -137,3 +175,13 @@ val take_wakeups : t -> int list
 (** Tables this transaction grounding-read so far (for quasi-read
     bookkeeping). *)
 val grounding_reads : t -> int -> string list
+
+(** Truncate every table's version chains below the oldest live
+    snapshot and prune the commit-stamp maps accordingly. No-op unless
+    versioned mode is on. Cheap enough to call at every group-commit
+    boundary; at quiescence it empties the chains entirely. *)
+val gc_versions : t -> unit
+
+(** Total retained version-chain entries across the catalog (0 at
+    quiescence once {!gc_versions} ran). *)
+val chain_entries : t -> int

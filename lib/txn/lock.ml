@@ -148,6 +148,12 @@ type outcome =
   | Granted
   | Waiting
 
+(* Test probe: observes every lock request before it is serviced.
+   The isolation test suite installs one to assert that snapshot
+   transactions acquire zero read locks. *)
+let probe : (txn:int -> resource -> mode -> unit) option ref = ref None
+let set_probe f = probe := f
+
 let other_holders t entry txn =
   List.filter (fun (o, _) -> not (same_owner t o txn)) entry.holders
 
@@ -157,6 +163,9 @@ let grantable t entry txn need =
 let request t ~txn resource mode =
   Obs.incr m_requests;
   Obs.set m_entries (float_of_int (Atomic.get t.total_entries));
+  (match !probe with
+  | Some f -> f ~txn resource mode
+  | None -> ());
   let sh = t.shards.(shard_of resource) in
   with_mu sh.sh_mu (fun () ->
       let entry = entry_for t sh resource in

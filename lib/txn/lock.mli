@@ -50,6 +50,12 @@ type outcome =
     and returns [Waiting] again. *)
 val request : t -> txn:int -> resource -> mode -> outcome
 
+(** Install (or clear) a probe observing every {!request} before it is
+    serviced, as (txn, resource, requested mode). Test instrumentation:
+    the isolation suite uses it to assert snapshot transactions acquire
+    zero read locks. Global; pass [None] to remove. *)
+val set_probe : (txn:int -> resource -> mode -> unit) option -> unit
+
 (** [release_all t ~txn] releases every lock held by [txn], removes its
     queued requests, and returns the transactions whose queued requests
     became granted. *)

@@ -29,8 +29,64 @@ let seed =
       Random.self_init ();
       Random.int 1_000_000_000)
 
+(* --- per-transaction isolation levels (the ENT_ISOLATION knob) --- *)
+
+(* Suite-wide isolation mode: "2pl" (default), "si", "mixed".
+   Randomized scheduler-level tests tag their generated programs
+   through [assign_isolation], so the whole battery replays under
+   snapshot or mixed levels without touching the tests themselves. *)
+let isolation_mode =
+  lazy
+    (match
+       Option.map String.lowercase_ascii (Sys.getenv_opt "ENT_ISOLATION")
+     with
+    | None | Some "2pl" -> `All_2pl
+    | Some ("si" | "snapshot") -> `All_si
+    | Some "mixed" -> `Mixed
+    | Some other ->
+      failwith ("ENT_ISOLATION must be 2pl, si or mixed, not " ^ other))
+
+let isolation_mode_name () =
+  match Lazy.force isolation_mode with
+  | `All_2pl -> "2pl"
+  | `All_si -> "si"
+  | `Mixed -> "mixed"
+
+(* Level of the [i]-th program of a generated batch under the session
+   mode. Mixed alternates deterministically: a failing seed plus the
+   mode reproduces the exact assignment. *)
+let level_for i =
+  match Lazy.force isolation_mode with
+  | `All_2pl -> Ent_txn.Engine.Serializable_2pl
+  | `All_si -> Ent_txn.Engine.Snapshot
+  | `Mixed ->
+    if i land 1 = 1 then Ent_txn.Engine.Snapshot
+    else Ent_txn.Engine.Serializable_2pl
+
+(* Retag a generated batch with the session's levels, preserving order
+   (position decides the level under mixed). *)
+let assign_isolation programs =
+  List.mapi
+    (fun i (p : Program.t) ->
+      Program.make ~label:p.label ~transactional:p.transactional
+        ~isolation:(level_for i) p.ast)
+    programs
+
+(* "2pl,si,2pl,…" for a batch — printed beside a failing seed so the
+   per-transaction assignment is part of the repro line. *)
+let isolation_signature programs =
+  String.concat ","
+    (List.map
+       (fun (p : Program.t) ->
+         match p.isolation with
+         | Ent_txn.Engine.Serializable_2pl -> "2pl"
+         | Ent_txn.Engine.Snapshot -> "si")
+       programs)
+
 (* Convert a QCheck2 test, seeding it from the session seed and
-   pointing at the replay knob when it fails. *)
+   pointing at the replay knobs when it fails. The isolation mode is
+   part of the replay line: the same seed under a different
+   ENT_ISOLATION is a different schedule. *)
 let to_alcotest test =
   let seed = Lazy.force seed in
   let name, speed, run =
@@ -39,8 +95,15 @@ let to_alcotest test =
   let run () =
     try run ()
     with exn ->
-      Printf.eprintf "\n[qcheck] failing seed: %d (replay with QCHECK_SEED=%d)\n%!"
-        seed seed;
+      Printf.eprintf
+        "\n\
+         [qcheck] failing seed: %d, isolation %s (replay with QCHECK_SEED=%d \
+         ENT_ISOLATION=%s)\n\
+         %!"
+        seed
+        (isolation_mode_name ())
+        seed
+        (isolation_mode_name ());
       raise exn
   in
   (name, speed, run)
@@ -297,9 +360,13 @@ let entangled_pair_gen =
   let open QCheck2.Gen in
   let* i = int_range 0 999 in
   let a = Printf.sprintf "u%da" i and b = Printf.sprintf "u%db" i in
-  return
-    ( Program.of_string ~label:a (flight_program a b),
-      Program.of_string ~label:b (flight_program b a) )
+  match
+    assign_isolation
+      [ Program.of_string ~label:a (flight_program a b);
+        Program.of_string ~label:b (flight_program b a) ]
+  with
+  | [ pa; pb ] -> return (pa, pb)
+  | _ -> assert false
 
 (* A mixed batch over the travel fixture: complete pairs, partnerless
    entangled programs and classical rollbacks, shuffled by generation
@@ -328,7 +395,9 @@ let entangled_batch_gen =
            INSERT INTO Reserve VALUES ('r', 'flight', 1);\n\
            ROLLBACK;\nCOMMIT;")
   in
-  return (pair_programs @ lonely_programs @ rollback_programs, lonely)
+  return
+    (assign_isolation (pair_programs @ lonely_programs @ rollback_programs),
+     lonely)
 
 (* --- the Figure 1 fixture (test_entangle's) --- *)
 
@@ -439,7 +508,7 @@ let run_workload ~pairs ~with_rollbacks =
   in
   List.iter
     (fun p -> ignore (Manager.submit world.Ent_workload.Travel.manager p))
-    programs;
+    (assign_isolation programs);
   Manager.drain world.Ent_workload.Travel.manager;
   world
 

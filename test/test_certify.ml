@@ -310,6 +310,115 @@ let mutate c kind =
         c.sched,
       [ "double-terminal" ] )
 
+(* --- the SI mutation suite --- *)
+
+(* Replay with per-transaction levels and return (violation codes,
+   SI-permitted anomaly codes). *)
+let si_codes ~levels h =
+  let c = Certify.create () in
+  List.iter (fun (txn, lvl) -> Certify.set_level c txn lvl) levels;
+  List.iter (Certify.on_op c) h;
+  let names vs =
+    List.map (fun (v : Certify.violation) -> v.code) vs
+    |> List.sort_uniq String.compare
+  in
+  (names (Certify.violations c), names (Certify.anomalies c))
+
+let si = Engine.Snapshot
+
+(* One minimal history per SI code. *)
+let test_si_codes () =
+  (* classic write-skew: disjoint writes, crossed reads, both SI —
+     allowed by SI, so named as an anomaly without failing *)
+  let vs, anoms =
+    si_codes ~levels:[ (1, si); (2, si) ]
+      [ Read (1, y); Read (2, x); Write (1, x); Write (2, y);
+        Commit 1; Commit 2 ]
+  in
+  Alcotest.(check (list string)) "write-skew does not fail certification" [] vs;
+  Alcotest.(check (list string)) "write-skew is named" [ "si-write-skew" ] anoms;
+  (* the same schedule under 2PL levels is a plain conflict cycle *)
+  let vs, anoms =
+    si_codes ~levels:[]
+      [ Read (1, y); Read (2, x); Write (1, x); Write (2, y);
+        Commit 1; Commit 2 ]
+  in
+  Alcotest.(check (list string)) "under 2PL it fails" [ "conflict-cycle" ] vs;
+  Alcotest.(check (list string)) "and is no SI anomaly" [] anoms;
+  (* lost update: txn 1 commits a write to x after SI txn 2's snapshot;
+     2's committed write to x must have been killed by FCW *)
+  let vs, _ =
+    si_codes ~levels:[ (2, si) ]
+      [ Read (2, x); Write (1, x); Commit 1; Write (2, x); Commit 2 ]
+  in
+  Alcotest.(check bool) "lost update caught" true
+    (List.mem "si-lost-update" vs);
+  (* SI rename of the dirty read: version visibility should have hidden
+     the aborted write from the snapshot reader *)
+  let vs, _ =
+    si_codes ~levels:[ (2, si) ]
+      [ Write (1, x); Read (2, x); Abort 1; Commit 2 ]
+  in
+  Alcotest.(check (list string)) "read of uncommitted renamed"
+    [ "si-read-uncommitted" ] vs
+
+(* Mirror of [mutate] for snapshot transactions: each operator demotes
+   plain transactions of a clean schedule to SI and seeds one anomaly;
+   returns the schedule, the level declarations, the codes that must
+   appear among the violations, and the codes that must appear among
+   the SI-permitted anomalies. *)
+let mutate_si c kind =
+  let t = List.hd c.plains in
+  let u = List.nth c.plains (List.length c.plains - 1) in
+  match kind with
+  | 0 ->
+    (* write_skew: t and u read each other's object before either
+       writes — a pure rw cycle between SI members, which SI allows:
+       named, not failing *)
+    ( c.sched
+      |> insert_before (fun o -> o = Write (t, obj_of t)) (Read (u, obj_of t))
+      |> insert_before (fun o -> o = Read (u, obj_of t)) (Read (t, obj_of u)),
+      [ (t, si); (u, si) ],
+      [],
+      [ "si-write-skew" ] )
+  | 1 ->
+    (* lost_update: u snapshots before t's write of o_t, then commits
+       its own write to o_t — first-committer-wins must have aborted u *)
+    ( c.sched
+      |> insert_before (fun o -> o = Write (t, obj_of t)) (Read (u, obj_of t))
+      |> insert_before (fun o -> o = Commit u) (Write (u, obj_of t)),
+      [ (u, si) ],
+      [ "si-lost-update" ],
+      [] )
+  | _ ->
+    (* read_uncommitted: t aborts retroactively after SI txn u read its
+       write — the snapshot should never have contained it *)
+    ( List.map (function Commit n when n = t -> Abort t | o -> o) c.sched
+      |> insert_before (fun o -> o = Commit u) (Read (u, obj_of t)),
+      [ (u, si) ],
+      [ "si-read-uncommitted" ],
+      [] )
+
+let prop_si_mutations_rejected =
+  QCheck2.Test.make ~name:"seeded SI anomalies are caught and named" ~count:120
+    QCheck2.Gen.(pair clean_gen (int_range 0 2))
+    (fun (c, kind) ->
+      let mutated, levels, expect_viol, expect_anom = mutate_si c kind in
+      let vs, anoms = si_codes ~levels mutated in
+      List.for_all (fun e -> List.mem e vs) expect_viol
+      && List.for_all (fun e -> List.mem e anoms) expect_anom
+      (* write-skew alone must not fail certification *)
+      && (kind <> 0 || vs = []))
+
+let prop_si_demotion_safe =
+  (* a clean schedule stays clean when every plain transaction is
+     demoted to SI: no false positives from the snapshot repositioning *)
+  QCheck2.Test.make ~name:"clean schedules certify under all-SI demotion"
+    ~count:100 clean_gen (fun c ->
+      let levels = List.map (fun t -> (t, si)) (c.plains @ List.concat_map (fun (a, b) -> [ a; b ]) c.pairs) in
+      let vs, _ = si_codes ~levels c.sched in
+      vs = [])
+
 let prop_clean_certifies =
   QCheck2.Test.make ~name:"generated clean schedules certify" ~count:100
     clean_gen (fun c -> codes c.sched = [])
@@ -350,4 +459,8 @@ let () =
         :: List.map Gen.to_alcotest [ prop_real_runs_certify_clean ] );
       ( "mutations",
         List.map Gen.to_alcotest
-          [ prop_clean_certifies; prop_mutations_rejected ] ) ]
+          [ prop_clean_certifies; prop_mutations_rejected ] );
+      ( "si mutations",
+        Alcotest.test_case "si violation codes" `Quick test_si_codes
+        :: List.map Gen.to_alcotest
+             [ prop_si_mutations_rejected; prop_si_demotion_safe ] ) ]
