@@ -51,23 +51,51 @@ let txns_total =
 let metrics_enabled = ref false
 let metrics_path = ref "metrics.json"
 
+(* --slo FILE: evaluate the specs online while each cell runs. Every
+   cell gets a fresh monitor (Obs.reset re-anchors the time-series ring
+   between cells) and its verdict lands in the cell's point under
+   "slo" — a member that is simply absent when --slo was not given, so
+   default bench documents stay byte-identical. *)
+let slo_specs : Ent_obs.Slo.spec list option ref = ref None
+let slo_failures = ref 0
+
 (* Run one benchmark cell against a clean registry (Obs.reset also
    clears the event log) so the attached snapshot and latency
    attribution measure this cell only. *)
 let cell_metrics f =
   Obs.reset ();
+  let monitor =
+    Option.map
+      (fun specs ->
+        let t = Ent_obs.Slo.create specs in
+        Ent_obs.Slo.attach t;
+        t)
+      !slo_specs
+  in
   let v = f () in
+  let slo =
+    match monitor with
+    | None -> Json.Null
+    | Some mon ->
+      Ent_obs.Timeseries.flush ();
+      Ent_obs.Slo.detach ();
+      if not (Ent_obs.Slo.ok mon) then incr slo_failures;
+      Ent_obs.Slo.report_json mon
+  in
   let attrib =
     if Event.logging () then Attrib.to_json (Event.events ()) else Json.Null
   in
-  (v, Obs.snapshot_json (), attrib)
+  (v, Obs.snapshot_json (), attrib, slo)
 
-let point ~x (time, snap, attrib) =
+let point ~x (time, snap, attrib, slo) =
   Json.Obj
     ([ ("x", Json.Int x); ("time_s", Json.Float time); ("metrics", snap) ]
-    @ match attrib with
+    @ (match attrib with
       | Json.Null -> []
       | a -> [ ("latency_attribution", a) ])
+    @ match slo with
+      | Json.Null -> []
+      | s -> [ ("slo", s) ])
 
 let bench_doc ~figure ~x_label ~unit series =
   Json.Obj
@@ -200,7 +228,7 @@ let fig6a () =
           in
           let points = List.assoc name series in
           points := point ~x:connections cell :: !points;
-          Printf.printf " %12.2f%!" (let t, _, _ = cell in t))
+          Printf.printf " %12.2f%!" (let t, _, _, _ = cell in t))
         fig6a_workloads;
       Printf.printf "\n%!")
     [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
@@ -377,7 +405,7 @@ let si_experiment () =
           si_aborts := !si_aborts + !last_si_aborts;
           let points = List.assoc name series in
           points := point ~x:connections cell :: !points;
-          Printf.printf " %14.2f%!" (let t, _, _ = cell in t))
+          Printf.printf " %14.2f%!" (let t, _, _, _ = cell in t))
         si_workloads;
       Printf.printf " %10d\n%!" !si_aborts)
     [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
@@ -436,7 +464,7 @@ let fig6b () =
           let cell = cell_metrics (fun () -> run_pending ~p ~frequency ~n) in
           let points = List.assoc (Printf.sprintf "f=%d" frequency) series in
           points := point ~x:p cell :: !points;
-          Printf.printf " %12.2f%!" (let t, _, _ = cell in t))
+          Printf.printf " %12.2f%!" (let t, _, _, _ = cell in t))
         frequencies;
       Printf.printf "\n%!")
     [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
@@ -515,7 +543,7 @@ let fig6c () =
           in
           let points = List.assoc name series in
           points := point ~x:set_size cell :: !points;
-          Printf.printf " %16.2f%!" (let t, _, _ = cell in t))
+          Printf.printf " %16.2f%!" (let t, _, _, _ = cell in t))
         cells;
       Printf.printf "\n%!")
     [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
@@ -612,7 +640,7 @@ let scaleup () =
           in
           let points = List.assoc name series in
           points := point ~x:domains cell :: !points;
-          let t, _, _ = cell in
+          let t, _, _, _ = cell in
           if domains = 1 then Hashtbl.replace baselines name t;
           Printf.printf " %11.3f%!" t)
         scaleup_workloads;
@@ -1258,6 +1286,17 @@ let () =
       | "--certify" :: rest ->
         certify_enabled := true;
         parse rest
+      | "--slo" :: path :: rest -> (
+        match Ent_obs.Slo.load path with
+        | Ok specs ->
+          slo_specs := Some specs;
+          (* Before any cell builds its system: lock shards and domain
+             pools register their sampling-only gauges at creation. *)
+          Ent_obs.Timeseries.enable ();
+          parse rest
+        | Error msg ->
+          Printf.eprintf "bad --slo file %s: %s\n" path msg;
+          exit 2)
       | "--parallel" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->
@@ -1316,6 +1355,12 @@ let () =
       Obs.write_snapshot !metrics_path;
       Printf.printf "wrote %s (final-phase Obs snapshot)\n%!" !metrics_path
     end;
+    if !slo_specs <> None then
+      if !slo_failures = 0 then Printf.printf "slo: all cells ok\n%!"
+      else begin
+        Printf.printf "slo: %d cell(s) breached\n%!" !slo_failures;
+        exit 1
+      end;
     if !certify_enabled then
       if !certify_failures = 0 then
         Printf.printf "certify: all cells ok\n%!"

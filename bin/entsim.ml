@@ -69,9 +69,16 @@ let report_failure ~out cfg (o : Harness.outcome) =
     Printf.fprintf oc "%s\n%!" repro;
     shrunk
 
+let write_flight path (o : Harness.outcome) =
+  match o.flight with
+  | None -> ()
+  | Some doc ->
+    Ent_obs.Flight.write path doc;
+    Printf.printf "entsim: wrote flight-recorder dump to %s\n" path
+
 let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
-    max_arms break_group_commit combined certify isolation out_path trace_out
-    verbose =
+    max_arms break_group_commit combined certify isolation timeline out_path
+    trace_out flight_out verbose =
   if not (List.mem isolation [ "2pl"; "si"; "snapshot"; "mixed" ]) then begin
     prerr_endline
       ("entsim: bad --isolation " ^ isolation ^ " (2pl|si|mixed)");
@@ -102,6 +109,7 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       combined;
       certify;
       isolation;
+      timeline;
     }
   in
   match plan_str with
@@ -114,12 +122,14 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       let o = Harness.run cfg plan in
       print_outcome cfg o;
       write_trace ();
+      Option.iter (fun path -> write_flight path o) flight_out;
       if o.violations = [] then 0 else 1)
   | None ->
     let out = Option.map open_out out_path in
     let failures = ref 0 in
     let crashes = ref 0 in
     let traced = ref false in
+    let flighted = ref false in
     for i = 0 to seeds - 1 do
       let cfg = { cfg with Harness.seed = seed + i } in
       let o = Harness.check_seed cfg in
@@ -127,6 +137,12 @@ let main seeds seed plan_str pairs rollback_pairs plain lonely users cities
       if verbose then print_outcome cfg o;
       if o.violations <> [] then begin
         incr failures;
+        (* Flight-record the first failure as observed (pre-shrink: the
+           dump should show the run that actually tripped). *)
+        if not !flighted then begin
+          Option.iter (fun path -> write_flight path o) flight_out;
+          flighted := true
+        end;
         let shrunk = report_failure ~out cfg o in
         (* Trace the first failure: re-run its shrunken plan so the ring
            holds exactly the failing schedule, then export. *)
@@ -238,11 +254,28 @@ let isolation =
            the harness additionally checks that version chains are empty \
            after recovery and at quiescence.")
 
+let timeline =
+  Arg.(
+    value & opt int Harness.default.timeline
+    & info [ "timeline" ] ~docv:"N"
+        ~doc:
+          "Events attached per violation timeline (the last N ring events \
+           involving the implicated transactions).")
+
 let out =
   Arg.(
     value & opt (some string) None
     & info [ "out" ] ~docv:"FILE"
         ~doc:"Append failing repro commands (with their violations) to FILE.")
+
+let flight_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a flight-recorder dump (metrics, time-series windows, event \
+           ring, wait graph) of the first failing schedule to FILE as JSON. \
+           Nothing is written when every schedule passes.")
 
 let trace_out =
   Arg.(
@@ -263,6 +296,6 @@ let cmd =
     Term.(
       const main $ seeds $ seed $ plan $ pairs $ rollback_pairs $ plain $ lonely
       $ users $ cities $ max_arms $ break_group_commit $ combined $ certify
-      $ isolation $ out $ trace_out $ verbose)
+      $ isolation $ timeline $ out $ trace_out $ flight_out $ verbose)
 
 let () = exit (Cmd.eval' cmd)

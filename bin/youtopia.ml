@@ -43,12 +43,28 @@ let write_metrics = function
     Printf.eprintf "wrote metrics snapshot to %s\n%!" path
 
 let run_script path connections frequency parallel isolation_name show_tables
-    verbose metrics trace trace_out wait_graph wait_graph_dot certify =
+    verbose metrics trace trace_out wait_graph wait_graph_dot certify slo_path
+    flight_out =
   match isolation_of_string isolation_name with
   | Error (`Msg msg) ->
     prerr_endline msg;
     2
   | Ok (isolation, levels) -> (
+    (* Parse the SLO spec before doing any work: a bad file is exit 2,
+       like a bad script. *)
+    let slo_specs =
+      match slo_path with
+      | None -> Ok None
+      | Some p -> (
+        match Ent_obs.Slo.load p with
+        | Ok specs -> Ok (Some specs)
+        | Error msg -> Error msg)
+    in
+    match slo_specs with
+    | Error msg ->
+      Printf.eprintf "bad --slo file: %s\n" msg;
+      2
+    | Ok slo_specs -> (
     let input =
       match path with
       | Some p ->
@@ -72,6 +88,19 @@ let run_script path connections frequency parallel isolation_name show_tables
         Ent_obs.Event.set_logging true;
         Ent_obs.Event.reset ()
       end;
+      (* Windowed sampling must be on before the system is built: lock
+         shards and domain pools register their sampling-only gauges at
+         creation time (keeping default runs' snapshots byte-identical). *)
+      if slo_specs <> None || flight_out <> None then
+        Ent_obs.Timeseries.enable ();
+      let monitor =
+        Option.map
+          (fun specs ->
+            let t = Ent_obs.Slo.create specs in
+            Ent_obs.Slo.attach t;
+            t)
+          slo_specs
+      in
       let runner =
         if parallel > 1 then Some (Ent_par.Pool.create ~domains:parallel)
         else None
@@ -177,12 +206,43 @@ let run_script path connections frequency parallel isolation_name show_tables
           Printf.eprintf "wrote Perfetto trace to %s\n%!" out)
         trace_out;
       write_metrics metrics;
-      match certifier with
-      | None -> 0
-      | Some c ->
-        Printf.printf "-- %s\n"
-          (Format.asprintf "%a" Ent_schedule.Certify.pp_report c);
-        if Ent_schedule.Certify.ok c then 0 else 1)
+      let certify_failed =
+        match certifier with
+        | None -> false
+        | Some c ->
+          Printf.printf "-- %s\n"
+            (Format.asprintf "%a" Ent_schedule.Certify.pp_report c);
+          not (Ent_schedule.Certify.ok c)
+      in
+      (* Close the partial window so even sub-window scripts evaluate
+         their SLOs at least once, then print the structured verdict. *)
+      let slo_failed =
+        match monitor with
+        | None -> false
+        | Some mon ->
+          Ent_obs.Timeseries.flush ();
+          Ent_obs.Slo.detach ();
+          Printf.printf "-- slo: %s\n"
+            (Ent_obs.Json.to_string (Ent_obs.Slo.report_json mon));
+          not (Ent_obs.Slo.ok mon)
+      in
+      (* Flight recorder: dumped on SLO breach, or unconditionally when
+         no SLO file was given (on-demand capture). *)
+      (match flight_out with
+      | None -> ()
+      | Some out ->
+        if Option.is_none monitor then Ent_obs.Timeseries.flush ();
+        if slo_failed || Option.is_none monitor then begin
+          let doc =
+            Ent_obs.Flight.to_json
+              ~reason:(if slo_failed then "slo-breach" else "on-demand")
+              ?slo:(Option.map Ent_obs.Slo.report_json monitor)
+              ~sim_now:(Manager.now m) ()
+          in
+          Ent_obs.Flight.write out doc;
+          Printf.eprintf "wrote flight-recorder dump to %s\n%!" out
+        end);
+      if certify_failed || slo_failed then 1 else 0))
 
 (* --- interactive mode ---
 
@@ -296,6 +356,172 @@ let repl path isolation_name =
     List.iter handle_line (String.split_on_char '\n' input);
     0
 
+(* --- live dashboard ---
+
+   [youtopia top] runs a script exactly like [run], but renders a text
+   frame on every closed telemetry window: per-phase latency means,
+   lock-shard waiter heat, grounding-cache hit rate and domain
+   utilization. Simulated time drives the frames; [--delay] slows them
+   down to a watchable wall-clock pace. *)
+
+let top_script path connections frequency parallel isolation_name window delay
+    =
+  match isolation_of_string isolation_name with
+  | Error (`Msg msg) ->
+    prerr_endline msg;
+    2
+  | Ok (isolation, levels) when window > 0.0 -> (
+    let input =
+      match path with
+      | Some p ->
+        let ic = open_in p in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    match Ent_sql.Parser.parse_script input with
+    | exception Ent_sql.Parser.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+    | exception Ent_sql.Lexer.Lex_error msg ->
+      Printf.eprintf "lex error: %s\n" msg;
+      2
+    | items ->
+      (* Events feed the per-phase attribution; windows feed the rest. *)
+      Ent_obs.Event.set_logging true;
+      Ent_obs.Event.reset ();
+      Ent_obs.Timeseries.enable ~width:window ();
+      let frames = ref 0 in
+      let heat_char v =
+        let scale = " .:-=+*#%@" in
+        let i = min (String.length scale - 1) (int_of_float v) in
+        scale.[max 0 i]
+      in
+      let render (w : Ent_obs.Timeseries.window) =
+        incr frames;
+        let buf = Buffer.create 1024 in
+        let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+        pf "\027[2J\027[H";
+        pf "youtopia top — sim %.3fs  (window %.2fs, frame %d)\n\n"
+          (w.w_start +. w.w_width) w.w_width !frames;
+        let d name = Ent_obs.Timeseries.counter_delta w name in
+        let rate n = float_of_int n /. w.w_width in
+        pf "  txns  commit %.0f/s  abort %.0f/s  deadlock %.0f/s  runs %.0f/s\n"
+          (rate (d "txn.engine.commits"))
+          (rate (d "txn.engine.aborts"))
+          (rate (d "core.scheduler.deadlocks"))
+          (rate (d "core.scheduler.runs"));
+        (* Per-phase latency means over finalized tasks so far. *)
+        let reports =
+          Ent_obs.Attrib.of_events
+            ~time:(fun (e : Ent_obs.Event.t) -> e.t_sim)
+            (Ent_obs.Event.events ())
+        in
+        let finished =
+          List.filter
+            (fun (r : Ent_obs.Attrib.txn_report) -> r.outcome <> None)
+            reports
+        in
+        let n = List.length finished in
+        pf "\n  phase means over %d finished txn(s):\n" n;
+        List.iter
+          (fun phase ->
+            let sum =
+              List.fold_left
+                (fun acc (r : Ent_obs.Attrib.txn_report) ->
+                  acc +. List.assq phase r.by_phase)
+                0.0 finished
+            in
+            pf "    %-16s %8.3f ms\n"
+              (Ent_obs.Attrib.phase_name phase)
+              (if n = 0 then 0.0 else 1000.0 *. sum /. float_of_int n))
+          Ent_obs.Attrib.phases;
+        (* Lock-shard heat: one char per shard, by waiter count. *)
+        let shards =
+          List.filter
+            (fun (name, _) ->
+              String.length name > 22
+              && String.sub name 0 22 = "txn.lock.shard_waiters")
+            w.w_gauges
+        in
+        if shards <> [] then begin
+          pf "\n  lock-shard waiters  [";
+          List.iter (fun (_, v) -> pf "%c" (heat_char v)) shards;
+          pf "]  (max %d)\n"
+            (int_of_float
+               (List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 shards))
+        end;
+        (* Cumulative grounding-cache hit rate. *)
+        let hits =
+          Option.value ~default:0
+            (Ent_obs.Obs.find_counter "entangle.gcache.hits")
+        in
+        let misses =
+          Option.value ~default:0
+            (Ent_obs.Obs.find_counter "entangle.gcache.misses")
+        in
+        if hits + misses > 0 then
+          pf "\n  gcache  %d hit(s) / %d lookup(s)  (%.0f%%)\n" hits
+            (hits + misses)
+            (100.0 *. float_of_int hits /. float_of_int (hits + misses));
+        (match List.assoc_opt "par.pool.busy_domains" w.w_gauges with
+        | Some busy when parallel > 1 ->
+          pf "\n  domains  %.0f/%d busy\n" busy parallel
+        | _ -> ());
+        print_string (Buffer.contents buf);
+        flush stdout;
+        if delay > 0.0 then Unix.sleepf delay
+      in
+      Ent_obs.Timeseries.set_on_window (Some render);
+      let runner =
+        if parallel > 1 then Some (Ent_par.Pool.create ~domains:parallel)
+        else None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Ent_obs.Timeseries.set_on_window None;
+          Option.iter Ent_par.Pool.shutdown runner)
+      @@ fun () ->
+      let config =
+        {
+          Scheduler.default_config with
+          connections;
+          trigger = Scheduler.Every_arrivals frequency;
+          isolation;
+          runner;
+        }
+      in
+      let m = Manager.create ~config () in
+      let access = Ent_sql.Eval.direct_access (Manager.catalog m) in
+      let env = Ent_sql.Eval.fresh_env () in
+      let count = ref 0 in
+      List.iter
+        (fun item ->
+          match item with
+          | Ent_sql.Parser.Stmt (stmt, _) ->
+            ignore (Ent_sql.Eval.exec_stmt access env stmt)
+          | Ent_sql.Parser.Program ast ->
+            incr count;
+            let label = Printf.sprintf "txn-%d" !count in
+            let level = level_of_count levels !count in
+            ignore (Manager.submit m (Program.make ~isolation:level ~label ast)))
+        items;
+      Manager.drain m;
+      (* Last partial window becomes the final frame. *)
+      Ent_obs.Timeseries.flush ();
+      let s = Manager.stats m in
+      Printf.printf
+        "\n-- done: %d frame(s), runs: %d, commits: %d, entanglements: %d, \
+         simulated time: %.3f ms\n"
+        !frames s.runs s.commits s.entangle_events
+        (1000.0 *. Manager.now m);
+      0)
+  | Ok _ ->
+    prerr_endline "youtopia top: --window must be positive";
+    2
+
 open Cmdliner
 
 let path =
@@ -360,12 +586,35 @@ let certify =
                stable quasi-reads); print a report and exit nonzero on any \
                violation.")
 
+let slo =
+  Arg.(value & opt (some file) None & info [ "slo" ] ~docv:"FILE"
+         ~doc:"Evaluate the SLO specs in $(docv) (JSON; see Ent_obs.Slo) \
+               online over per-window telemetry while the script runs; \
+               print a structured report and exit nonzero when any SLO \
+               burned through both its short and long windows.")
+
+let flight_out =
+  Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE"
+         ~doc:"Write a flight-recorder dump (metrics, time-series windows, \
+               event ring, SLO report) to $(docv) — on breach when --slo is \
+               given, unconditionally otherwise.")
+
+let window =
+  Arg.(value & opt float 0.25 & info [ "window" ] ~docv:"S"
+         ~doc:"Dashboard window width in simulated seconds (one frame per \
+               closed window).")
+
+let delay =
+  Arg.(value & opt float 0.0 & info [ "delay"; "interval" ] ~docv:"S"
+         ~doc:"Wall-clock pause between frames, to watch the (fast) \
+               simulation at a human pace.")
+
 let run_cmd =
   let doc = "execute a script of classical and entangled transactions" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_script $ path $ connections $ frequency $ parallel
           $ isolation $ show $ verbose $ metrics $ trace $ trace_out
-          $ wait_graph $ wait_graph_dot $ certify)
+          $ wait_graph $ wait_graph_dot $ certify $ slo $ flight_out)
 
 let repl_cmd =
   let doc =
@@ -373,8 +622,19 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc) Term.(const repl $ path $ isolation)
 
+let top_cmd =
+  let doc =
+    "execute a script under a live text dashboard (per-phase latencies, \
+     lock-shard heat, cache hit rate, domain utilization)"
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top_script $ path $ connections $ frequency $ parallel
+          $ isolation $ window $ delay)
+
 let main =
   let doc = "the Youtopia entangled transaction manager" in
-  Cmd.group (Cmd.info "youtopia" ~version:"1.0.0" ~doc) [ run_cmd; repl_cmd ]
+  Cmd.group
+    (Cmd.info "youtopia" ~version:"1.0.0" ~doc)
+    [ run_cmd; repl_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,6 +1,7 @@
 open Ent_entangle
 module Obs = Ent_obs.Obs
 module Event = Ent_obs.Event
+module Timeseries = Ent_obs.Timeseries
 module Fault = Ent_fault.Injector
 
 (* Injection points: crashes between scheduler steps and between the
@@ -25,6 +26,12 @@ let m_coord_rounds = Obs.counter "core.coordinate.rounds"
 let m_coord_batch = Obs.histogram "core.coordinate.batch"
 let m_blocked = Obs.histogram "core.entangle.blocked_s"
 let m_txn_latency = Obs.histogram "core.scheduler.txn_latency_s"
+
+(* SI-only: interned lazily so a pure-2PL run never registers it and the
+   default metric snapshots stay byte-identical with the seed fixtures.
+   Both forcing sites run on the coordinator domain, so the lazy cell is
+   never raced. *)
+let m_si_aborts = lazy (Obs.counter "txn.si_aborts")
 
 type trigger =
   | Every_arrivals of int
@@ -386,7 +393,9 @@ let run_once t =
       | Failed Deadlock ->
         t.stats.deadlocks <- t.stats.deadlocks + 1;
         Obs.incr m_deadlocks
-      | Failed (Si_conflict _) -> t.stats.si_aborts <- t.stats.si_aborts + 1
+      | Failed (Si_conflict _) ->
+        t.stats.si_aborts <- t.stats.si_aborts + 1;
+        Obs.incr (Lazy.force m_si_aborts)
       | _ -> ()
     in
     let progress = ref true in
@@ -476,6 +485,7 @@ let run_once t =
                   member.work <- member.work +. costs.c_abort;
                   drain_work t member;
                   t.stats.si_aborts <- t.stats.si_aborts + 1;
+                  Obs.incr (Lazy.force m_si_aborts);
                   Hashtbl.remove alive member.task_id;
                   fail_or_repool t member)
                 to_commit;
@@ -695,7 +705,13 @@ let run_once t =
               | Coordinate.No_partner -> ())
             entries
         end
-      end
+      end;
+      (* Coordinator-side telemetry sample, once per scheduler
+         iteration: the parallel phases above are barriers, so no worker
+         domain is running here and the time-series state is touched
+         from exactly one domain. A single branch when sampling is
+         off. *)
+      Timeseries.sample (now t)
     done;
     (* Run end: whoever is left cannot proceed in this run. Blocked and
        ready-but-widowed tasks are aborted and repooled (the group
@@ -760,7 +776,8 @@ let run_once t =
               (Queue.to_seq t.dormant)));
     Obs.set m_dormant (float_of_int (Queue.length t.dormant));
     Event.emit (Event.Run_end { dormant = Queue.length t.dormant });
-    t.last_run_end <- now t
+    t.last_run_end <- now t;
+    Timeseries.sample (now t)
   end
 
 let submit t (program : Program.t) =

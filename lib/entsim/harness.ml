@@ -18,6 +18,8 @@ module Recovery = Ent_txn.Recovery
 module Recorder = Ent_schedule.Recorder
 module Histcheck = Ent_analysis.Histcheck
 module Event = Ent_obs.Event
+module Timeseries = Ent_obs.Timeseries
+module Flight = Ent_obs.Flight
 
 type config = {
   seed : int;
@@ -34,6 +36,7 @@ type config = {
   isolation : string;
       (* per-transaction level of the workload: "2pl" (all Strict 2PL),
          "si" (all snapshot), "mixed" (alternating) *)
+  timeline : int;  (* events attached per violation timeline *)
 }
 
 let default =
@@ -50,6 +53,7 @@ let default =
     combined = false;
     certify = false;
     isolation = "2pl";
+    timeline = 16;
   }
 
 type violation = {
@@ -69,6 +73,9 @@ type outcome = {
   violations : violation list;
   wait_graph : string option;
       (* who-waits-on-whom snapshot, captured only when violations exist *)
+  flight : Ent_obs.Json.t option;
+      (* flight-recorder dump (metrics + time-series + event ring +
+         wait graph), captured only when violations exist *)
 }
 
 let scheduler_config cfg =
@@ -224,7 +231,7 @@ let check_image viol image recovered (analysis : Recovery.analysis) =
 
 type step = Run | Recover of Wal.record list | Done
 
-let run cfg plan =
+let run (cfg : config) plan =
   Fault.deactivate ();
   (* Event logging is always on under simulation: it is cheap at entsim
      scale and every violation report attaches the implicated txns'
@@ -232,9 +239,16 @@ let run cfg plan =
      process-global), so a timeline can span epochs. *)
   Event.set_logging true;
   Event.reset ();
+  (* Continuous telemetry is always on under simulation: the flight
+     recorder attached to a violation wants the last seconds of
+     time-series history, and sampling costs one branch per scheduler
+     iteration. Sub-second windows because entsim runs are short. *)
+  Timeseries.enable ~width:0.25 ~capacity:512 ();
   let violations = ref [] in
   let viol ids invariant detail =
-    let timeline = List.map Event.render (Event.recent ~ids ~last:16 ()) in
+    let timeline =
+      List.map Event.render (Event.recent ~ids ~last:cfg.timeline ())
+    in
     violations := { invariant; detail; timeline } :: !violations
   in
   let sched_config = scheduler_config cfg in
@@ -302,7 +316,12 @@ let run cfg plan =
   in
   let crash_budget = ref 12 in
   Fault.install plan;
-  Fun.protect ~finally:Fault.deactivate @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.deactivate ();
+      (* so co-resident test code sees the default (gated-off) state *)
+      Timeseries.disable ())
+  @@ fun () ->
   let step = ref Run in
   let finished = ref false in
   while not !finished do
@@ -463,6 +482,17 @@ let run cfg plan =
       Some
         (Waitgraph.render_text (Scheduler.wait_graph (Manager.scheduler !mgr)))
   in
+  let flight =
+    if !violations = [] then None
+    else begin
+      (* Close the partial window so the dump covers up to the moment
+         of failure, then snapshot everything in one artifact. *)
+      Timeseries.flush ();
+      Some
+        (Flight.to_json ~reason:"invariant-violation" ?wait_graph
+           ~sim_now:(Manager.now !mgr) ())
+    end
+  in
   {
     plan;
     crashes = !crashes;
@@ -471,6 +501,7 @@ let run cfg plan =
     sites;
     violations = List.rev !violations;
     wait_graph;
+    flight;
   }
 
 (* --- seeded schedules and shrinking --- *)
@@ -532,7 +563,7 @@ let shrink cfg plan =
 (* The one-line repro command for a failing (config, plan). *)
 let repro cfg plan =
   let flag name v d = if v = d then "" else Printf.sprintf " --%s %d" name v in
-  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
+  Printf.sprintf "entsim --seed %d%s%s%s%s%s%s%s%s%s%s%s --plan '%s'" cfg.seed
     (flag "pairs" cfg.pairs default.pairs)
     (flag "rollback-pairs" cfg.rollback_pairs default.rollback_pairs)
     (flag "plain" cfg.plain default.plain)
@@ -544,4 +575,5 @@ let repro cfg plan =
     (if cfg.certify then " --certify" else "")
     (if cfg.isolation = default.isolation then ""
      else " --isolation " ^ cfg.isolation)
+    (flag "timeline" cfg.timeline default.timeline)
     (Plan.to_string plan)

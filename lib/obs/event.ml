@@ -161,6 +161,19 @@ let kind_json = function
   | Run_end { dormant } -> Json.Obj [ ("dormant", Json.Int dormant) ]
   | Wal_append { lsn } -> Json.Obj [ ("lsn", Json.Int lsn) ]
 
+let to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Int e.seq);
+      ("t_sim", Json.Float e.t_sim);
+      ("run", Json.Int e.run);
+      ("txn", Json.Int e.txn);
+      ("task", Json.Int e.task);
+      ("domain", Json.Int e.domain);
+      ("kind", Json.Str (kind_name e.kind));
+      ("args", kind_json e.kind);
+    ]
+
 let render e =
   let detail =
     match e.kind with

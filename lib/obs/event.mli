@@ -106,5 +106,9 @@ val kind_name : kind -> string
 val kind_json : kind -> Json.t
 (** Payload fields of the kind as a JSON object (possibly empty). *)
 
+val to_json : t -> Json.t
+(** [{seq, t_sim, run, txn, task, domain, kind, args}] — one event as
+    JSON, for the flight recorder. *)
+
 val render : t -> string
 (** One-line human rendering, for repro output and debugging. *)

@@ -98,6 +98,73 @@ let reset t =
   t.min <- infinity;
   t.max <- neg_infinity
 
+let copy t = { t with buckets = Hashtbl.copy t.buckets }
+
+(* Bounds of bucket [i]: it covers (gamma^(i-1), gamma^i]. *)
+let bucket_lo t i = t.gamma ** float_of_int (i - 1)
+let bucket_hi t i = t.gamma ** float_of_int i
+
+(* The true min/max of a window are unrecoverable from two cumulative
+   snapshots, so [diff] reconstructs them from the delta's occupied
+   bucket range: the estimate stays within one bucket (≈ alpha relative
+   error) of the true extreme, which keeps [quantile]'s clamping
+   harmless. *)
+let rebound t =
+  if t.count = 0 then begin
+    t.min <- infinity;
+    t.max <- neg_infinity
+  end
+  else begin
+    let lo = ref max_int and hi = ref min_int in
+    Hashtbl.iter
+      (fun i n ->
+        if n > 0 then begin
+          if i < !lo then lo := i;
+          if i > !hi then hi := i
+        end)
+      t.buckets;
+    if !hi = min_int then begin
+      (* only zero/negative observations *)
+      t.min <- 0.0;
+      t.max <- 0.0
+    end
+    else begin
+      t.min <- (if t.zero_count > 0 then 0.0 else bucket_lo t !lo);
+      t.max <- bucket_hi t !hi
+    end
+  end
+
+let diff ~newer ~older =
+  if newer.alpha <> older.alpha then
+    invalid_arg "Hist.diff: histograms use different alpha";
+  let d = create ~alpha:newer.alpha () in
+  Hashtbl.iter
+    (fun i n ->
+      let o = Option.value ~default:0 (Hashtbl.find_opt older.buckets i) in
+      if n - o > 0 then Hashtbl.replace d.buckets i (n - o))
+    newer.buckets;
+  d.zero_count <- Int.max 0 (newer.zero_count - older.zero_count);
+  d.count <- Int.max 0 (newer.count - older.count);
+  d.sum <- newer.sum -. older.sum;
+  rebound d;
+  d
+
+let merge_into ~into t =
+  if into.alpha <> t.alpha then
+    invalid_arg "Hist.merge_into: histograms use different alpha";
+  Hashtbl.iter
+    (fun i n ->
+      Hashtbl.replace into.buckets i
+        (n + Option.value ~default:0 (Hashtbl.find_opt into.buckets i)))
+    t.buckets;
+  into.zero_count <- into.zero_count + t.zero_count;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum;
+  if t.count > 0 then begin
+    if t.min < into.min then into.min <- t.min;
+    if t.max > into.max then into.max <- t.max
+  end
+
 let summary t =
   let f v = Json.Float (if Float.is_finite v then v else 0.0) in
   Json.Obj

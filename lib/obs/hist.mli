@@ -26,5 +26,20 @@ val quantile : t -> float -> float
 
 val reset : t -> unit
 
+val copy : t -> t
+(** Independent snapshot of the current state. *)
+
+val diff : newer:t -> older:t -> t
+(** Bucket-wise difference of two cumulative snapshots of the same
+    histogram: the result holds exactly the observations recorded
+    between [older] and [newer] (counts and sum are exact; min/max are
+    reconstructed from the delta's occupied buckets, so they carry the
+    usual [alpha] relative error).
+    @raise Invalid_argument when the histograms use different alphas. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every observation of the second histogram into [into].
+    @raise Invalid_argument when the histograms use different alphas. *)
+
 val summary : t -> Json.t
 (** [{count, sum, mean, min, max, p50, p95, p99}] (all finite). *)

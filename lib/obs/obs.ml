@@ -21,16 +21,28 @@ type metric =
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Registration/lookup is a rare path, but lazily-registered metrics
+   (txn.si_aborts and friends) can first fire on a worker domain under
+   --parallel; the mutex keeps the registry hashtable itself safe.
+   Metric updates never take it — they go through the Atomic cells. *)
+let reg_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+
 let intern name make describe =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-    match describe m with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Obs: %s registered with another type" name))
-  | None ->
-    let v, m = make () in
-    Hashtbl.replace registry name m;
-    v
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match describe m with
+        | Some v -> v
+        | None ->
+          invalid_arg (Printf.sprintf "Obs: %s registered with another type" name))
+      | None ->
+        let v, m = make () in
+        Hashtbl.replace registry name m;
+        v)
 
 let counter name =
   intern name
@@ -68,18 +80,20 @@ let histogram_name h = h.h_name
 
 (* --- lookups (tests, CLI) --- *)
 
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
+
 let find_counter name =
-  match Hashtbl.find_opt registry name with
+  match find name with
   | Some (Counter c) -> Some (counter_value c)
   | _ -> None
 
 let find_gauge name =
-  match Hashtbl.find_opt registry name with
+  match find name with
   | Some (Gauge g) -> Some (gauge_value g)
   | _ -> None
 
 let find_histogram name =
-  match Hashtbl.find_opt registry name with
+  match find name with
   | Some (Histogram h) -> Some h.hist
   | _ -> None
 
@@ -154,7 +168,8 @@ let spans_dropped () =
 let sorted_registry () =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+    (locked (fun () ->
+         Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []))
 
 let snapshot_json () =
   let counters = ref [] and gauges = ref [] and hists = ref [] in
@@ -194,18 +209,26 @@ let snapshot_json () =
 
 let snapshot () = Json.to_string (snapshot_json ())
 
+(* Modules layered on top of the registry (Timeseries) must re-base
+   when every metric snaps back to zero; they hook in here rather than
+   obs depending on them. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let add_reset_hook f = reset_hooks := f :: !reset_hooks
+
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> Atomic.set c.cell 0
-      | Gauge g -> Atomic.set g.value 0.0
-      | Histogram h -> Hist.reset h.hist)
-    registry;
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.cell 0
+          | Gauge g -> Atomic.set g.value 0.0
+          | Histogram h -> Hist.reset h.hist)
+        registry);
   Array.fill !trace_ring 0 (Array.length !trace_ring) None;
   trace_next := 0;
   span_depth := 0;
-  Event.reset ()
+  Event.reset ();
+  List.iter (fun f -> f ()) !reset_hooks
 
 let metric_names () = List.map fst (sorted_registry ())
 

@@ -77,5 +77,11 @@ val write_snapshot : string -> unit
 (** Write [snapshot ()] (newline-terminated) to a file. *)
 
 val reset : unit -> unit
-(** Zero every metric, clear the trace ring and the {!Event} log.
-    Registered handles stay valid (benchmarks reset between cells). *)
+(** Zero every metric, clear the trace ring and the {!Event} log, then
+    run the {!add_reset_hook} hooks. Registered handles stay valid
+    (benchmarks reset between cells). *)
+
+val add_reset_hook : (unit -> unit) -> unit
+(** Run [f] at the end of every {!reset}. Used by modules layered on
+    the registry (e.g. {!Timeseries} re-anchors its windows) without
+    obs depending on them. Hooks cannot be removed. *)

@@ -51,6 +51,77 @@ let expected_unit = function
 
 let layers = [ "txn."; "storage."; "entangle."; "core." ]
 
+(* SLO report sections (Slo.report_json) appear per-cell in bench
+   documents and at the top level of flight-recorder artifacts; both
+   paths share this check. *)
+let check_slo ~errors ~where slo =
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let int k = Option.bind (Json.member k slo) Json.to_int_opt in
+  (match int "windows_evaluated" with
+  | Some n when n >= 0 -> ()
+  | _ -> err "%s: windows_evaluated missing or negative" where);
+  let total =
+    match int "total_breaches" with
+    | Some n when n >= 0 -> Some n
+    | _ ->
+      err "%s: total_breaches missing or negative" where;
+      None
+  in
+  (match (Json.member "ok" slo, total) with
+  | Some (Json.Bool ok), Some n ->
+    if ok <> (n = 0) then
+      err "%s: ok=%b inconsistent with total_breaches=%d" where ok n
+  | Some (Json.Bool _), None -> ()
+  | _ -> err "%s: ok missing or not a bool" where);
+  (match Option.bind (Json.member "specs" slo) Json.to_list_opt with
+  | None -> err "%s: specs missing or not a list" where
+  | Some specs ->
+    let sum = ref 0 in
+    List.iteri
+      (fun i sp ->
+        let w = Printf.sprintf "%s spec %d" where i in
+        (match Option.bind (Json.member "name" sp) Json.to_string_opt with
+        | Some n when n <> "" -> ()
+        | _ -> err "%s: name missing or empty" w);
+        (match Option.bind (Json.member "metric" sp) Json.to_string_opt with
+        | Some _ -> ()
+        | None -> err "%s: metric missing" w);
+        (match Option.bind (Json.member "kind" sp) Json.to_string_opt with
+        | Some ("latency" | "rate" | "min_mean") -> ()
+        | _ -> err "%s: kind missing or unknown" w);
+        (match Option.bind (Json.member "threshold" sp) Json.to_float_opt with
+        | Some t when Float.is_finite t -> ()
+        | _ -> err "%s: threshold missing or not finite" w);
+        match Option.bind (Json.member "breaches" sp) Json.to_int_opt with
+        | Some b when b >= 0 -> sum := !sum + b
+        | _ -> err "%s: breaches missing or negative" w)
+      specs;
+    match total with
+    | Some n when n <> !sum ->
+      err "%s: total_breaches %d is not the sum of spec breaches %d" where n !sum
+    | _ -> ());
+  match Option.bind (Json.member "alerts" slo) Json.to_list_opt with
+  | None -> err "%s: alerts missing or not a list" where
+  | Some alerts ->
+    List.iteri
+      (fun i al ->
+        let w = Printf.sprintf "%s alert %d" where i in
+        (match Option.bind (Json.member "spec" al) Json.to_string_opt with
+        | Some _ -> ()
+        | None -> err "%s: spec missing" w);
+        List.iter
+          (fun k ->
+            match Option.bind (Json.member k al) Json.to_float_opt with
+            | Some v when Float.is_finite v -> ()
+            | _ -> err "%s: %s missing or not finite" w k)
+          [ "window_start"; "short_value"; "long_value"; "threshold" ])
+      alerts
+
+let validate_slo_report slo =
+  let errors = ref [] in
+  check_slo ~errors ~where:"slo" slo;
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)
+
 let validate (doc : Json.t) =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
@@ -184,6 +255,9 @@ let validate (doc : Json.t) =
     | Some t when Float.is_finite t && t > 0.0 -> ()
     | Some _ -> err "%s: time_s not finite and positive" where
     | None -> err "%s: time_s missing" where);
+    (match Json.member "slo" point with
+    | Some slo -> check_slo ~errors ~where:(where ^ " slo") slo
+    | None -> ());
     match Json.member "metrics" point with
     | Some metrics ->
       check_metrics ~where metrics;
@@ -342,9 +416,89 @@ let validate_trace (doc : Json.t) =
   | [] -> Ok ()
   | errs -> Error (List.rev errs)
 
+(* --- flight-recorder documents (Flight.to_json) --- *)
+
+let is_flight doc = Json.member "flight_recorder" doc <> None
+
+let validate_flight (doc : Json.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (match Option.bind (Json.member "flight_recorder" doc) Json.to_int_opt with
+  | Some v when v = version -> ()
+  | Some v -> err "flight_recorder version %d, expected %d" v version
+  | None -> err "flight_recorder version missing");
+  (match Option.bind (Json.member "reason" doc) Json.to_string_opt with
+  | Some r when r <> "" -> ()
+  | _ -> err "reason missing or empty");
+  (match Option.bind (Json.member "captured_sim_s" doc) Json.to_float_opt with
+  | Some t when Float.is_finite t -> ()
+  | _ -> err "captured_sim_s missing or not finite");
+  (match Json.member "metrics" doc with
+  | Some metrics ->
+    List.iter
+      (fun sec ->
+        match Json.member sec metrics with
+        | Some (Json.Obj _) -> ()
+        | _ -> err "metrics.%s missing or not an object" sec)
+      [ "counters"; "gauges"; "histograms" ]
+  | None -> err "metrics missing");
+  (match Json.member "timeseries" doc with
+  | None -> err "timeseries missing"
+  | Some ts ->
+    (match Option.bind (Json.member "window_s" ts) Json.to_float_opt with
+    | Some w when Float.is_finite w && w > 0.0 -> ()
+    | _ -> err "timeseries.window_s missing or not positive");
+    (match Option.bind (Json.member "windows" ts) Json.to_list_opt with
+    | None -> err "timeseries.windows missing or not a list"
+    | Some ws ->
+      List.iteri
+        (fun i w ->
+          let where = Printf.sprintf "timeseries.windows[%d]" i in
+          (match Option.bind (Json.member "start" w) Json.to_float_opt with
+          | Some s when Float.is_finite s -> ()
+          | _ -> err "%s: start missing or not finite" where);
+          (match Option.bind (Json.member "width" w) Json.to_float_opt with
+          | Some d when Float.is_finite d && d > 0.0 -> ()
+          | _ -> err "%s: width missing or not positive" where);
+          List.iter
+            (fun sec ->
+              match Json.member sec w with
+              | Some (Json.Obj _) -> ()
+              | _ -> err "%s: %s missing or not an object" where sec)
+            [ "counters"; "gauges"; "histograms" ])
+        ws));
+  (match Option.bind (Json.member "events" doc) Json.to_list_opt with
+  | None -> err "events missing or not a list"
+  | Some evs ->
+    List.iteri
+      (fun i ev ->
+        let where = Printf.sprintf "events[%d]" i in
+        (match Option.bind (Json.member "seq" ev) Json.to_int_opt with
+        | Some s when s >= 0 -> ()
+        | _ -> err "%s: seq missing or negative" where);
+        match Option.bind (Json.member "kind" ev) Json.to_string_opt with
+        | Some k when k <> "" -> ()
+        | _ -> err "%s: kind missing or empty" where)
+      evs);
+  (match Option.bind (Json.member "events_dropped" doc) Json.to_int_opt with
+  | Some n when n >= 0 -> ()
+  | _ -> err "events_dropped missing or negative");
+  (match Json.member "slo" doc with
+  | Some slo -> check_slo ~errors ~where:"slo" slo
+  | None -> ());
+  (match Json.member "wait_graph" doc with
+  | None | Some (Json.Str _) -> ()
+  | Some _ -> err "wait_graph not a string");
+  match !errors with
+  | [] -> Ok ()
+  | errs -> Error (List.rev errs)
+
 let validate_string s =
   match Json.of_string s with
-  | doc -> if is_trace doc then validate_trace doc else validate doc
+  | doc ->
+    if is_flight doc then validate_flight doc
+    else if is_trace doc then validate_trace doc
+    else validate doc
   | exception Json.Parse_error msg -> Error [ "JSON parse error: " ^ msg ]
 
 let validate_file path =

@@ -1,0 +1,237 @@
+(* Windowed time-series over the metrics registry.
+
+   [sample now] is called from the scheduler's coordinator between
+   parallel phases (so histogram reads never race worker observes) and
+   costs one branch when disabled. When a sample crosses a window
+   boundary, the window that just ended is "closed": every registered
+   counter contributes its delta since the window opened, every
+   histogram a bucket-wise delta histogram (Hist.diff of two cumulative
+   snapshots — exact counts, alpha-accurate quantiles), and every gauge
+   its value at close. Closed windows land in a fixed-size ring.
+
+   Attribution semantics: a window's deltas are whatever accumulated
+   between the sample that opened it and the sample that closed it.
+   With the scheduler sampling every progress-loop iteration the
+   resolution is one scheduler step; the QCheck oracle test drives
+   sample/observe in lockstep where attribution is exact.
+
+   Simulated-time quirks the scheduler imposes:
+   - time can jump far forward (timeout wakeups): the pre-jump window
+     closes with its deltas, empty windows fill the gap, and a jump
+     longer than the whole ring just re-anchors (the skipped empties
+     would all be overwritten anyway);
+   - time can go backwards (entsim crash/recovery restarts the pool
+     clock): we re-anchor at the new epoch and keep the counter bases,
+     so pre-crash deltas roll into the first post-crash window rather
+     than being lost or double-counted;
+   - [Obs.reset] (benchmarks, between cells) zeroes every metric: a
+     reset hook clears the ring and bases so the next sample re-anchors
+     from zero. *)
+
+type window = {
+  w_start : float;
+  w_width : float;
+  w_counters : (string * int) list;
+  w_gauges : (string * float) list;
+  w_hists : (string * Hist.t) list;
+}
+
+let on = ref false
+let mu = Mutex.create ()
+let width_r = ref 1.0
+let capacity_r = ref 120
+let ring : window option array ref = ref [||]
+let total = ref 0 (* windows ever closed; ring slot = total mod capacity *)
+let anchored = ref false
+let cur_start = ref 0.0
+let last_now = ref 0.0
+let base_counters : (string, int) Hashtbl.t = Hashtbl.create 64
+let base_hists : (string, Hist.t) Hashtbl.t = Hashtbl.create 16
+let on_window : (window -> unit) option ref = ref None
+let reset_hook_installed = ref false
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let enabled () = !on
+let width () = !width_r
+let set_on_window f = on_window := f
+
+let clear_state () =
+  ring := Array.make !capacity_r None;
+  total := 0;
+  anchored := false;
+  Hashtbl.reset base_counters;
+  Hashtbl.reset base_hists
+
+let enable ?(width = 1.0) ?(capacity = 120) () =
+  if width <= 0.0 || not (Float.is_finite width) then
+    invalid_arg "Timeseries.enable: width must be positive";
+  if capacity <= 0 then
+    invalid_arg "Timeseries.enable: capacity must be positive";
+  locked (fun () ->
+      if not !reset_hook_installed then begin
+        reset_hook_installed := true;
+        Obs.add_reset_hook (fun () ->
+            locked (fun () -> if !on then clear_state ()))
+      end;
+      width_r := width;
+      capacity_r := capacity;
+      clear_state ();
+      on := true)
+
+let disable () =
+  locked (fun () ->
+      on := false;
+      on_window := None;
+      clear_state ())
+
+let align now = Float.floor (now /. !width_r) *. !width_r
+
+(* Assumes [mu] held. Snapshot bases without producing a window (used
+   when anchoring: there is no previous window to attribute to). *)
+let rebase () =
+  Hashtbl.reset base_counters;
+  Hashtbl.reset base_hists;
+  List.iter
+    (fun name ->
+      match Obs.find_counter name with
+      | Some v -> Hashtbl.replace base_counters name v
+      | None -> (
+        match Obs.find_histogram name with
+        | Some h -> Hashtbl.replace base_hists name (Hist.copy h)
+        | None -> ()))
+    (Obs.metric_names ())
+
+(* Assumes [mu] held. Close the window [start, start+width) against the
+   current bases, advancing the bases to the new snapshot. *)
+let close_window ~start ~width =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun name ->
+      match Obs.find_counter name with
+      | Some v ->
+        let b = Option.value ~default:0 (Hashtbl.find_opt base_counters name) in
+        if v <> b then counters := (name, v - b) :: !counters;
+        Hashtbl.replace base_counters name v
+      | None -> (
+        match Obs.find_gauge name with
+        | Some v -> gauges := (name, v) :: !gauges
+        | None -> (
+          match Obs.find_histogram name with
+          | Some h ->
+            let d =
+              match Hashtbl.find_opt base_hists name with
+              | Some b -> Hist.diff ~newer:h ~older:b
+              | None -> Hist.copy h
+            in
+            if Hist.count d > 0 then hists := (name, d) :: !hists;
+            Hashtbl.replace base_hists name (Hist.copy h)
+          | None -> ())))
+    (Obs.metric_names ());
+  {
+    w_start = start;
+    w_width = width;
+    w_counters = List.rev !counters;
+    w_gauges = List.rev !gauges;
+    w_hists = List.rev !hists;
+  }
+
+let push w =
+  let r = !ring in
+  r.(!total mod Array.length r) <- Some w;
+  incr total
+
+let run_hook closed =
+  match (!on_window, closed) with
+  | None, _ | _, [] -> ()
+  | Some f, ws -> List.iter f ws
+
+let sample_locked now =
+  let closed = ref [] in
+  locked (fun () ->
+      last_now := now;
+      if not !anchored then begin
+        anchored := true;
+        cur_start := align now;
+        rebase ()
+      end
+      else if now < !cur_start then
+        (* clock went backwards: new simulated epoch, keep the bases *)
+        cur_start := align now
+      else begin
+        let steps = int_of_float ((now -. !cur_start) /. !width_r) in
+        if steps > !capacity_r then begin
+          (* bank the pre-jump deltas, then skip the unrepresentable gap *)
+          let w = close_window ~start:!cur_start ~width:!width_r in
+          push w;
+          closed := [ w ];
+          cur_start := align now
+        end
+        else
+          while now >= !cur_start +. !width_r do
+            let w = close_window ~start:!cur_start ~width:!width_r in
+            push w;
+            closed := w :: !closed;
+            cur_start := !cur_start +. !width_r
+          done
+      end);
+  run_hook (List.rev !closed)
+
+let sample now = if !on then sample_locked now
+
+let flush () =
+  if !on then begin
+    let closed = ref [] in
+    locked (fun () ->
+        if !anchored && !last_now > !cur_start then begin
+          let w =
+            close_window ~start:!cur_start ~width:(!last_now -. !cur_start)
+          in
+          push w;
+          closed := [ w ];
+          cur_start := !last_now
+        end);
+    run_hook !closed
+  end
+
+let windows () =
+  locked (fun () ->
+      let r = !ring in
+      let cap = Array.length r in
+      if cap = 0 then []
+      else begin
+        let n = min !total cap in
+        let first = !total - n in
+        List.filter_map (fun i -> r.((first + i) mod cap)) (List.init n Fun.id)
+      end)
+
+let last n =
+  let ws = windows () in
+  let len = List.length ws in
+  if len <= n then ws else List.filteri (fun i _ -> i >= len - n) ws
+
+let counter_delta w name =
+  Option.value ~default:0 (List.assoc_opt name w.w_counters)
+
+let window_hist w name = List.assoc_opt name w.w_hists
+
+let window_json w =
+  let fin v = Json.Float (if Float.is_finite v then v else 0.0) in
+  Json.Obj
+    [
+      ("start", fin w.w_start);
+      ("width", fin w.w_width);
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) w.w_counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, fin v)) w.w_gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, Hist.summary h)) w.w_hists) );
+    ]
+
+let to_json ?last:(n = max_int) () =
+  Json.Obj
+    [
+      ("window_s", Json.Float !width_r);
+      ("windows", Json.List (List.map window_json (last n)));
+    ]

@@ -28,6 +28,12 @@ type t = {
   mutable job : job option;
   mutable gen : int;
   mutable shutdown : bool;
+  busy : int Atomic.t;        (* domains currently inside a region *)
+  busy_gauge : Ent_obs.Obs.gauge option;
+      (* par.pool.busy_domains — registered only for a real multi-domain
+         pool created while time-series sampling was on, so the
+         deterministic default runs keep their metric snapshots
+         byte-identical. *)
 }
 
 let domains t = t.n_domains
@@ -35,6 +41,10 @@ let domains t = t.n_domains
 (* Pull items until the bag is empty. The first exception is recorded;
    later items still run (an abandoned item would hang [completed]). *)
 let work_loop t job =
+  (match t.busy_gauge with
+  | Some g ->
+    Ent_obs.Obs.set g (float_of_int (1 + Atomic.fetch_and_add t.busy 1))
+  | None -> ());
   let rec go () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.total then begin
@@ -50,7 +60,11 @@ let work_loop t job =
       go ()
     end
   in
-  go ()
+  go ();
+  match t.busy_gauge with
+  | Some g ->
+    Ent_obs.Obs.set g (float_of_int (Atomic.fetch_and_add t.busy (-1) - 1))
+  | None -> ()
 
 let worker t =
   let last_gen = ref 0 in
@@ -75,7 +89,12 @@ let create ~domains =
   let t =
     { n_domains; workers = []; mu = Mutex.create ();
       cv = Condition.create (); done_cv = Condition.create ();
-      job = None; gen = 0; shutdown = false }
+      job = None; gen = 0; shutdown = false;
+      busy = Atomic.make 0;
+      busy_gauge =
+        (if n_domains > 1 && Ent_obs.Timeseries.enabled () then
+           Some (Ent_obs.Obs.gauge "par.pool.busy_domains")
+         else None) }
   in
   t.workers <-
     List.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));

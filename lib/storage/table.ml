@@ -457,6 +457,7 @@ let range_lookup_seq_at t ~position ~lo ~hi ~visible =
    never be reached by a chain walk again. *)
 let gc_versions t ~obsolete =
   locked t (fun () ->
+      let removed = ref 0 in
       let truncated =
         Hashtbl.fold
           (fun id entries acc ->
@@ -467,14 +468,18 @@ let gc_versions t ~obsolete =
             in
             let kept = keep entries in
             if List.length kept = List.length entries then acc
-            else (id, kept) :: acc)
+            else begin
+              removed := !removed + List.length entries - List.length kept;
+              (id, kept) :: acc
+            end)
           t.chains []
       in
       List.iter
         (fun (id, kept) ->
           if kept = [] then Hashtbl.remove t.chains id
           else Hashtbl.replace t.chains id kept)
-        truncated)
+        truncated;
+      !removed)
 
 let chain_entries t =
   locked t (fun () ->

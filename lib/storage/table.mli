@@ -175,8 +175,9 @@ val range_lookup_seq_at :
     newest entry whose writer satisfies [obsolete] (committed before
     the oldest live snapshot, or finished aborting): that entry's
     before-image and everything older are unreachable by any snapshot
-    and are dropped. *)
-val gc_versions : t -> obsolete:(int -> bool) -> unit
+    and are dropped. Returns the number of entries dropped (feeds the
+    [storage.mvcc.versions_gcd] counter). *)
+val gc_versions : t -> obsolete:(int -> bool) -> int
 
 (** Total version-chain entries currently retained (0 once every
     transaction finished and {!gc_versions} ran — the entsim

@@ -10,6 +10,13 @@ let m_deadlocks = Obs.counter "txn.engine.deadlock_victims"
 let m_undone = Obs.counter "txn.engine.writes_undone"
 let m_checkpoints = Obs.counter "txn.engine.checkpoints"
 
+(* SI-only metrics are interned lazily: a pure-2PL run never forces
+   them, so default metric snapshots stay byte-identical with the seed
+   fixtures (unregistered metrics are simply absent). *)
+let m_si_validations = lazy (Obs.counter "txn.si_validations")
+let m_mvcc_chain_entries = lazy (Obs.gauge "storage.mvcc.chain_entries")
+let m_mvcc_versions_gcd = lazy (Obs.counter "storage.mvcc.versions_gcd")
+
 exception Blocked of int
 exception Deadlock_victim of int
 exception Si_conflict of int
@@ -609,7 +616,8 @@ let abort_group t txn_ids =
 let validate_snapshot t txn_id =
   let txn = find_txn t txn_id in
   if txn.level <> Snapshot then None
-  else
+  else begin
+    Obs.incr (Lazy.force m_si_validations);
     with_mu t.mu (fun () ->
         List.find_map
           (fun w ->
@@ -618,6 +626,7 @@ let validate_snapshot t txn_id =
               Some (w.w_table, w.w_row)
             | _ -> None)
           txn.writes)
+  end
 
 let commit t txn_id =
   let txn = find_txn t txn_id in
@@ -688,7 +697,8 @@ let recover records =
      writes through the (process-global) versioned table layer when a
      snapshot transaction ever ran: drop them so the recovered engine
      starts from the durable images alone. *)
-  Catalog.iter (fun _ table -> Table.gc_versions table ~obsolete:(fun _ -> true))
+  Catalog.iter
+    (fun _ table -> ignore (Table.gc_versions table ~obsolete:(fun _ -> true)))
     t.catalog;
   checkpoint t;
   (t, analysis)
@@ -737,10 +747,14 @@ let gc_versions t =
       | Some stamp -> stamp <= s_min
       | None -> not (is_active t w)
     in
-    List.iter
-      (fun name ->
-        Table.gc_versions (Catalog.find_exn t.catalog name) ~obsolete)
-      (Catalog.table_names t.catalog);
+    let removed =
+      List.fold_left
+        (fun acc name ->
+          acc + Table.gc_versions (Catalog.find_exn t.catalog name) ~obsolete)
+        0
+        (Catalog.table_names t.catalog)
+    in
+    if removed > 0 then Obs.incr ~n:removed (Lazy.force m_mvcc_versions_gcd);
     with_mu t.mu (fun () ->
         let prune tbl =
           let dead =
@@ -751,7 +765,15 @@ let gc_versions t =
           List.iter (Hashtbl.remove tbl) dead
         in
         prune t.committed_at;
-        prune t.last_write)
+        prune t.last_write);
+    Obs.set
+      (Lazy.force m_mvcc_chain_entries)
+      (float_of_int
+         (List.fold_left
+            (fun acc name ->
+              acc + Table.chain_entries (Catalog.find_exn t.catalog name))
+            0
+            (Catalog.table_names t.catalog)))
   end
 
 (* Total retained version-chain entries across the catalog (0 at

@@ -1,4 +1,5 @@
 module Obs = Ent_obs.Obs
+module Timeseries = Ent_obs.Timeseries
 
 (* layer.component.metric, DESIGN.md §3 *)
 let m_requests = Obs.counter "txn.lock.requests"
@@ -63,6 +64,7 @@ let n_stripes = 16
 type shard = {
   sh_mu : Mutex.t;
   sh_entries : (resource, entry) Hashtbl.t;
+  mutable sh_waiters : int;  (* queued (txn, resource) pairs in this shard *)
 }
 
 type stripe = {
@@ -76,6 +78,12 @@ type t = {
   groups_mu : Mutex.t;
   groups : (int, int) Hashtbl.t;  (* txn -> entanglement group tag *)
   total_entries : int Atomic.t;
+  waiter_gauges : Obs.gauge array option;
+      (* per-shard wait-depth gauges (txn.lock.shard_waiters.NN) —
+         registered only when time-series sampling was enabled before
+         the manager was built. Lock waits do happen in default runs,
+         so unconditional registration would change the default metric
+         snapshots that fixtures compare byte-for-byte. *)
 }
 
 let shard_count = n_shards
@@ -86,14 +94,29 @@ let create () =
   {
     shards =
       Array.init n_shards (fun _ ->
-          { sh_mu = Mutex.create (); sh_entries = Hashtbl.create 16 });
+          {
+            sh_mu = Mutex.create ();
+            sh_entries = Hashtbl.create 16;
+            sh_waiters = 0;
+          });
     stripes =
       Array.init n_stripes (fun _ ->
           { st_mu = Mutex.create (); st_owned = Hashtbl.create 8 });
     groups_mu = Mutex.create ();
     groups = Hashtbl.create 16;
     total_entries = Atomic.make 0;
+    waiter_gauges =
+      (if Timeseries.enabled () then
+         Some
+           (Array.init n_shards (fun i ->
+                Obs.gauge (Printf.sprintf "txn.lock.shard_waiters.%02d" i)))
+       else None);
   }
+
+let note_waiters t i sh =
+  match t.waiter_gauges with
+  | Some g -> Obs.set g.(i) (float_of_int sh.sh_waiters)
+  | None -> ()
 
 let with_mu mu f =
   Mutex.lock mu;
@@ -166,7 +189,8 @@ let request t ~txn resource mode =
   (match !probe with
   | Some f -> f ~txn resource mode
   | None -> ());
-  let sh = t.shards.(shard_of resource) in
+  let i = shard_of resource in
+  let sh = t.shards.(i) in
   with_mu sh.sh_mu (fun () ->
       let entry = entry_for t sh resource in
       let held = List.assoc_opt txn entry.holders in
@@ -205,6 +229,8 @@ let request t ~txn resource mode =
           end
           else begin
             entry.queue <- entry.queue @ [ (txn, need) ];
+            sh.sh_waiters <- sh.sh_waiters + 1;
+            note_waiters t i sh;
             note_owned t txn resource;
             Obs.incr m_waits;
             Waiting
@@ -212,7 +238,7 @@ let request t ~txn resource mode =
         end)
 
 (* Callers hold the entry's shard mutex. *)
-let promote_waiters t entry =
+let promote_waiters t sh entry =
   (* Grant from the front of the queue while compatible. *)
   let granted = ref [] in
   let rec go () =
@@ -223,6 +249,7 @@ let promote_waiters t entry =
         entry.holders <-
           (txn, need) :: List.filter (fun (o, _) -> o <> txn) entry.holders;
         entry.queue <- rest;
+        sh.sh_waiters <- sh.sh_waiters - 1;
         granted := txn :: !granted;
         go ()
       end
@@ -243,14 +270,18 @@ let release_all t ~txn =
   let woken = ref [] in
   List.iter
     (fun resource ->
-      let sh = t.shards.(shard_of resource) in
+      let i = shard_of resource in
+      let sh = t.shards.(i) in
       with_mu sh.sh_mu (fun () ->
           match Hashtbl.find_opt sh.sh_entries resource with
           | None -> ()
           | Some entry ->
             entry.holders <- List.filter (fun (o, _) -> o <> txn) entry.holders;
+            let before = List.length entry.queue in
             entry.queue <- List.filter (fun (o, _) -> o <> txn) entry.queue;
-            woken := promote_waiters t entry @ !woken;
+            sh.sh_waiters <- sh.sh_waiters - (before - List.length entry.queue);
+            woken := promote_waiters t sh entry @ !woken;
+            note_waiters t i sh;
             if entry.holders = [] && entry.queue = [] then begin
               Hashtbl.remove sh.sh_entries resource;
               Atomic.decr t.total_entries
