@@ -83,6 +83,7 @@ type stats = {
   mutable deadlocks : int;
   mutable si_aborts : int;
   mutable coordination_rounds : int;
+  mutable coord_wall_s : float;
 }
 
 type t = {
@@ -129,6 +130,7 @@ let create ?(config = default_config) engine =
         deadlocks = 0;
         si_aborts = 0;
         coordination_rounds = 0;
+        coord_wall_s = 0.0;
       };
       on_entangle = None;
       next_conn = 0;
@@ -167,6 +169,23 @@ let now t = Ent_sim.Pool.now t.pool
 let connection_loads t = Ent_sim.Pool.loads t.pool
 let advance_time t seconds = Ent_sim.Pool.advance_to t.pool (now t +. seconds)
 let stats t = t.stats
+
+(* Parallel phases take observability off the workers' hot path: while
+   the region runs, engine observer dispatch (the certifier/recorder
+   behind [obs_mu]) and event-ring emission buffer into per-domain
+   shards; the coordinator merges both — in emission-stamp order, an
+   exact linearization — when the region ends. Flushing sits in the
+   [finally] so an escaping exception cannot leave buffering on. *)
+let in_parallel_region t f =
+  Ent_txn.Engine.set_deferred_events t.engine true;
+  Event.set_buffered true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ent_txn.Engine.set_deferred_events t.engine false;
+      Event.set_buffered false;
+      Ent_txn.Engine.flush_events t.engine;
+      Event.flush_buffered ())
+    f
 let outcome t task_id = Hashtbl.find_opt t.outcomes task_id
 
 let results t =
@@ -424,9 +443,10 @@ let run_once t =
         in
         if runnable <> [] then begin
           let arr = Array.of_list runnable in
-          Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
-              Fault.hit s_step;
-              Executor.step t.engine isolation costs arr.(i));
+          in_parallel_region t (fun () ->
+              Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
+                  Fault.hit s_step;
+                  Executor.step t.engine isolation costs arr.(i)));
           Array.iter after_step arr;
           progress := true
         end);
@@ -518,6 +538,13 @@ let run_once t =
       (* 4. when nothing else can move: evaluate all pending entangled
          queries together *)
       if not !progress then begin
+        (* Wall-clock (not simulated) time spent in the whole
+           grounding+coordination phase, accrued into
+           [stats.coord_wall_s]: bench divides it by the cell's wall
+           time to report the coordination share of each scale-up
+           point. Reading the monotonic clock never feeds back into
+           scheduling, so deterministic output is unaffected. *)
+        let coord_t0 = Ent_obs.Clock.monotonic () in
         let pending =
           List.filter
             (fun (task : Executor.task) -> task.status = Waiting_entangled)
@@ -595,9 +622,10 @@ let run_once t =
                to lock outcomes. *)
             let arr = Array.of_list with_ir in
             let out = Array.make (Array.length arr) `Gave_up in
-            Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
-                let task, ir = arr.(i) in
-                out.(i) <- ground_one task ir);
+            in_parallel_region t (fun () ->
+                Ent_par.Pool.run_indexed pool (Array.length arr) (fun i ->
+                    let task, ir = arr.(i) in
+                    out.(i) <- ground_one task ir));
             List.filter_map settle (Array.to_list out)
         in
         if entries <> [] then begin
@@ -612,9 +640,14 @@ let run_once t =
               entries
           in
           let results =
-            match t.config.evaluation with
-            | Search -> Coordinate.evaluate entry_triples
-            | Combined -> Combined.evaluate entry_triples
+            match (t.config.evaluation, t.config.runner) with
+            (* Parallel mode searches signature-connectivity components
+               on the pool; equivalent to the sequential search as long
+               as no seed exhausts its node budget. *)
+            | Search, Some pool ->
+              Coordinate.evaluate_parallel ~runner:pool entry_triples
+            | Search, None -> Coordinate.evaluate entry_triples
+            | Combined, _ -> Combined.evaluate entry_triples
           in
           let result_index = Hashtbl.create (List.length results) in
           List.iter
@@ -704,7 +737,9 @@ let run_once t =
                 progress := true
               | Coordinate.No_partner -> ())
             entries
-        end
+        end;
+        t.stats.coord_wall_s <-
+          t.stats.coord_wall_s +. (Ent_obs.Clock.monotonic () -. coord_t0)
       end;
       (* Coordinator-side telemetry sample, once per scheduler
          iteration: the parallel phases above are barriers, so no worker

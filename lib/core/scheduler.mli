@@ -68,6 +68,10 @@ type stats = {
       (** snapshot transactions aborted by first-committer-wins
           validation (at commit or mid-statement) *)
   mutable coordination_rounds : int;
+  mutable coord_wall_s : float;
+      (** wall-clock (monotonic, not simulated) seconds spent in the
+          grounding+coordination phase; bench reports it as each
+          scale-up point's [coordination_share] *)
 }
 
 type t

@@ -10,9 +10,24 @@
    lib/txn, lib/storage, lib/entangle and lib/core registers metrics at
    module initialization and never threads a handle around. *)
 
-type counter = { c_name : string; cell : int Atomic.t }
+(* Counters and histograms are striped by executing domain so parallel
+   runs never contend on (or race through) a shared cell: stripe
+   [domain_id land (stripes - 1)] takes the update, and reads merge.
+   Deterministic runs execute everything on domain 0, so exactly one
+   stripe is populated and merged reads are bitwise identical to the
+   unstriped implementation. *)
+let stripes = 16
+
+let stripe () = (Domain.self () :> int) land (stripes - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
 type gauge = { g_name : string; value : float Atomic.t }
-type histogram = { h_name : string; hist : Hist.t }
+
+(* Each histogram stripe has its own mutex: [Hist.observe] mutates a
+   hashtable of buckets, which is not safe to share across domains
+   (ground/gcache observe footprint histograms from worker domains).
+   Stripe mutexes are uncontended except under real parallelism. *)
+type histogram = { h_name : string; h_stripes : (Mutex.t * Hist.t) array }
 
 type metric =
   | Counter of counter
@@ -47,12 +62,12 @@ let intern name make describe =
 let counter name =
   intern name
     (fun () ->
-      let c = { c_name = name; cell = Atomic.make 0 } in
+      let c = { c_name = name; cells = Array.init stripes (fun _ -> Atomic.make 0) } in
       (c, Counter c))
     (function Counter c -> Some c | _ -> None)
 
-let incr ?(n = 1) c = ignore (Atomic.fetch_and_add c.cell n)
-let counter_value c = Atomic.get c.cell
+let incr ?(n = 1) c = ignore (Atomic.fetch_and_add c.cells.(stripe ()) n)
+let counter_value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
 
 let gauge name =
   intern name
@@ -67,12 +82,40 @@ let gauge_value g = Atomic.get g.value
 let histogram ?alpha name =
   intern name
     (fun () ->
-      let h = { h_name = name; hist = Hist.create ?alpha () } in
+      let h =
+        { h_name = name;
+          h_stripes =
+            Array.init stripes (fun _ -> (Mutex.create (), Hist.create ?alpha ())) }
+      in
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
-let observe h v = Hist.observe h.hist v
-let hist h = h.hist
+let observe h v =
+  let mu, hs = h.h_stripes.(stripe ()) in
+  Mutex.lock mu;
+  Hist.observe hs v;
+  Mutex.unlock mu
+
+(* Merged snapshot of all stripes. A single populated stripe (every
+   deterministic run) returns a plain copy, so summaries are bitwise
+   identical to the unstriped implementation; with several stripes the
+   merge order is stripe-index order, deterministic given the stripe
+   contents. *)
+let hist h =
+  let parts =
+    Array.to_list h.h_stripes
+    |> List.filter_map (fun (mu, hs) ->
+           Mutex.lock mu;
+           let c = if Hist.count hs > 0 then Some (Hist.copy hs) else None in
+           Mutex.unlock mu;
+           c)
+  in
+  match parts with
+  | [] -> Hist.copy (snd h.h_stripes.(0))
+  | [ one ] -> one
+  | first :: rest ->
+    List.iter (fun hs -> Hist.merge_into ~into:first hs) rest;
+    first
 
 let counter_name c = c.c_name
 let gauge_name g = g.g_name
@@ -94,7 +137,7 @@ let find_gauge name =
 
 let find_histogram name =
   match find name with
-  | Some (Histogram h) -> Some h.hist
+  | Some (Histogram h) -> Some (hist h)
   | _ -> None
 
 (* --- span tracing --- *)
@@ -180,7 +223,7 @@ let snapshot_json () =
       | Gauge g ->
         let v = gauge_value g in
         gauges := (name, Json.Float (if Float.is_finite v then v else 0.0)) :: !gauges
-      | Histogram h -> hists := (name, Hist.summary h.hist) :: !hists)
+      | Histogram h -> hists := (name, Hist.summary (hist h)) :: !hists)
     (sorted_registry ());
   let base =
     [
@@ -220,9 +263,15 @@ let reset () =
       Hashtbl.iter
         (fun _ m ->
           match m with
-          | Counter c -> Atomic.set c.cell 0
+          | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
           | Gauge g -> Atomic.set g.value 0.0
-          | Histogram h -> Hist.reset h.hist)
+          | Histogram h ->
+            Array.iter
+              (fun (mu, hs) ->
+                Mutex.lock mu;
+                Hist.reset hs;
+                Mutex.unlock mu)
+              h.h_stripes)
         registry);
   Array.fill !trace_ring 0 (Array.length !trace_ring) None;
   trace_next := 0;

@@ -26,6 +26,12 @@ val gauge_value : gauge -> float
 
 val histogram : ?alpha:float -> string -> histogram
 val observe : histogram -> float -> unit
+
+(** Merged snapshot of the histogram's per-domain stripes — a fresh
+    [Hist.t], not a live view. Counters and histograms are striped by
+    executing domain so parallel workloads never share a cell; reads
+    merge the stripes and are bitwise identical to an unstriped
+    implementation when only one domain observed. *)
 val hist : histogram -> Hist.t
 
 val counter_name : counter -> string

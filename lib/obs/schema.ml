@@ -258,6 +258,14 @@ let validate (doc : Json.t) =
     (match Json.member "slo" point with
     | Some slo -> check_slo ~errors ~where:(where ^ " slo") slo
     | None -> ());
+    (* Optional member, emitted by the scale-up experiment: fraction of
+       the cell's wall-clock spent in the coordination phase. *)
+    (match Json.member "coordination_share" point with
+    | Some v -> (
+      match Json.to_float_opt v with
+      | Some s when Float.is_finite s && s >= 0.0 && s <= 1.0 -> ()
+      | _ -> err "%s: coordination_share not a fraction in [0, 1]" where)
+    | None -> ());
     match Json.member "metrics" point with
     | Some metrics ->
       check_metrics ~where metrics;

@@ -98,10 +98,24 @@ type t = {
      release/acquire boundary. Both mutexes are uncontended (and the
      interleavings identical) in single-domain deterministic mode.
      Order, where nested: mu -> obs_mu; neither is held while calling
-     back into the engine. *)
+     back into the engine.
+
+     [deferred] takes [obs_mu] off the parallel hot path: while set
+     (the scheduler sets it around parallel phases), [emit] appends to
+     a per-domain shard with a global atomic order stamp instead of
+     dispatching, and [flush_events] replays the buffer sorted by
+     stamp at the phase boundary. The sorted replay is an exact
+     linearization of emission order — emissions ordered by a lock
+     release/acquire are also ordered by their fetch-and-add stamps —
+     so the conflict-order guarantee above carries over verbatim. *)
   mu : Mutex.t;
   obs_mu : Mutex.t;
+  deferred : bool Atomic.t;
+  obs_order : int Atomic.t;
+  obs_shards : (Mutex.t * (int * event) list ref) array;
 }
+
+let obs_shard_count = 16
 
 let create ?(wal = false) ?on_event catalog =
   {
@@ -120,6 +134,10 @@ let create ?(wal = false) ?on_event catalog =
     snapshots = Hashtbl.create 8;
     mu = Mutex.create ();
     obs_mu = Mutex.create ();
+    deferred = Atomic.make false;
+    obs_order = Atomic.make 0;
+    obs_shards =
+      Array.init obs_shard_count (fun _ -> (Mutex.create (), ref []));
   }
 
 let with_mu mu f =
@@ -145,8 +163,39 @@ let add_on_event t f =
 
 let emit t ev =
   match t.on_event with
-  | Some f -> with_mu t.obs_mu (fun () -> f ev)
   | None -> ()
+  | Some f ->
+    if Atomic.get t.deferred then begin
+      let stamp = Atomic.fetch_and_add t.obs_order 1 in
+      let bmu, buf =
+        t.obs_shards.((Domain.self () :> int) land (obs_shard_count - 1))
+      in
+      with_mu bmu (fun () -> buf := (stamp, ev) :: !buf)
+    end
+    else with_mu t.obs_mu (fun () -> f ev)
+
+let set_deferred_events t b = Atomic.set t.deferred b
+
+let flush_events t =
+  let pending =
+    Array.fold_left
+      (fun acc (bmu, buf) ->
+        with_mu bmu (fun () ->
+            let l = !buf in
+            buf := [];
+            List.rev_append l acc))
+      [] t.obs_shards
+  in
+  match pending with
+  | [] -> ()
+  | pending -> (
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) pending
+    in
+    match t.on_event with
+    | None -> ()
+    | Some f ->
+      with_mu t.obs_mu (fun () -> List.iter (fun (_, ev) -> f ev) sorted))
 
 let log_record t record =
   match t.wal with

@@ -67,6 +67,18 @@ val set_on_event : t -> (event -> unit) option -> unit
     installation order. Lets a certifier observe alongside a recorder. *)
 val add_on_event : t -> (event -> unit) -> unit
 
+(** While deferred, observer dispatch buffers events in per-domain
+    shards — each with a global atomic order stamp — instead of
+    serializing through the engine's observer mutex. The scheduler
+    defers around parallel phases and flushes at the boundary. *)
+val set_deferred_events : t -> bool -> unit
+
+(** Dispatch all deferred events to the observers, sorted by emission
+    order stamp: an exact linearization of emission order, so the
+    conflict-order guarantee of live dispatch (events of two
+    conflicting operations never reorder) is preserved. *)
+val flush_events : t -> unit
+
 (** Create a table through the engine so it is logged for recovery. *)
 val create_table : t -> string -> Schema.t -> Table.t
 

@@ -237,6 +237,9 @@ let counter_value name =
 
 let test_entangled_workload_metrics () =
   Obs.reset ();
+  (* match latency is wall-clock and only observed while tracing is on
+     (default runs stay byte-identical across reruns) *)
+  Obs.set_tracing true;
   let m = obs_manager () in
   let mickey = Manager.submit_string m (flight_program "Mickey" "Minnie") in
   let minnie = Manager.submit_string m (flight_program "Minnie" "Mickey") in
@@ -244,6 +247,7 @@ let test_entangled_workload_metrics () =
   let u1 = Manager.submit_string m (update_program "Paris") in
   let u2 = Manager.submit_string m (update_program "Tokyo") in
   Manager.drain m;
+  Obs.set_tracing false;
   List.iter
     (fun (name, id) ->
       match Manager.outcome m id with
